@@ -1,0 +1,87 @@
+// Command shield-kds runs a standalone Key Distribution Service node.
+//
+// Several shield-kds processes fronting the same deployment model the
+// decentralized replica set; clients (kds.NewClient) fail over between
+// them. Servers named with -authorize may create and fetch DEKs; everything
+// else is denied.
+//
+// Usage:
+//
+//	shield-kds -addr :7601 -authorize compute-1,worker-1 -latency 2750us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"shield/internal/kds"
+	"shield/internal/vfs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7601", "listen address")
+		authorize = flag.String("authorize", "", "comma-separated server IDs allowed to request DEKs")
+		latency   = flag.Duration("latency", 0, "synthetic per-request service latency (e.g. 2750us to mimic SSToolkit)")
+		maxFetch  = flag.Int("max-fetches", 1, "fetches allowed per DEK-ID for non-creators (0 = unlimited; 1 = one-time provisioning)")
+		storePath = flag.String("store", "", "encrypted snapshot path for durable key state (empty = in-memory only)")
+		masterKey = flag.String("master-key", "", "master secret sealing the snapshot (required with -store)")
+	)
+	flag.Parse()
+
+	policy := kds.Policy{MaxFetches: *maxFetch, Latency: *latency}
+	type enrollable interface {
+		Authorize(string)
+		Stats() (int64, int64, int64)
+	}
+	var store kds.Backend
+	var admin enrollable
+	if *storePath != "" {
+		if *masterKey == "" {
+			log.Fatal("-store requires -master-key")
+		}
+		ps, err := kds.OpenPersistentStore(vfs.NewOS(), *storePath, []byte(*masterKey), policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable key store at %s", *storePath)
+		store, admin = ps, ps
+	} else {
+		ms := kds.NewStore(policy)
+		store, admin = ms, ms
+	}
+	for _, id := range strings.Split(*authorize, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			admin.Authorize(id)
+			log.Printf("authorized server %q", id)
+		}
+	}
+
+	srv, err := kds.NewServer(store, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shield-kds listening on %s (latency=%v, max-fetches=%d)", srv.Addr(), *latency, *maxFetch)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(30 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			log.Print("shutting down")
+			srv.Close()
+			return
+		case <-tick.C:
+			issued, fetched, denied := admin.Stats()
+			fmt.Printf("stats: issued=%d fetched=%d denied=%d\n", issued, fetched, denied)
+		}
+	}
+}

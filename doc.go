@@ -1,0 +1,12 @@
+// Package shield is a from-scratch Go reproduction of "SHIELD: Encrypting
+// Persistent Data of LSM-KVS from Monolithic to Disaggregated Storage"
+// (SIGMOD 2025): an LSM-based key-value store whose persistent files (WAL,
+// SST, MANIFEST) are protected by either instance-level encryption (EncFS)
+// or SHIELD's per-file DEKs with compaction-driven rotation, a WAL
+// encryption buffer, metadata-embedded DEK-IDs, a secure DEK cache, and a
+// decentralized key-distribution service — in monolithic and disaggregated
+// deployments.
+//
+// See internal/core for the encryption designs, internal/lsm for the
+// engine, and DESIGN.md for the full system inventory.
+package shield

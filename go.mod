@@ -1,0 +1,3 @@
+module shield
+
+go 1.22

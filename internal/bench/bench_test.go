@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shield/internal/lsm"
+	"shield/internal/vfs"
+)
+
+func newDB(t *testing.T) *lsm.DB {
+	t.Helper()
+	db, err := lsm.Open("db", lsm.Options{FS: vfs.NewMem(), MemtableSize: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestKeyGen(t *testing.T) {
+	g := NewKeyGen(16)
+	a, b := g.Key(1), g.Key(2)
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	if bytes.Compare(a, b) >= 0 {
+		t.Fatal("numeric order not preserved lexicographically")
+	}
+	if !bytes.Equal(g.Key(7), g.Key(7)) {
+		t.Fatal("not deterministic")
+	}
+	// Wider keys pad.
+	if len(NewKeyGen(24).Key(1)) != 24 {
+		t.Fatal("padding")
+	}
+}
+
+func TestValueGen(t *testing.T) {
+	g := NewValueGen(100, 1)
+	v := g.Value(42)
+	if len(v) != 100 {
+		t.Fatalf("size %d", len(v))
+	}
+	if !bytes.Equal(v, NewValueGen(100, 1).Value(42)) {
+		t.Fatal("not deterministic across instances")
+	}
+	if bytes.Equal(g.Value(1), g.Value(2)) {
+		t.Fatal("different keys produced identical values")
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(10_000, 1)
+	counts := make(map[uint64]int)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 10_000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must be far more popular than a mid-range item, and the head
+	// should hold a large share (theta=0.99 → item 0 ≈ 10%).
+	if counts[0] < n/50 {
+		t.Fatalf("head not hot: %d/%d", counts[0], n)
+	}
+	if counts[0] <= counts[5000]*10 {
+		t.Fatalf("skew too weak: head=%d mid=%d", counts[0], counts[5000])
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	z := NewZipfian(10_000, 1)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10_000; i++ {
+		v := z.ScrambledNext()
+		if v >= 10_000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	// Scrambling should reach a reasonable slice of the key space.
+	if len(seen) < 500 {
+		t.Fatalf("scrambled zipfian touched only %d distinct keys", len(seen))
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	p := NewPareto(16.0, 0.2, 10, 1024, 1)
+	var sum int
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		v := p.Next()
+		if v < 10 || v > 1024 {
+			t.Fatalf("out of bounds: %d", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	// Mixgraph's production mean is ~37 bytes; accept a loose band.
+	if mean < 15 || mean > 120 {
+		t.Fatalf("mean value size %d outside expected band", mean)
+	}
+}
+
+func TestFillAndReadWorkloads(t *testing.T) {
+	db := newDB(t)
+	w := Workload{NumOps: 3000, KeyCount: 2000}
+	r := FillRandom(db, w)
+	if r.Ops != 3000 || r.Errors != 0 {
+		t.Fatalf("fillrandom: %+v", r)
+	}
+	if r.OpsPerSec <= 0 || r.P99 < r.P50 {
+		t.Fatalf("stats: %+v", r)
+	}
+
+	r = ReadRandom(db, w)
+	if r.Ops != 3000 || r.Errors != 0 {
+		t.Fatalf("readrandom: %+v", r)
+	}
+}
+
+func TestPreloadExactKeys(t *testing.T) {
+	db := newDB(t)
+	w := Workload{KeyCount: 500}
+	if err := Preload(db, w); err != nil {
+		t.Fatal(err)
+	}
+	kg := NewKeyGen(16)
+	for i := uint64(0); i < 500; i += 37 {
+		if _, err := db.Get(kg.Key(i)); err != nil {
+			t.Fatalf("preloaded key %d missing: %v", i, err)
+		}
+	}
+}
+
+func TestMixedRatioRuns(t *testing.T) {
+	db := newDB(t)
+	w := Workload{NumOps: 2000, KeyCount: 1000, ReadPct: 50}
+	if err := Preload(db, w); err != nil {
+		t.Fatal(err)
+	}
+	r := MixedRatio(db, w)
+	if r.Errors != 0 {
+		t.Fatalf("mixed: %+v", r)
+	}
+}
+
+func TestMixgraphRuns(t *testing.T) {
+	db := newDB(t)
+	w := Workload{NumOps: 2000, KeyCount: 1000}
+	if err := Preload(db, w); err != nil {
+		t.Fatal(err)
+	}
+	r := Mixgraph(db, w)
+	if r.Errors != 0 {
+		t.Fatalf("mixgraph: %+v", r)
+	}
+}
+
+func TestYCSBAllWorkloads(t *testing.T) {
+	for _, kind := range AllYCSB {
+		t.Run(fmt.Sprintf("%c", kind), func(t *testing.T) {
+			db := newDB(t)
+			load := Workload{KeyCount: 500, ValueSize: 256}
+			if err := YCSBLoad(db, load); err != nil {
+				t.Fatal(err)
+			}
+			r := YCSB(db, kind, Workload{NumOps: 1000, KeyCount: 500, ValueSize: 256})
+			if r.Errors != 0 {
+				t.Fatalf("ycsb-%c: %d errors", kind, r.Errors)
+			}
+			if r.Ops != 1000 {
+				t.Fatalf("ycsb-%c: %d ops", kind, r.Ops)
+			}
+		})
+	}
+}
+
+func TestMultiThreadedHarness(t *testing.T) {
+	db := newDB(t)
+	w := Workload{NumOps: 4000, KeyCount: 2000, Threads: 4}
+	r := FillRandom(db, w)
+	if r.Ops != 4000 || r.Errors != 0 {
+		t.Fatalf("threaded fill: %+v", r)
+	}
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadWhileWriting(t *testing.T) {
+	db := newDB(t)
+	w := Workload{NumOps: 2000, KeyCount: 1000, Threads: 2}
+	if err := Preload(db, w); err != nil {
+		t.Fatal(err)
+	}
+	r := ReadWhileWriting(db, w)
+	if r.Ops != 2000 || r.Errors != 0 {
+		t.Fatalf("readwhilewriting: %+v", r)
+	}
+	if !strings.Contains(r.Name, "bg-writes=") {
+		t.Fatalf("missing writer accounting in %q", r.Name)
+	}
+}
+
+func TestSeekRandom(t *testing.T) {
+	db := newDB(t)
+	w := Workload{NumOps: 500, KeyCount: 2000}
+	if err := Preload(db, w); err != nil {
+		t.Fatal(err)
+	}
+	r := SeekRandom(db, w, 10)
+	if r.Ops != 500 || r.Errors != 0 {
+		t.Fatalf("seekrandom: %+v", r)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	db := newDB(t)
+	w := Workload{NumOps: 2000, KeyCount: 500}
+	if err := Preload(db, w); err != nil {
+		t.Fatal(err)
+	}
+	r := Overwrite(db, w)
+	if r.Ops != 2000 || r.Errors != 0 {
+		t.Fatalf("overwrite: %+v", r)
+	}
+	// Spot-check a value was actually overwritten (different seed).
+	kg := NewKeyGen(16)
+	v, err := db.Get(kg.Key(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 100 {
+		t.Fatalf("value size %d", len(v))
+	}
+}
+
+func TestTimed(t *testing.T) {
+	calls := 0
+	r := Timed("tick", 50*time.Millisecond, func() error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if r.Ops < 10 || r.Ops > 100 {
+		t.Fatalf("timed ops %d", r.Ops)
+	}
+	if int(r.Ops) != calls {
+		t.Fatalf("ops %d calls %d", r.Ops, calls)
+	}
+}

@@ -1,0 +1,150 @@
+// Package cache provides a size-bounded, sharded LRU cache used for the LSM
+// block cache (decrypted data blocks) and the open-table cache.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies a cache entry: a file number plus an offset within it.
+type Key struct {
+	File   uint64
+	Offset uint64
+}
+
+type entry struct {
+	key    Key
+	value  any
+	charge int64
+}
+
+// shard is one LRU segment.
+type shard struct {
+	mu      sync.Mutex
+	ll      *list.List
+	items   map[Key]*list.Element
+	used    int64
+	maxSize int64
+}
+
+// LRU is a sharded, thread-safe LRU cache bounded by total charge.
+type LRU struct {
+	shards [nShards]shard
+	nHit   int64
+	nMiss  int64
+	statMu sync.Mutex
+}
+
+const nShards = 8
+
+// New returns an LRU bounded by capacity bytes of charge. A capacity of 0
+// disables caching (every Get misses, Put is a no-op).
+func New(capacity int64) *LRU {
+	c := &LRU{}
+	per := capacity / nShards
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[Key]*list.Element)
+		c.shards[i].maxSize = per
+	}
+	return c
+}
+
+func (c *LRU) shardFor(k Key) *shard {
+	h := k.File*0x9e3779b97f4a7c15 ^ k.Offset*0xbf58476d1ce4e5b9
+	return &c.shards[h%nShards]
+}
+
+// Get returns the cached value for k, if present.
+func (c *LRU) Get(k Key) (any, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+
+	c.statMu.Lock()
+	if ok {
+		c.nHit++
+	} else {
+		c.nMiss++
+	}
+	c.statMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*entry).value, true
+}
+
+// Put inserts value under k with the given charge, evicting LRU entries to
+// stay within capacity.
+func (c *LRU) Put(k Key, value any, charge int64) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxSize <= 0 {
+		return
+	}
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*entry)
+		s.used += charge - e.charge
+		e.value, e.charge = value, charge
+		s.ll.MoveToFront(el)
+	} else {
+		el := s.ll.PushFront(&entry{key: k, value: value, charge: charge})
+		s.items[k] = el
+		s.used += charge
+	}
+	for s.used > s.maxSize {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.used -= e.charge
+	}
+}
+
+// EvictFile drops all entries belonging to file — called when an SST is
+// deleted so stale blocks cannot be served.
+func (c *LRU) EvictFile(file uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if e.key.File == file {
+				s.ll.Remove(el)
+				delete(s.items, e.key)
+				s.used -= e.charge
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses int64) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.nHit, c.nMiss
+}
+
+// Used returns the total charge currently held.
+func (c *LRU) Used() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.used
+		s.mu.Unlock()
+	}
+	return n
+}

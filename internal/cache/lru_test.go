@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{File: 1, Offset: 0}
+	c.Put(k, "hello", 5)
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "hello" {
+		t.Fatalf("get: %v %v", v, ok)
+	}
+	if _, ok := c.Get(Key{File: 2}); ok {
+		t.Fatal("phantom hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	c := New(8 * 1024) // 1 KiB per shard
+	for i := 0; i < 1000; i++ {
+		c.Put(Key{File: 1, Offset: uint64(i)}, i, 100)
+	}
+	if used := c.Used(); used > 8*1024 {
+		t.Fatalf("capacity exceeded: %d", used)
+	}
+	// The most recent entries should largely survive; at least one of the
+	// last few must be present.
+	found := false
+	for i := 995; i < 1000; i++ {
+		if _, ok := c.Get(Key{File: 1, Offset: uint64(i)}); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recent entries all evicted (not LRU)")
+	}
+}
+
+func TestUpdateExistingKeyAdjustsCharge(t *testing.T) {
+	c := New(8 * 1024)
+	k := Key{File: 1, Offset: 42}
+	c.Put(k, "a", 100)
+	c.Put(k, "bb", 200)
+	if used := c.Used(); used != 200 {
+		t.Fatalf("used %d after replace", used)
+	}
+	v, _ := c.Get(k)
+	if v.(string) != "bb" {
+		t.Fatal("stale value after replace")
+	}
+}
+
+func TestEvictFile(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 100; i++ {
+		c.Put(Key{File: 1, Offset: uint64(i)}, i, 10)
+		c.Put(Key{File: 2, Offset: uint64(i)}, i, 10)
+	}
+	c.EvictFile(1)
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Get(Key{File: 1, Offset: uint64(i)}); ok {
+			t.Fatal("evicted file entry served")
+		}
+	}
+	survivors := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Get(Key{File: 2, Offset: uint64(i)}); ok {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("EvictFile removed unrelated entries")
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	c.Put(Key{File: 1}, "x", 1)
+	if _, ok := c.Get(Key{File: 1}); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := Key{File: uint64(g), Offset: uint64(i % 50)}
+				c.Put(k, fmt.Sprintf("%d-%d", g, i), 64)
+				if v, ok := c.Get(k); ok {
+					_ = v.(string)
+				}
+				if i%100 == 0 {
+					c.EvictFile(uint64(g))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

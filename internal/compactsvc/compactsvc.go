@@ -1,0 +1,199 @@
+// Package compactsvc implements offloaded compaction (the paper's Section
+// 5.6 case study, modeled on Disaggregated-RocksDB / CaaS-LSM): a worker
+// co-located with the storage node executes compaction jobs shipped from
+// the compute node, reading and writing SST files locally instead of over
+// the network.
+//
+// The worker is a separate "server" in the threat model: it holds its own
+// KDS identity and secure DEK cache, and resolves input-file DEKs through
+// the DEK-IDs embedded in file headers — the metadata-enabled sharing path.
+// Output files get fresh DEKs from the KDS under the worker's identity.
+package compactsvc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"shield/internal/lsm"
+	"shield/internal/vfs"
+)
+
+// Server executes compaction jobs against a local filesystem.
+type Server struct {
+	fs      vfs.FS
+	wrapper lsm.FileWrapper
+	ln      net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+
+	jobs     int64
+	bytesIn  int64
+	bytesOut int64
+}
+
+// NewServer starts a compaction worker on addr. fs is the storage node's
+// local filesystem; wrapper is the worker's own encryption codec (a SHIELD
+// wrapper with the worker's KDS identity, or lsm.NopWrapper for plaintext).
+func NewServer(fs vfs.FS, wrapper lsm.FileWrapper, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("compactsvc: listen: %w", err)
+	}
+	if wrapper == nil {
+		wrapper = lsm.NopWrapper{}
+	}
+	s := &Server{fs: fs, wrapper: wrapper, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats reports jobs executed and bytes moved by this worker.
+func (s *Server) Stats() (jobs, bytesRead, bytesWritten int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs, s.bytesIn, s.bytesOut
+}
+
+// Close stops the worker.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+type wireResult struct {
+	Err    string               `json:"err,omitempty"`
+	Result lsm.CompactionResult `json:"result"`
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var job lsm.CompactionJob
+		if err := dec.Decode(&job); err != nil {
+			return
+		}
+		var out wireResult
+		res, err := lsm.RunCompaction(s.fs, s.wrapper, job)
+		if err != nil {
+			out.Err = err.Error()
+		} else {
+			out.Result = res
+			s.mu.Lock()
+			s.jobs++
+			s.bytesIn += res.BytesRead
+			s.bytesOut += res.BytesWritten
+			s.mu.Unlock()
+		}
+		if err := enc.Encode(&out); err != nil {
+			return
+		}
+	}
+}
+
+// Client ships compaction jobs to a remote worker. It implements
+// lsm.Compactor, so it plugs into lsm.Options.Compactor directly.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// NewClient returns a Compactor that executes on the worker at addr.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Compact implements lsm.Compactor.
+func (c *Client) Compact(job lsm.CompactionJob) (lsm.CompactionResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				return lsm.CompactionResult{}, fmt.Errorf("compactsvc: dial %s: %w", c.addr, err)
+			}
+			c.conn = conn
+			c.enc = json.NewEncoder(conn)
+			c.dec = json.NewDecoder(bufio.NewReader(conn))
+		}
+		if err := c.enc.Encode(&job); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		var out wireResult
+		if err := c.dec.Decode(&out); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		if out.Err != "" {
+			return lsm.CompactionResult{}, fmt.Errorf("compactsvc: remote: %s", out.Err)
+		}
+		return out.Result, nil
+	}
+	return lsm.CompactionResult{}, fmt.Errorf("compactsvc: request failed after retry")
+}

@@ -1,0 +1,183 @@
+package compactsvc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"shield/internal/lsm"
+	"shield/internal/lsm/base"
+	"shield/internal/lsm/manifest"
+	"shield/internal/lsm/sstable"
+	"shield/internal/vfs"
+)
+
+// buildInput writes one SST on fs and returns its metadata.
+func buildInput(t *testing.T, fs vfs.FS, fileNum uint64, lo, hi int) manifest.FileMetadata {
+	t.Helper()
+	name := fmt.Sprintf("db/%06d.sst", fileNum)
+	fs.MkdirAll("db")
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sstable.NewWriter(f, sstable.WriterOptions{})
+	var smallest, largest []byte
+	for i := lo; i < hi; i++ {
+		ik := base.MakeInternalKey([]byte(fmt.Sprintf("k%06d", i)), base.SeqNum(fileNum*1_000_000+uint64(i)), base.KindSet)
+		if smallest == nil {
+			smallest = append([]byte(nil), ik...)
+		}
+		largest = append(largest[:0], ik...)
+		if err := w.Add(ik, []byte(fmt.Sprintf("v%d-%d", fileNum, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return manifest.FileMetadata{
+		FileNum:  fileNum,
+		Size:     w.FileSize(),
+		Smallest: append([]byte(nil), smallest...),
+		Largest:  append([]byte(nil), largest...),
+	}
+}
+
+func TestRemoteJobExecution(t *testing.T) {
+	fs := vfs.NewMem()
+	m1 := buildInput(t, fs, 1, 0, 500)
+	m2 := buildInput(t, fs, 2, 250, 750)
+
+	srv, err := NewServer(fs, lsm.NopWrapper{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient(srv.Addr())
+	defer client.Close()
+
+	job := lsm.CompactionJob{
+		Dir: "db",
+		Inputs: []lsm.JobLevel{
+			{Level: 0, Files: []manifest.FileMetadata{m2, m1}},
+		},
+		OutputLevel:        1,
+		Bottommost:         true,
+		SmallestSnapshot:   1 << 60,
+		FirstOutputFileNum: 10,
+		MaxOutputFiles:     16,
+		TargetFileSize:     1 << 20,
+		BlockSize:          4096,
+		BloomBitsPerKey:    10,
+	}
+	res, err := client.Compact(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) == 0 {
+		t.Fatal("no outputs")
+	}
+	var total uint64
+	for _, out := range res.Outputs {
+		total += out.Size
+		if out.FileNum < 10 || out.FileNum >= 26 {
+			t.Fatalf("output file number %d outside reservation", out.FileNum)
+		}
+	}
+	if res.BytesWritten == 0 || res.BytesRead == 0 {
+		t.Fatalf("accounting: %+v", res)
+	}
+	// 750 distinct keys survive the merge.
+	raf, err := fs.Open(fmt.Sprintf("db/%06d.sst", res.Outputs[0].FileNum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sstable.NewReader(raf, sstable.ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Properties().NumEntries; got != 750 {
+		t.Fatalf("merged entries %d, want 750 (duplicates dropped)", got)
+	}
+	// Overlap winner: file 2 (higher seq) supplies k000300.
+	v, _, err := r.Get([]byte("k000300"), base.MaxSeqNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(v), "v2-") {
+		t.Fatalf("wrong version won the merge: %q", v)
+	}
+
+	jobs, _, _ := srv.Stats()
+	if jobs != 1 {
+		t.Fatalf("server recorded %d jobs", jobs)
+	}
+}
+
+func TestRemoteJobErrorPropagates(t *testing.T) {
+	fs := vfs.NewMem()
+	srv, err := NewServer(fs, lsm.NopWrapper{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient(srv.Addr())
+	defer client.Close()
+
+	// Job references a missing input file.
+	job := lsm.CompactionJob{
+		Dir: "db",
+		Inputs: []lsm.JobLevel{{Level: 0, Files: []manifest.FileMetadata{{
+			FileNum: 99, Size: 10,
+			Smallest: base.MakeInternalKey([]byte("a"), 1, base.KindSet),
+			Largest:  base.MakeInternalKey([]byte("b"), 1, base.KindSet),
+		}}}},
+		OutputLevel:        1,
+		FirstOutputFileNum: 10,
+		MaxOutputFiles:     4,
+		TargetFileSize:     1 << 20,
+	}
+	if _, err := client.Compact(job); err == nil {
+		t.Fatal("missing-input job succeeded")
+	}
+	// The connection remains usable after a remote error.
+	m := buildInput(t, fs, 1, 0, 10)
+	job.Inputs = []lsm.JobLevel{{Level: 0, Files: []manifest.FileMetadata{m}}}
+	if _, err := client.Compact(job); err != nil {
+		t.Fatalf("client broken after remote error: %v", err)
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	fs := vfs.NewMem()
+	m := buildInput(t, fs, 1, 0, 10)
+	srv, err := NewServer(fs, lsm.NopWrapper{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient(srv.Addr())
+	defer client.Close()
+
+	job := lsm.CompactionJob{
+		Dir:                "db",
+		Inputs:             []lsm.JobLevel{{Level: 0, Files: []manifest.FileMetadata{m}}},
+		OutputLevel:        1,
+		FirstOutputFileNum: 10,
+		MaxOutputFiles:     4,
+		TargetFileSize:     1 << 20,
+	}
+	if _, err := client.Compact(job); err != nil {
+		t.Fatal(err)
+	}
+	// Force-close the client's connection; the next job must redial.
+	client.mu.Lock()
+	client.conn.Close()
+	client.mu.Unlock()
+	job.FirstOutputFileNum = 20
+	if _, err := client.Compact(job); err != nil {
+		t.Fatalf("client did not recover from dropped connection: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shield/internal/kds"
+	"shield/internal/lsm"
+	"shield/internal/vfs"
+)
+
+// TestReadOnlyReplicaSHIELD: a read-only instance on another "server" opens
+// the shared encrypted directory, resolves every DEK through the embedded
+// DEK-IDs and its own KDS identity, and serves reads — the paper's
+// read-only-instance optimization combined with metadata-enabled sharing.
+func TestReadOnlyReplicaSHIELD(t *testing.T) {
+	sharedFS := vfs.NewMem()
+	store := kds.NewStore(kds.Policy{MaxFetches: 1})
+	store.Authorize("primary")
+	store.Authorize("replica")
+
+	primaryCfg := Config{
+		Mode:          ModeSHIELD,
+		FS:            sharedFS,
+		KDS:           kds.NewLocal(store, "primary"),
+		WALBufferSize: 512,
+	}
+	db, err := Open("db", primaryCfg, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail writes that only live in the (encrypted, synced) WAL.
+	b := lsm.NewBatch()
+	b.Put([]byte("tail"), []byte("wal-only"))
+	if err := db.Write(b, true); err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	replicaCfg := Config{
+		Mode: ModeSHIELD,
+		FS:   sharedFS,
+		KDS:  kds.NewLocal(store, "replica"),
+	}
+	opts := smallOpts()
+	opts.ReadOnly = true
+	replica, err := Open("db", replicaCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	if v, err := replica.Get([]byte("k00123")); err != nil || string(v) != "v123" {
+		t.Fatalf("replica read: %q %v", v, err)
+	}
+	if v, err := replica.Get([]byte("tail")); err != nil || string(v) != "wal-only" {
+		t.Fatalf("replica WAL-tail read: %q %v", v, err)
+	}
+	if err := replica.Put([]byte("x"), nil); !errors.Is(err, lsm.ErrReadOnly) {
+		t.Fatalf("replica write allowed: %v", err)
+	}
+
+	// The replica consumed each foreign DEK's one-time budget; a second
+	// foreign server is now denied — the policy trade-off the paper's
+	// secure cache exists to absorb.
+	store.Authorize("intruder")
+	entries, _ := sharedFS.List("db")
+	for _, e := range entries {
+		if e.Name == "CURRENT" {
+			continue
+		}
+		data, _ := vfs.ReadFile(sharedFS, "db/"+e.Name)
+		if id, ok := DEKIDFromHeader(data); ok {
+			if _, err := kds.NewLocal(store, "intruder").FetchDEK(kds.KeyID(id)); err == nil {
+				t.Fatalf("third server fetched exhausted DEK %s", id)
+			}
+			break
+		}
+	}
+}

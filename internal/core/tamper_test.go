@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shield/internal/lsm"
+	"shield/internal/vfs"
+)
+
+// TestCiphertextTamperDetected: an attacker who flips bits in an encrypted
+// SST (CTR malleability) is caught by the plaintext CRC inside the body —
+// reads fail loudly rather than returning attacker-controlled data.
+func TestCiphertextTamperDetected(t *testing.T) {
+	fs := vfs.NewMem()
+	_, svc := newTestKDS(t)
+	cfg := Config{Mode: ModeSHIELD, FS: fs, KDS: svc}
+	db, err := Open("db", cfg, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper with every SST: flip one ciphertext byte in the body, well
+	// past the plaintext header.
+	entries, err := fs.List("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := 0
+	for _, e := range entries {
+		if len(e.Name) < 4 || e.Name[len(e.Name)-4:] != ".sst" {
+			continue
+		}
+		data, err := vfs.ReadFile(fs, "db/"+e.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[128] ^= 0x80
+		if err := vfs.WriteFile(fs, "db/"+e.Name, data); err != nil {
+			t.Fatal(err)
+		}
+		tampered++
+	}
+	if tampered == 0 {
+		t.Fatal("no SSTs to tamper with")
+	}
+
+	// Evict cached blocks/readers by reopening the DB.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open("db", cfg, smallOpts())
+	if err != nil {
+		// Acceptable: the corruption may already be detected at open.
+		return
+	}
+	defer db2.Close()
+	sawError := false
+	for i := 0; i < 3000; i += 50 {
+		v, err := db2.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if err != nil && !errors.Is(err, lsm.ErrNotFound) {
+			sawError = true
+			continue
+		}
+		if err == nil && string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("tampered read returned wrong data silently: %q", v)
+		}
+	}
+	if !sawError {
+		t.Fatal("no read surfaced the tampering")
+	}
+}

@@ -1,0 +1,50 @@
+package crypt
+
+import (
+	"io"
+
+	"shield/internal/vfs"
+)
+
+// DecryptingReaderAt wraps a vfs.RandomAccessFile whose body (from headerLen
+// onward) is encrypted with key/iv. ReadAt takes body-relative offsets and
+// returns plaintext.
+type DecryptingReaderAt struct {
+	f         vfs.RandomAccessFile
+	stream    *Stream
+	headerLen int64
+}
+
+// NewDecryptingReaderAt wraps f. headerLen is the length of the plaintext
+// file header preceding the encrypted body.
+func NewDecryptingReaderAt(f vfs.RandomAccessFile, key DEK, iv [IVSize]byte, headerLen int64) (*DecryptingReaderAt, error) {
+	s, err := NewStream(key, iv)
+	if err != nil {
+		return nil, err
+	}
+	return &DecryptingReaderAt{f: f, stream: s, headerLen: headerLen}, nil
+}
+
+// ReadAt implements io.ReaderAt over the decrypted body.
+func (r *DecryptingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := r.f.ReadAt(p, off+r.headerLen)
+	if n > 0 {
+		r.stream.XORKeyStreamAt(p[:n], p[:n], off)
+	}
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	return n, err
+}
+
+// Size returns the body length (file size minus header).
+func (r *DecryptingReaderAt) Size() (int64, error) {
+	sz, err := r.f.Size()
+	if err != nil {
+		return 0, err
+	}
+	return sz - r.headerLen, nil
+}
+
+// Close closes the underlying file.
+func (r *DecryptingReaderAt) Close() error { return r.f.Close() }

@@ -1,0 +1,248 @@
+package crypt
+
+import (
+	"sync"
+
+	"shield/internal/vfs"
+)
+
+// BufferedWriter is SHIELD's WAL writer (Section 5.3): an
+// application-managed buffer that accumulates small writes and encrypts
+// them in one pass when the buffer reaches its threshold (or on Sync).
+//
+// Each flush pays one full encryption initialization (AES key schedule +
+// CTR setup via EncryptAt) — that is the cost the buffer amortizes
+// over many small WAL writes. With bufSize == 0 every Write is its own
+// flush, reproducing the per-write encryption bottleneck of Section 3.2.
+//
+// Trade-off: bytes still in the buffer are lost if the process crashes, but
+// nothing ever reaches storage in plaintext.
+type BufferedWriter struct {
+	f       vfs.WritableFile
+	key     DEK
+	iv      [IVSize]byte
+	off     int64 // body offset already persisted
+	buf     []byte
+	bufSize int
+	scratch []byte
+}
+
+// NewBufferedWriter wraps f with buffered encryption; bufSize 0 flushes
+// (and pays a full encryption initialization) on every Write.
+func NewBufferedWriter(f vfs.WritableFile, key DEK, iv [IVSize]byte, bufSize int) *BufferedWriter {
+	return &BufferedWriter{f: f, key: key, iv: iv, bufSize: bufSize}
+}
+
+// Write implements io.Writer; plaintext accumulates in the buffer.
+func (w *BufferedWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	if len(w.buf) >= w.bufSize {
+		if err := w.flush(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (w *BufferedWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if cap(w.scratch) < len(w.buf) {
+		w.scratch = make([]byte, len(w.buf))
+	}
+	ct := w.scratch[:len(w.buf)]
+	// Full per-flush initialization, deliberately not a cached stream.
+	if err := EncryptAt(w.key, w.iv, ct, w.buf, w.off); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(ct); err != nil {
+		return err
+	}
+	w.off += int64(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Sync flushes the buffer and syncs the file.
+func (w *BufferedWriter) Sync() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (w *BufferedWriter) Close() error {
+	if err := w.flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ChunkedWriter encrypts an SST body in fixed-size chunks,
+// optionally on multiple goroutines (Section 5.2's multi-threaded
+// compaction encryption). Chunks are dispatched to workers as they fill and
+// written back strictly in order, so the on-disk byte stream is identical
+// to inline encryption.
+type ChunkedWriter struct {
+	f         vfs.WritableFile
+	key       DEK
+	iv        [IVSize]byte
+	chunkSize int
+
+	cur []byte // plaintext accumulating for the current chunk
+	off int64  // body offset of cur's first byte
+
+	// Parallel pipeline (nil when workers <= 1).
+	jobs    chan *chunkJob
+	order   []*chunkJob
+	wg      sync.WaitGroup
+	started bool
+	workers int
+	err     error
+}
+
+type chunkJob struct {
+	plain []byte
+	off   int64
+	done  chan []byte
+	err   error
+}
+
+// NewChunkedWriter wraps f with chunk-granular encryption on `workers`
+// goroutines (workers <= 1 encrypts inline).
+func NewChunkedWriter(f vfs.WritableFile, key DEK, iv [IVSize]byte, chunkSize, workers int) *ChunkedWriter {
+	if chunkSize <= 0 {
+		chunkSize = 64 << 10
+	}
+	return &ChunkedWriter{f: f, key: key, iv: iv, chunkSize: chunkSize, workers: workers}
+}
+
+func (w *ChunkedWriter) startWorkers() {
+	w.jobs = make(chan *chunkJob, w.workers*2)
+	for i := 0; i < w.workers; i++ {
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			for job := range w.jobs {
+				ct := make([]byte, len(job.plain))
+				job.err = EncryptAt(w.key, w.iv, ct, job.plain, job.off)
+				job.done <- ct
+			}
+		}()
+	}
+	w.started = true
+}
+
+// Write implements io.Writer.
+func (w *ChunkedWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := w.chunkSize - len(w.cur)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.cur = append(w.cur, p[:n]...)
+		p = p[n:]
+		if len(w.cur) >= w.chunkSize {
+			if err := w.dispatch(); err != nil {
+				w.err = err
+				return 0, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// dispatch hands the full current chunk to the pipeline (or encrypts
+// inline when single-threaded).
+func (w *ChunkedWriter) dispatch() error {
+	if len(w.cur) == 0 {
+		return nil
+	}
+	plain := w.cur
+	off := w.off
+	w.off += int64(len(plain))
+	w.cur = nil
+
+	if w.workers <= 1 {
+		ct := make([]byte, len(plain))
+		if err := EncryptAt(w.key, w.iv, ct, plain, off); err != nil {
+			return err
+		}
+		_, err := w.f.Write(ct)
+		return err
+	}
+
+	if !w.started {
+		w.startWorkers()
+	}
+	job := &chunkJob{plain: plain, off: off, done: make(chan []byte, 1)}
+	w.jobs <- job
+	w.order = append(w.order, job)
+	// Keep the pipeline bounded; retire completed chunks in order.
+	for len(w.order) > w.workers*2 {
+		if err := w.retireOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retireOne waits for the oldest in-flight chunk and writes it.
+func (w *ChunkedWriter) retireOne() error {
+	job := w.order[0]
+	w.order = w.order[1:]
+	ct := <-job.done
+	if job.err != nil {
+		return job.err
+	}
+	_, err := w.f.Write(ct)
+	return err
+}
+
+// drain flushes the partial chunk and retires every in-flight chunk.
+func (w *ChunkedWriter) drain() error {
+	if err := w.dispatch(); err != nil {
+		return err
+	}
+	for len(w.order) > 0 {
+		if err := w.retireOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync drains the pipeline and syncs the file.
+func (w *ChunkedWriter) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.drain(); err != nil {
+		w.err = err
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close drains, stops workers, and closes the file.
+func (w *ChunkedWriter) Close() error {
+	derr := w.drain()
+	if w.started {
+		close(w.jobs)
+		w.wg.Wait()
+		w.started = false
+	}
+	cerr := w.f.Close()
+	if derr != nil {
+		return derr
+	}
+	return cerr
+}

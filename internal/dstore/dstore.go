@@ -1,0 +1,345 @@
+// Package dstore implements the disaggregated-storage substrate: a TCP
+// remote-file service (the stand-in for the paper's HDFS deployment on a
+// second server) plus a client that satisfies vfs.FS so the LSM engine can
+// run unmodified against remote storage.
+//
+// The server emulates the network between compute and storage servers with
+// a configurable per-operation latency and a bandwidth cap (the paper's
+// testbed is a 1 Gbps switch), and accounts I/O per operation class so the
+// Table 3 experiment (read/write distribution by server) can be
+// regenerated.
+package dstore
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"shield/internal/vfs"
+)
+
+// Op identifies one remote filesystem operation.
+type Op uint8
+
+// Remote operations.
+const (
+	OpCreate Op = iota + 1
+	OpWrite
+	OpSync
+	OpCloseW
+	OpOpen
+	OpReadAt
+	OpCloseR
+	OpRemove
+	OpRename
+	OpList
+	OpMkdir
+	OpStat
+)
+
+// Request is the wire request. A single struct keeps gob simple.
+type Request struct {
+	Op     Op
+	Name   string
+	Name2  string
+	Handle uint64
+	Off    int64
+	Len    int
+	Data   []byte
+}
+
+// Response is the wire response.
+type Response struct {
+	Err    string
+	Handle uint64
+	N      int
+	Size   int64
+	Data   []byte
+	Infos  []vfs.FileInfo
+	EOF    bool
+}
+
+// Server serves a base filesystem over TCP.
+type Server struct {
+	base  vfs.FS
+	stats *vfs.CountingFS
+	ln    net.Listener
+
+	latency     time.Duration
+	bytesPerSec int64
+	linkMu      sync.Mutex
+	linkFree    time.Time
+
+	mu      sync.Mutex
+	writers map[uint64]vfs.WritableFile
+	readers map[uint64]vfs.RandomAccessFile
+	nextID  uint64
+	closed  bool
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+// NewServer starts a storage node on addr serving base. latency and
+// bytesPerSec emulate the network link (0 disables each).
+func NewServer(base vfs.FS, addr string, latency time.Duration, bytesPerSec int64) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dstore: listen: %w", err)
+	}
+	s := &Server{
+		base:        base,
+		stats:       vfs.NewCounting(base),
+		ln:          ln,
+		latency:     latency,
+		bytesPerSec: bytesPerSec,
+		writers:     make(map[uint64]vfs.WritableFile),
+		readers:     make(map[uint64]vfs.RandomAccessFile),
+		conns:       make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats exposes the server-side I/O counters.
+func (s *Server) Stats() vfs.Snapshot { return s.stats.Stats.Snapshot() }
+
+// LocalFS returns the server's accounting filesystem — what a co-located
+// service (e.g. the offloaded-compaction worker) uses to reach the same
+// files without crossing the network.
+func (s *Server) LocalFS() vfs.FS { return s.stats }
+
+// SetNetwork adjusts the emulated link at runtime.
+func (s *Server) SetNetwork(latency time.Duration, bytesPerSec int64) {
+	s.linkMu.Lock()
+	s.latency = latency
+	s.bytesPerSec = bytesPerSec
+	s.linkMu.Unlock()
+}
+
+// charge models the link: fixed round-trip latency plus serialization time
+// of n bytes on a shared link.
+func (s *Server) charge(n int) {
+	s.linkMu.Lock()
+	wait := s.latency
+	if s.bytesPerSec > 0 && n > 0 {
+		xfer := time.Duration(int64(n) * int64(time.Second) / s.bytesPerSec)
+		now := time.Now()
+		start := s.linkFree
+		if start.Before(now) {
+			start = now
+		}
+		s.linkFree = start.Add(xfer)
+		wait += s.linkFree.Sub(now)
+	}
+	s.linkMu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Close stops the server and releases all handles.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	for _, w := range s.writers {
+		w.Close()
+	}
+	for _, r := range s.readers {
+		r.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	switch req.Op {
+	case OpWrite, OpReadAt:
+		n := len(req.Data)
+		if req.Op == OpReadAt {
+			n = req.Len
+		}
+		s.charge(n)
+	default:
+		s.charge(0)
+	}
+
+	resp := &Response{}
+	fail := func(err error) *Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpCreate:
+		f, err := s.stats.Create(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		s.nextID++
+		id := s.nextID
+		s.writers[id] = f
+		s.mu.Unlock()
+		resp.Handle = id
+	case OpWrite:
+		s.mu.Lock()
+		f, ok := s.writers[req.Handle]
+		s.mu.Unlock()
+		if !ok {
+			return fail(fmt.Errorf("dstore: unknown write handle %d", req.Handle))
+		}
+		n, err := f.Write(req.Data)
+		resp.N = n
+		if err != nil {
+			return fail(err)
+		}
+	case OpSync:
+		s.mu.Lock()
+		f, ok := s.writers[req.Handle]
+		s.mu.Unlock()
+		if !ok {
+			return fail(fmt.Errorf("dstore: unknown write handle %d", req.Handle))
+		}
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	case OpCloseW:
+		s.mu.Lock()
+		f, ok := s.writers[req.Handle]
+		delete(s.writers, req.Handle)
+		s.mu.Unlock()
+		if ok {
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
+		}
+	case OpOpen:
+		f, err := s.stats.Open(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close()
+			return fail(err)
+		}
+		s.mu.Lock()
+		s.nextID++
+		id := s.nextID
+		s.readers[id] = f
+		s.mu.Unlock()
+		resp.Handle = id
+		resp.Size = size
+	case OpReadAt:
+		s.mu.Lock()
+		f, ok := s.readers[req.Handle]
+		s.mu.Unlock()
+		if !ok {
+			return fail(fmt.Errorf("dstore: unknown read handle %d", req.Handle))
+		}
+		buf := make([]byte, req.Len)
+		n, err := f.ReadAt(buf, req.Off)
+		resp.Data = buf[:n]
+		resp.N = n
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				resp.EOF = true
+			} else {
+				return fail(err)
+			}
+		}
+	case OpCloseR:
+		s.mu.Lock()
+		f, ok := s.readers[req.Handle]
+		delete(s.readers, req.Handle)
+		s.mu.Unlock()
+		if ok {
+			f.Close()
+		}
+	case OpRemove:
+		if err := s.stats.Remove(req.Name); err != nil {
+			return fail(err)
+		}
+	case OpRename:
+		if err := s.stats.Rename(req.Name, req.Name2); err != nil {
+			return fail(err)
+		}
+	case OpList:
+		infos, err := s.stats.List(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Infos = infos
+	case OpMkdir:
+		if err := s.stats.MkdirAll(req.Name); err != nil {
+			return fail(err)
+		}
+	case OpStat:
+		info, err := s.stats.Stat(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Infos = []vfs.FileInfo{info}
+	default:
+		return fail(fmt.Errorf("dstore: unknown op %d", req.Op))
+	}
+	return resp
+}

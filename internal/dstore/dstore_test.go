@@ -1,0 +1,176 @@
+package dstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"shield/internal/vfs"
+)
+
+func newPair(t *testing.T, latency time.Duration, bw int64) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(vfs.NewMem(), "127.0.0.1:0", latency, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(srv.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	_, client := newPair(t, 0, 0)
+
+	payload := make([]byte, 200_000) // crosses packet boundaries
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := vfs.WriteFile(client, "dir/file.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(client, "dir/file.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("remote round trip mismatch")
+	}
+
+	// Positional reads at arbitrary offsets.
+	f, err := client.Open("dir/file.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1000)
+	if _, err := f.ReadAt(buf, 150_000); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload[150_000:151_000]) {
+		t.Fatal("remote ReadAt mismatch")
+	}
+	if size, _ := f.Size(); size != int64(len(payload)) {
+		t.Fatalf("size %d", size)
+	}
+}
+
+func TestRemoteSmallWritesBufferUntilSync(t *testing.T) {
+	srv, client := newPair(t, 0, 0)
+	f, err := client.Create("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := f.Write([]byte("tiny record ")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Small writes aggregate client-side: at most the create RPC hit the
+	// server so far.
+	if ops := srv.Stats().WriteOps; ops != 0 {
+		t.Fatalf("expected 0 server write ops before sync, got %d", ops)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if ops := srv.Stats().WriteOps; ops != 1 {
+		t.Fatalf("expected exactly 1 packet after sync, got %d", ops)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := client.Stat("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != int64(100*len("tiny record ")) {
+		t.Fatalf("size %d", info.Size)
+	}
+}
+
+func TestRemoteFSOps(t *testing.T) {
+	_, client := newPair(t, 0, 0)
+	if err := client.MkdirAll("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	vfs.WriteFile(client, "a/b/x", []byte("1"))
+	vfs.WriteFile(client, "a/b/y", []byte("22"))
+
+	infos, err := client.List("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "x" || infos[1].Name != "y" {
+		t.Fatalf("list: %v", infos)
+	}
+	if err := client.Rename("a/b/x", "a/b/z"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Stat("a/b/x"); !errors.Is(err, vfs.ErrNotFound) {
+		t.Fatalf("stat renamed-away: %v", err)
+	}
+	if err := client.Remove("a/b/z"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Remove("a/b/z"); !errors.Is(err, vfs.ErrNotFound) {
+		t.Fatalf("sentinel across wire: %v", err)
+	}
+}
+
+func TestRemoteConcurrent(t *testing.T) {
+	_, client := newPair(t, 0, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("f%d", i)
+			payload := bytes.Repeat([]byte{byte(i)}, 10_000)
+			for j := 0; j < 20; j++ {
+				if err := vfs.WriteFile(client, name, payload); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				got, err := vfs.ReadFile(client, name)
+				if err != nil || !bytes.Equal(got, payload) {
+					t.Errorf("read mismatch: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestBandwidthEmulation(t *testing.T) {
+	// 1 MiB at 8 MiB/s ≈ 125ms minimum.
+	_, client := newPair(t, 0, 8<<20)
+	start := time.Now()
+	if err := vfs.WriteFile(client, "big", make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("bandwidth cap not enforced: %v", elapsed)
+	}
+}
+
+func TestServerIOAccounting(t *testing.T) {
+	srv, client := newPair(t, 0, 0)
+	vfs.WriteFile(client, "f", make([]byte, 70_000))
+	vfs.ReadFile(client, "f")
+	s := srv.Stats()
+	if s.BytesWritten != 70_000 {
+		t.Fatalf("bytes written %d", s.BytesWritten)
+	}
+	if s.BytesRead != 70_000 {
+		t.Fatalf("bytes read %d", s.BytesRead)
+	}
+}

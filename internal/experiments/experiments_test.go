@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete: every table/figure of the paper's evaluation has a
+// registered experiment, in paper order.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig4", "table2", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "table3", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("position %d: %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("fig99", Options{}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// TestSmokeMonolith runs the cheap monolithic experiments end to end at the
+// minimum scale to make sure every code path executes and reports.
+func TestSmokeMonolith(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment smoke test in -short mode")
+	}
+	var out bytes.Buffer
+	opt := Options{Scale: 0.01, Out: &out}
+	for _, id := range []string{"table2", "fig14"} {
+		if err := Run(id, opt); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	report := out.String()
+	for _, needle := range []string{"Encrypted All", "fillrandom", "overhead="} {
+		if !strings.Contains(report, needle) {
+			t.Fatalf("report missing %q:\n%s", needle, report)
+		}
+	}
+}
+
+// TestSmokeDS runs one disaggregated experiment at minimum scale, covering
+// the dstore/compactsvc/KDS wiring inside the harness.
+func TestSmokeDS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment smoke test in -short mode")
+	}
+	var out bytes.Buffer
+	if err := Run("fig16", Options{Scale: 0.01, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kds-latency") {
+		t.Fatalf("fig16 report malformed:\n%s", out.String())
+	}
+}

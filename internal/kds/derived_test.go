@@ -1,0 +1,92 @@
+package kds
+
+import (
+	"errors"
+	"testing"
+
+	"shield/internal/crypt"
+)
+
+func TestDerivedDeterministic(t *testing.T) {
+	master := []byte("master-secret")
+	d := NewDerived(master)
+	svc := NewDerivedLocal(d, "s1")
+
+	id, dek, err := svc.CreateDEK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any replica with the same master resolves the same key.
+	replica := NewDerivedLocal(NewDerived(master), "s2")
+	got, err := replica.FetchDEK(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dek {
+		t.Fatal("replica derived a different key")
+	}
+
+	// A different master derives different keys.
+	other := NewDerivedLocal(NewDerived([]byte("other")), "s3")
+	wrong, err := other.FetchDEK(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrong == dek {
+		t.Fatal("different master derived the same key")
+	}
+}
+
+func TestDerivedAuthorization(t *testing.T) {
+	d := NewDerived([]byte("m"))
+	if _, _, err := d.CreateDEK("ghost"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unauthorized create: %v", err)
+	}
+	d.Authorize("s")
+	id, _, err := d.CreateDEK("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RevokeServer("s")
+	if _, err := d.FetchDEK("s", id); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked server fetch: %v", err)
+	}
+}
+
+func TestDerivedKeyRevocation(t *testing.T) {
+	d := NewDerived([]byte("m"))
+	svc := NewDerivedLocal(d, "s")
+	id, _, err := svc.CreateDEK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RevokeDEK(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.FetchDEK(id); !errors.Is(err, ErrKeyRevoked) {
+		t.Fatalf("revoked key fetch: %v", err)
+	}
+}
+
+func TestDerivedIDsUnique(t *testing.T) {
+	svc := NewDerivedLocal(NewDerived([]byte("m")), "s")
+	seen := make(map[KeyID]crypt.DEK)
+	for i := 0; i < 500; i++ {
+		id, dek, err := svc.CreateDEK()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := seen[id]; dup {
+			t.Fatalf("duplicate id %s", id)
+		}
+		for _, otherDek := range seen {
+			if otherDek == dek {
+				t.Fatal("two IDs derived the same DEK")
+			}
+		}
+		seen[id] = dek
+		if len(seen) > 50 {
+			break // quadratic check bounded
+		}
+	}
+}

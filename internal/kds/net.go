@@ -1,0 +1,289 @@
+package kds
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"shield/internal/crypt"
+)
+
+// The wire protocol is newline-delimited JSON over TCP. Each request carries
+// the caller's server identity; a production deployment would authenticate
+// it (mutual TLS, Kerberos tickets, SSToolkit session keys) — the threat
+// model assumes the security infrastructure itself is sound (Section 3.1),
+// so identity is taken at face value here and enforcement happens in the
+// Store's authorization tables.
+
+type wireRequest struct {
+	Op       string `json:"op"` // "create" | "fetch" | "revoke"
+	ServerID string `json:"server_id"`
+	KeyID    string `json:"key_id,omitempty"`
+}
+
+type wireResponse struct {
+	OK     bool   `json:"ok"`
+	Err    string `json:"err,omitempty"`
+	KeyID  string `json:"key_id,omitempty"`
+	DEKHex string `json:"dek_hex,omitempty"`
+}
+
+// Server exposes a Store over TCP. Several Servers may front the same Store,
+// modeling the decentralized replica set.
+type Server struct {
+	store Backend
+	ln    net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a KDS server on addr (e.g. "127.0.0.1:0") backed by store.
+func NewServer(store Backend, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kds: listen: %w", err)
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and disconnects all clients.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req wireRequest) wireResponse {
+	switch req.Op {
+	case "create":
+		id, dek, err := s.store.CreateDEK(req.ServerID)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{OK: true, KeyID: string(id), DEKHex: hex.EncodeToString(dek[:])}
+	case "fetch":
+		dek, err := s.store.FetchDEK(req.ServerID, KeyID(req.KeyID))
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{OK: true, KeyID: req.KeyID, DEKHex: hex.EncodeToString(dek[:])}
+	case "revoke":
+		if err := s.store.RevokeDEK(KeyID(req.KeyID)); err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{OK: true}
+	default:
+		return wireResponse{Err: fmt.Sprintf("kds: unknown op %q", req.Op)}
+	}
+}
+
+// Client is a Service that talks to one or more KDS replicas over TCP,
+// failing over in order. It is safe for concurrent use; requests are
+// serialized over a single connection per replica.
+type Client struct {
+	serverID string
+	addrs    []string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	dec    *json.Decoder
+	closed bool
+}
+
+// NewClient returns a Service identifying as serverID against the given
+// replica addresses.
+func NewClient(serverID string, addrs ...string) *Client {
+	return &Client{serverID: serverID, addrs: addrs}
+}
+
+// Close releases the client connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// connectLocked dials the first reachable replica. Caller holds c.mu.
+func (c *Client) connectLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	var lastErr error
+	for _, addr := range c.addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.conn = conn
+		c.enc = json.NewEncoder(conn)
+		c.dec = json.NewDecoder(bufio.NewReader(conn))
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no addresses configured")
+	}
+	return fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
+}
+
+func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return wireResponse{}, ErrClosed
+	}
+	req.ServerID = c.serverID
+	// Two attempts: a stale connection (replica restarted) gets one redial.
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := c.connectLocked(); err != nil {
+			return wireResponse{}, err
+		}
+		if err := c.enc.Encode(&req); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		var resp wireResponse
+		if err := c.dec.Decode(&resp); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		return resp, nil
+	}
+	return wireResponse{}, fmt.Errorf("%w: request failed after retry", ErrNoReplica)
+}
+
+// mapWireError converts a server-side error string back to the package's
+// sentinel errors so errors.Is works across the network boundary.
+func mapWireError(msg string) error {
+	for _, sentinel := range []error{
+		ErrUnauthorized, ErrUnknownKey, ErrAlreadyIssued, ErrRevoked, ErrKeyRevoked,
+	} {
+		if strings.Contains(msg, sentinel.Error()) {
+			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
+		}
+	}
+	return errors.New(msg)
+}
+
+// CreateDEK implements Service.
+func (c *Client) CreateDEK() (KeyID, crypt.DEK, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "create"})
+	if err != nil {
+		return "", crypt.DEK{}, err
+	}
+	if !resp.OK {
+		return "", crypt.DEK{}, mapWireError(resp.Err)
+	}
+	raw, err := hex.DecodeString(resp.DEKHex)
+	if err != nil {
+		return "", crypt.DEK{}, fmt.Errorf("kds: bad DEK encoding: %w", err)
+	}
+	dek, err := crypt.DEKFromBytes(raw)
+	if err != nil {
+		return "", crypt.DEK{}, err
+	}
+	return KeyID(resp.KeyID), dek, nil
+}
+
+// FetchDEK implements Service.
+func (c *Client) FetchDEK(id KeyID) (crypt.DEK, error) {
+	resp, err := c.roundTrip(wireRequest{Op: "fetch", KeyID: string(id)})
+	if err != nil {
+		return crypt.DEK{}, err
+	}
+	if !resp.OK {
+		return crypt.DEK{}, mapWireError(resp.Err)
+	}
+	raw, err := hex.DecodeString(resp.DEKHex)
+	if err != nil {
+		return crypt.DEK{}, fmt.Errorf("kds: bad DEK encoding: %w", err)
+	}
+	return crypt.DEKFromBytes(raw)
+}
+
+// RevokeDEK implements Service.
+func (c *Client) RevokeDEK(id KeyID) error {
+	resp, err := c.roundTrip(wireRequest{Op: "revoke", KeyID: string(id)})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return mapWireError(resp.Err)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package kds
+
+import (
+	"errors"
+	"testing"
+
+	"shield/internal/vfs"
+)
+
+func TestPersistentStoreSurvivesRestart(t *testing.T) {
+	fs := vfs.NewMem()
+	master := []byte("kds-root-secret")
+
+	ps, err := OpenPersistentStore(fs, "kds.db", master, Policy{MaxFetches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Authorize("owner")
+	ps.Authorize("other")
+	ps.RevokeServer("bad-guy")
+
+	id, dek, err := ps.CreateDEK("owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume the one-time budget before the restart.
+	if _, err := ps.FetchDEK("other", id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart.
+	ps2, err := OpenPersistentStore(fs, "kds.db", master, Policy{MaxFetches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The key survives; the owner re-fetches it.
+	got, err := ps2.FetchDEK("owner", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dek {
+		t.Fatal("DEK changed across restart")
+	}
+	// The exhausted one-time budget survives too.
+	ps2.Authorize("third")
+	if _, err := ps2.FetchDEK("third", id); !errors.Is(err, ErrAlreadyIssued) {
+		t.Fatalf("fetch budget forgotten across restart: %v", err)
+	}
+	// Server revocation survives.
+	if _, _, err := ps2.CreateDEK("bad-guy"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revocation forgotten: %v", err)
+	}
+}
+
+func TestPersistentStoreWrongMasterKey(t *testing.T) {
+	fs := vfs.NewMem()
+	ps, err := OpenPersistentStore(fs, "kds.db", []byte("right"), DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Authorize("s")
+	if _, _, err := ps.CreateDEK("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPersistentStore(fs, "kds.db", []byte("wrong"), DefaultPolicy()); !errors.Is(err, ErrBadMasterKey) {
+		t.Fatalf("wrong master key accepted: %v", err)
+	}
+}
+
+func TestPersistentStoreTamperDetected(t *testing.T) {
+	fs := vfs.NewMem()
+	master := []byte("m")
+	ps, err := OpenPersistentStore(fs, "kds.db", master, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Authorize("s")
+	ps.CreateDEK("s")
+
+	data, err := vfs.ReadFile(fs, "kds.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	vfs.WriteFile(fs, "kds.db", data)
+	if _, err := OpenPersistentStore(fs, "kds.db", master, DefaultPolicy()); !errors.Is(err, ErrBadMasterKey) {
+		t.Fatalf("tampered snapshot accepted: %v", err)
+	}
+}
+
+func TestPersistentStoreNoPlaintextKeys(t *testing.T) {
+	fs := vfs.NewMem()
+	ps, err := OpenPersistentStore(fs, "kds.db", []byte("m"), DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Authorize("s")
+	id, dek, err := ps.CreateDEK("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := vfs.ReadFile(fs, "kds.db")
+	if containsBytes(data, dek[:]) || containsBytes(data, []byte(dek.Hex())) || containsBytes(data, []byte(id)) {
+		t.Fatal("plaintext key material in the KDS snapshot")
+	}
+}
+
+func containsBytes(haystack, needle []byte) bool {
+	if len(needle) == 0 {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// TestPersistentStoreBehindServer: the persistent backend plugs into the
+// network front end unchanged.
+func TestPersistentStoreBehindServer(t *testing.T) {
+	fs := vfs.NewMem()
+	ps, err := OpenPersistentStore(fs, "kds.db", []byte("m"), Policy{MaxFetches: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Authorize("c")
+	srv, err := NewServer(ps, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient("c", srv.Addr())
+	id, dek, err := client.CreateDEK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	srv.Close()
+
+	// Cold restart of the whole KDS node.
+	ps2, err := OpenPersistentStore(fs, "kds.db", []byte("m"), Policy{MaxFetches: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(ps2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	client2 := NewClient("c", srv2.Addr())
+	defer client2.Close()
+	got, err := client2.FetchDEK(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dek {
+		t.Fatal("DEK lost across KDS node restart")
+	}
+}

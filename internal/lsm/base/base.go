@@ -1,0 +1,111 @@
+// Package base defines the internal key encoding shared by the memtable,
+// SST, and compaction layers of the LSM engine.
+//
+// An internal key is the user key followed by an 8-byte trailer packing a
+// 56-bit sequence number and an 8-bit kind, mirroring the
+// LevelDB/RocksDB format:
+//
+//	| user key ... | (seq << 8 | kind) little-endian, 8 bytes |
+//
+// Ordering: user keys ascending, then sequence numbers descending (newer
+// first), then kind descending. That makes the freshest version of a key the
+// first one an iterator meets.
+package base
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind distinguishes value records from tombstones.
+type Kind uint8
+
+// Record kinds. Deletion sorts below Set at equal sequence numbers, which
+// never happens in practice (each record gets its own sequence).
+const (
+	KindDelete Kind = 0
+	KindSet    Kind = 1
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindDelete:
+		return "del"
+	case KindSet:
+		return "set"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// SeqNum is a global monotonically increasing write sequence number.
+type SeqNum uint64
+
+// MaxSeqNum is the largest representable sequence number (56 bits).
+const MaxSeqNum SeqNum = (1 << 56) - 1
+
+// TrailerLen is the internal-key trailer size in bytes.
+const TrailerLen = 8
+
+// MakeTrailer packs seq and kind.
+func MakeTrailer(seq SeqNum, kind Kind) uint64 {
+	return uint64(seq)<<8 | uint64(kind)
+}
+
+// AppendInternalKey appends the internal encoding of (userKey, seq, kind)
+// to dst and returns the extended slice.
+func AppendInternalKey(dst, userKey []byte, seq SeqNum, kind Kind) []byte {
+	dst = append(dst, userKey...)
+	var trailer [TrailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[:], MakeTrailer(seq, kind))
+	return append(dst, trailer[:]...)
+}
+
+// MakeInternalKey allocates and returns the internal encoding.
+func MakeInternalKey(userKey []byte, seq SeqNum, kind Kind) []byte {
+	return AppendInternalKey(make([]byte, 0, len(userKey)+TrailerLen), userKey, seq, kind)
+}
+
+// UserKey returns the user-key prefix of an internal key.
+func UserKey(ikey []byte) []byte {
+	if len(ikey) < TrailerLen {
+		return nil
+	}
+	return ikey[:len(ikey)-TrailerLen]
+}
+
+// DecodeTrailer returns the sequence number and kind of an internal key.
+func DecodeTrailer(ikey []byte) (SeqNum, Kind) {
+	if len(ikey) < TrailerLen {
+		return 0, KindDelete
+	}
+	t := binary.LittleEndian.Uint64(ikey[len(ikey)-TrailerLen:])
+	return SeqNum(t >> 8), Kind(t & 0xff)
+}
+
+// CompareInternal orders internal keys: user key ascending, then trailer
+// (seq,kind) descending.
+func CompareInternal(a, b []byte) int {
+	ua, ub := UserKey(a), UserKey(b)
+	if c := bytes.Compare(ua, ub); c != 0 {
+		return c
+	}
+	ta := binary.LittleEndian.Uint64(a[len(a)-TrailerLen:])
+	tb := binary.LittleEndian.Uint64(b[len(b)-TrailerLen:])
+	switch {
+	case ta > tb:
+		return -1
+	case ta < tb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SearchKey returns an internal key that sorts before every record of
+// userKey visible at or below seq — the seek target for point lookups.
+func SearchKey(userKey []byte, seq SeqNum) []byte {
+	return MakeInternalKey(userKey, seq, KindSet)
+}

@@ -1,0 +1,107 @@
+package base
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrailerRoundTrip(t *testing.T) {
+	f := func(seq uint64, kindBit bool) bool {
+		seq &= uint64(MaxSeqNum)
+		kind := KindDelete
+		if kindBit {
+			kind = KindSet
+		}
+		ik := MakeInternalKey([]byte("user"), SeqNum(seq), kind)
+		gotSeq, gotKind := DecodeTrailer(ik)
+		return gotSeq == SeqNum(seq) && gotKind == kind && bytes.Equal(UserKey(ik), []byte("user"))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	// user key ascending dominates.
+	a := MakeInternalKey([]byte("a"), 1, KindSet)
+	b := MakeInternalKey([]byte("b"), 100, KindSet)
+	if CompareInternal(a, b) >= 0 {
+		t.Fatal("user-key order violated")
+	}
+	// Same user key: higher seq sorts first.
+	newRec := MakeInternalKey([]byte("k"), 10, KindSet)
+	oldRec := MakeInternalKey([]byte("k"), 5, KindSet)
+	if CompareInternal(newRec, oldRec) >= 0 {
+		t.Fatal("newer record must sort before older")
+	}
+	// Equal keys compare equal.
+	if CompareInternal(newRec, MakeInternalKey([]byte("k"), 10, KindSet)) != 0 {
+		t.Fatal("identical keys not equal")
+	}
+}
+
+func TestSearchKeySortsBeforeVisibleRecords(t *testing.T) {
+	// SearchKey(k, s) must sort at-or-before every record of k with seq <= s
+	// and after every record with seq > s.
+	visible := MakeInternalKey([]byte("k"), 5, KindSet)
+	invisible := MakeInternalKey([]byte("k"), 9, KindSet)
+	search := SearchKey([]byte("k"), 7)
+	if CompareInternal(search, visible) > 0 {
+		t.Fatal("search key sorts after a visible record")
+	}
+	if CompareInternal(search, invisible) < 0 {
+		t.Fatal("search key sorts before an invisible record")
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	keys := [][]byte{
+		MakeInternalKey([]byte("b"), 3, KindSet),
+		MakeInternalKey([]byte("a"), 9, KindDelete),
+		MakeInternalKey([]byte("a"), 9, KindSet),
+		MakeInternalKey([]byte("a"), 2, KindSet),
+		MakeInternalKey([]byte("c"), 1, KindSet),
+		MakeInternalKey([]byte("a"), 15, KindSet),
+	}
+	sort.Slice(keys, func(i, j int) bool { return CompareInternal(keys[i], keys[j]) < 0 })
+
+	type rec struct {
+		user string
+		seq  SeqNum
+	}
+	var got []rec
+	for _, k := range keys {
+		seq, _ := DecodeTrailer(k)
+		got = append(got, rec{string(UserKey(k)), seq})
+	}
+	want := []rec{{"a", 15}, {"a", 9}, {"a", 9}, {"a", 2}, {"b", 3}, {"c", 1}}
+	for i := range want {
+		if got[i].user != want[i].user || got[i].seq != want[i].seq {
+			t.Fatalf("position %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// At (a,9) the Set must precede Delete (kind descending).
+	_, k1 := DecodeTrailer(keys[1])
+	_, k2 := DecodeTrailer(keys[2])
+	if !(k1 == KindSet && k2 == KindDelete) {
+		t.Fatalf("kind tiebreak wrong: %v then %v", k1, k2)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSet.String() != "set" || KindDelete.String() != "del" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestShortKeyDecodes(t *testing.T) {
+	if UserKey([]byte{1, 2}) != nil {
+		t.Fatal("short key should yield nil user key")
+	}
+	seq, kind := DecodeTrailer([]byte{1})
+	if seq != 0 || kind != KindDelete {
+		t.Fatal("short key trailer should be zero")
+	}
+}

@@ -1,0 +1,632 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+
+	"shield/internal/lsm/base"
+	"shield/internal/lsm/manifest"
+	"shield/internal/lsm/sstable"
+	"shield/internal/vfs"
+)
+
+// CompactionJob is a self-contained description of one compaction, designed
+// to be serializable so an offloaded-compaction worker on another server
+// can execute it against shared storage. DEK resolution happens on the
+// executing side via the DEK-IDs embedded in each input file's header.
+type CompactionJob struct {
+	// Dir is the database directory on the (shared) filesystem.
+	Dir string `json:"dir"`
+
+	// Inputs lists the files to merge, grouped by level.
+	Inputs []JobLevel `json:"inputs"`
+
+	// OutputLevel receives the merged output files.
+	OutputLevel int `json:"output_level"`
+
+	// Bottommost is true when no deeper level overlaps the input range, so
+	// tombstones older than every snapshot can be elided.
+	Bottommost bool `json:"bottommost"`
+
+	// SmallestSnapshot is the lowest pinned sequence number; versions
+	// shadowed at or below it are dropped.
+	SmallestSnapshot uint64 `json:"smallest_snapshot"`
+
+	// FirstOutputFileNum is the first of MaxOutputFiles reserved file
+	// numbers for outputs.
+	FirstOutputFileNum uint64 `json:"first_output_file_num"`
+	MaxOutputFiles     uint64 `json:"max_output_files"`
+
+	// TargetFileSize caps each output file.
+	TargetFileSize uint64 `json:"target_file_size"`
+
+	// Table-format knobs, mirrored from Options.
+	BlockSize       int                 `json:"block_size"`
+	BloomBitsPerKey int                 `json:"bloom_bits_per_key"`
+	Compression     sstable.Compression `json:"compression"`
+}
+
+// JobLevel is one level's input file set.
+type JobLevel struct {
+	Level int                     `json:"level"`
+	Files []manifest.FileMetadata `json:"files"`
+}
+
+// CompactionResult reports a compaction's outputs and I/O volume.
+type CompactionResult struct {
+	Outputs      []manifest.FileMetadata `json:"outputs"`
+	BytesRead    int64                   `json:"bytes_read"`
+	BytesWritten int64                   `json:"bytes_written"`
+}
+
+// Compactor executes compaction jobs. The local implementation runs
+// in-process; internal/compactsvc ships jobs to a remote worker.
+type Compactor interface {
+	Compact(job CompactionJob) (CompactionResult, error)
+}
+
+// LocalCompactor runs compactions in-process against fs.
+type LocalCompactor struct {
+	FS      vfs.FS
+	Wrapper FileWrapper
+}
+
+// Compact implements Compactor.
+func (c *LocalCompactor) Compact(job CompactionJob) (CompactionResult, error) {
+	return RunCompaction(c.FS, c.Wrapper, job)
+}
+
+// newTableWriter builds an SST writer honoring the DB's table options.
+func newTableWriter(f vfs.WritableFile, opts Options) *sstable.Writer {
+	return sstable.NewWriter(f, sstable.WriterOptions{
+		BlockSize:       opts.BlockSize,
+		BloomBitsPerKey: opts.BloomBitsPerKey,
+		Compression:     opts.Compression,
+	})
+}
+
+// RunCompaction merges the job's inputs into output tables on fs. It is the
+// single compaction implementation shared by the in-process path and the
+// offloaded-compaction worker.
+func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (CompactionResult, error) {
+	if wrapper == nil {
+		wrapper = NopWrapper{}
+	}
+	var res CompactionResult
+
+	// Open every input and build the merged iterator.
+	var iters []internalIterator
+	var readers []*sstable.Reader
+	defer func() {
+		for _, r := range readers {
+			r.Close()
+		}
+	}()
+	for _, lvl := range job.Inputs {
+		for _, f := range lvl.Files {
+			name := sstFileName(job.Dir, f.FileNum)
+			raw, err := fs.Open(name)
+			if err != nil {
+				return res, fmt.Errorf("lsm: compaction input %d: %w", f.FileNum, err)
+			}
+			wrapped, err := wrapper.WrapOpen(name, FileKindSST, raw)
+			if err != nil {
+				raw.Close()
+				return res, err
+			}
+			r, err := sstable.NewReader(wrapped, sstable.ReaderOptions{FileNum: f.FileNum})
+			if err != nil {
+				wrapped.Close()
+				return res, fmt.Errorf("lsm: compaction input %d: %w", f.FileNum, err)
+			}
+			readers = append(readers, r)
+			iters = append(iters, &sstIterAdapter{it: r.NewIter()})
+			res.BytesRead += int64(f.Size)
+		}
+	}
+	merged := newMergingIter(iters...)
+
+	smallestSnapshot := base.SeqNum(job.SmallestSnapshot)
+	var (
+		w             *sstable.Writer
+		outName       string
+		outDEKID      string
+		outFileNum    uint64
+		nextOutNum    = job.FirstOutputFileNum
+		lastOutNum    = job.FirstOutputFileNum + job.MaxOutputFiles
+		lastUserKey   []byte
+		haveUserKey   bool
+		lastSeqForKey base.SeqNum
+		prevAddedUser []byte
+		writerOpts    = Options{BlockSize: job.BlockSize, BloomBitsPerKey: job.BloomBitsPerKey, Compression: job.Compression}
+	)
+
+	openOutput := func() error {
+		if nextOutNum >= lastOutNum {
+			return fmt.Errorf("lsm: compaction exhausted reserved file numbers")
+		}
+		outFileNum = nextOutNum
+		nextOutNum++
+		outName = sstFileName(job.Dir, outFileNum)
+		raw, err := fs.Create(outName)
+		if err != nil {
+			return err
+		}
+		wrapped, dekID, err := wrapper.WrapCreate(outName, FileKindSST, raw)
+		if err != nil {
+			raw.Close()
+			return err
+		}
+		outDEKID = dekID
+		w = newTableWriter(wrapped, writerOpts)
+		return nil
+	}
+
+	finishOutput := func() error {
+		if w == nil || w.NumEntries() == 0 {
+			if w != nil {
+				// Empty output: finish and delete.
+				if err := w.Finish(); err != nil {
+					return err
+				}
+				fs.Remove(outName)
+				wrapper.FileDeleted(outName, outDEKID)
+				w = nil
+			}
+			return nil
+		}
+		if err := w.Finish(); err != nil {
+			return err
+		}
+		res.Outputs = append(res.Outputs, manifest.FileMetadata{
+			FileNum:  outFileNum,
+			Size:     w.FileSize(),
+			Smallest: w.Smallest(),
+			Largest:  w.Largest(),
+			DEKID:    outDEKID,
+		})
+		res.BytesWritten += int64(w.FileSize())
+		w = nil
+		return nil
+	}
+
+	for ok := merged.First(); ok; ok = merged.Next() {
+		ikey := merged.Key()
+		userKey := base.UserKey(ikey)
+		seq, kind := base.DecodeTrailer(ikey)
+
+		firstOccurrence := !haveUserKey || !bytes.Equal(userKey, lastUserKey)
+		if firstOccurrence {
+			lastUserKey = append(lastUserKey[:0], userKey...)
+			haveUserKey = true
+		}
+
+		drop := false
+		switch {
+		case !firstOccurrence && lastSeqForKey <= smallestSnapshot:
+			// A newer record of this key is visible to every snapshot.
+			drop = true
+		case kind == base.KindDelete && seq <= smallestSnapshot && job.Bottommost:
+			// Tombstone with nothing underneath it to hide.
+			drop = true
+		}
+		lastSeqForKey = seq
+		if drop {
+			continue
+		}
+
+		// Cut the output at the target size, but only between user keys so
+		// all versions of a key share one file.
+		if w != nil && w.EstimatedSize() >= job.TargetFileSize &&
+			prevAddedUser != nil && !bytes.Equal(userKey, prevAddedUser) {
+			if err := finishOutput(); err != nil {
+				return res, err
+			}
+		}
+		if w == nil {
+			if err := openOutput(); err != nil {
+				return res, err
+			}
+		}
+		if err := w.Add(ikey, merged.Value()); err != nil {
+			return res, err
+		}
+		prevAddedUser = append(prevAddedUser[:0], userKey...)
+	}
+	if err := merged.Err(); err != nil {
+		return res, err
+	}
+	if err := finishOutput(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// compactionPlan is an internal pick: which files move where.
+type compactionPlan struct {
+	inputs      []JobLevel
+	outputLevel int
+	bottommost  bool
+	// universal outputs inherit the oldest input's run sequence.
+	universalSeq uint64
+	// fifoOnly plans delete inputs without merging.
+	fifoOnly bool
+	busy     []uint64 // file numbers locked by this plan
+}
+
+// levelTarget returns the size target for a level under leveled compaction.
+func (d *DB) levelTarget(level int) uint64 {
+	t := d.opts.BaseLevelSize
+	for i := 1; i < level; i++ {
+		t *= uint64(d.opts.LevelSizeMultiplier)
+	}
+	return t
+}
+
+// pickCompactionLocked chooses the next compaction, or nil. d.mu held.
+func (d *DB) pickCompactionLocked() *compactionPlan {
+	switch d.opts.CompactionStyle {
+	case CompactionUniversal:
+		return d.pickUniversalLocked()
+	case CompactionFIFO:
+		return d.pickFIFOLocked()
+	default:
+		return d.pickLeveledLocked()
+	}
+}
+
+func (d *DB) anyBusy(files []*manifest.FileMetadata) bool {
+	for _, f := range files {
+		if d.busyFiles[f.FileNum] {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *DB) pickLeveledLocked() *compactionPlan {
+	v := d.current
+
+	// Score L0 by file count, deeper levels by size vs target.
+	bestLevel, bestScore := -1, 0.0
+	if s := float64(len(v.Levels[0])) / float64(d.opts.L0CompactionTrigger); s >= 1 {
+		bestLevel, bestScore = 0, s
+	}
+	for lvl := 1; lvl < manifest.NumLevels-1; lvl++ {
+		s := float64(v.LevelSize(lvl)) / float64(d.levelTarget(lvl))
+		if s >= 1 && s > bestScore {
+			bestLevel, bestScore = lvl, s
+		}
+	}
+	if bestLevel < 0 {
+		return nil
+	}
+
+	var inputs0 []*manifest.FileMetadata
+	if bestLevel == 0 {
+		inputs0 = append(inputs0, v.Levels[0]...)
+	} else {
+		// Rotate through files: pick the first non-busy file.
+		for _, f := range v.Levels[bestLevel] {
+			if !d.busyFiles[f.FileNum] {
+				inputs0 = append(inputs0, f)
+				break
+			}
+		}
+	}
+	if len(inputs0) == 0 || d.anyBusy(inputs0) {
+		return nil
+	}
+
+	// Key range of the level-N inputs.
+	smallest, largest := keyRange(inputs0)
+	outputLevel := bestLevel + 1
+	inputs1 := v.Overlapping(outputLevel, base.UserKey(smallest), base.UserKey(largest))
+	if d.anyBusy(inputs1) {
+		return nil
+	}
+
+	plan := &compactionPlan{outputLevel: outputLevel}
+	plan.inputs = append(plan.inputs, JobLevel{Level: bestLevel, Files: derefFiles(inputs0)})
+	if len(inputs1) > 0 {
+		plan.inputs = append(plan.inputs, JobLevel{Level: outputLevel, Files: derefFiles(inputs1)})
+	}
+	allSmallest, allLargest := smallest, largest
+	if len(inputs1) > 0 {
+		s2, l2 := keyRange(inputs1)
+		if base.CompareInternal(s2, allSmallest) < 0 {
+			allSmallest = s2
+		}
+		if base.CompareInternal(l2, allLargest) > 0 {
+			allLargest = l2
+		}
+	}
+	plan.bottommost = d.isBottommostLocked(outputLevel, base.UserKey(allSmallest), base.UserKey(allLargest))
+	for _, in := range plan.inputs {
+		for _, f := range in.Files {
+			plan.busy = append(plan.busy, f.FileNum)
+		}
+	}
+	return plan
+}
+
+func (d *DB) pickUniversalLocked() *compactionPlan {
+	v := d.current
+	runs := v.Levels[0] // newest first
+	if len(runs) < d.opts.UniversalMaxRuns {
+		return nil
+	}
+	// Merge the oldest half of the runs (at least two).
+	n := len(runs) / 2
+	if n < 2 {
+		n = 2
+	}
+	oldest := runs[len(runs)-n:]
+	if d.anyBusy(oldest) {
+		return nil
+	}
+	plan := &compactionPlan{
+		outputLevel:  0,
+		bottommost:   n == len(runs),
+		universalSeq: oldest[len(oldest)-1].Seq,
+	}
+	plan.inputs = []JobLevel{{Level: 0, Files: derefFiles(oldest)}}
+	for _, f := range oldest {
+		plan.busy = append(plan.busy, f.FileNum)
+	}
+	return plan
+}
+
+func (d *DB) pickFIFOLocked() *compactionPlan {
+	v := d.current
+	var total uint64
+	for _, f := range v.Levels[0] {
+		total += f.Size
+	}
+	if total <= d.opts.FIFOMaxTableSize {
+		return nil
+	}
+	// Drop oldest files until under the cap.
+	var victims []*manifest.FileMetadata
+	for i := len(v.Levels[0]) - 1; i >= 0 && total > d.opts.FIFOMaxTableSize; i-- {
+		f := v.Levels[0][i]
+		if d.busyFiles[f.FileNum] {
+			break
+		}
+		victims = append(victims, f)
+		total -= f.Size
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	plan := &compactionPlan{fifoOnly: true, outputLevel: 0}
+	plan.inputs = []JobLevel{{Level: 0, Files: derefFiles(victims)}}
+	for _, f := range victims {
+		plan.busy = append(plan.busy, f.FileNum)
+	}
+	return plan
+}
+
+// isBottommostLocked reports whether no level deeper than outputLevel has a
+// file overlapping [smallestUser, largestUser].
+func (d *DB) isBottommostLocked(outputLevel int, smallestUser, largestUser []byte) bool {
+	for lvl := outputLevel + 1; lvl < manifest.NumLevels; lvl++ {
+		if len(d.current.Overlapping(lvl, smallestUser, largestUser)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func keyRange(files []*manifest.FileMetadata) (smallest, largest []byte) {
+	for _, f := range files {
+		if smallest == nil || base.CompareInternal(f.Smallest, smallest) < 0 {
+			smallest = f.Smallest
+		}
+		if largest == nil || base.CompareInternal(f.Largest, largest) > 0 {
+			largest = f.Largest
+		}
+	}
+	return smallest, largest
+}
+
+func derefFiles(files []*manifest.FileMetadata) []manifest.FileMetadata {
+	out := make([]manifest.FileMetadata, len(files))
+	for i, f := range files {
+		out[i] = *f
+	}
+	return out
+}
+
+// maybeScheduleCompactionLocked starts compaction workers while work exists
+// and job slots are free. d.mu held.
+func (d *DB) maybeScheduleCompactionLocked() {
+	if d.opts.ReadOnly {
+		return
+	}
+	if d.closed || d.bgErr != nil || d.manualActive {
+		return
+	}
+	maxWorkers := d.opts.MaxBackgroundJobs - 1
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	for d.compactions < maxWorkers {
+		plan := d.pickCompactionLocked()
+		if plan == nil {
+			return
+		}
+		for _, num := range plan.busy {
+			d.busyFiles[num] = true
+		}
+		d.compactions++
+		go d.compactionWorker(plan)
+	}
+}
+
+func (d *DB) compactionWorker(plan *compactionPlan) {
+	err := d.runCompactionPlan(plan)
+
+	d.mu.Lock()
+	for _, num := range plan.busy {
+		delete(d.busyFiles, num)
+	}
+	d.compactions--
+	if err != nil && d.bgErr == nil {
+		d.bgErr = err
+		d.opts.Logger("lsm: compaction error: %v", err)
+	}
+	d.maybeScheduleCompactionLocked()
+	d.bgCond.Broadcast()
+	d.mu.Unlock()
+}
+
+// runCompactionPlan executes one plan (local or offloaded) and installs the
+// resulting version edit.
+func (d *DB) runCompactionPlan(plan *compactionPlan) error {
+	edit := &manifest.VersionEdit{}
+	for _, in := range plan.inputs {
+		for _, f := range in.Files {
+			edit.Deleted = append(edit.Deleted, manifest.DeletedFile{Level: in.Level, FileNum: f.FileNum})
+		}
+	}
+
+	if !plan.fifoOnly {
+		d.mu.Lock()
+		const reserve = 256
+		firstNum := d.nextFileNum
+		d.nextFileNum += reserve
+		smallestSnap := d.smallestSnapshotLocked()
+		d.mu.Unlock()
+
+		targetSize := d.opts.TargetFileSize
+		if d.opts.CompactionStyle == CompactionUniversal {
+			// A universal sorted run is exactly one file: splitting the
+			// merged output would leave the run count unchanged, so
+			// compaction would reschedule forever.
+			targetSize = 1 << 62
+		}
+		job := CompactionJob{
+			Dir:                d.dir,
+			Inputs:             plan.inputs,
+			OutputLevel:        plan.outputLevel,
+			Bottommost:         plan.bottommost,
+			SmallestSnapshot:   uint64(smallestSnap),
+			FirstOutputFileNum: firstNum,
+			MaxOutputFiles:     reserve,
+			TargetFileSize:     targetSize,
+			BlockSize:          d.opts.BlockSize,
+			BloomBitsPerKey:    d.opts.BloomBitsPerKey,
+			Compression:        d.opts.Compression,
+		}
+		compactor := d.opts.Compactor
+		if compactor == nil {
+			compactor = &LocalCompactor{FS: d.fs, Wrapper: d.wrapper}
+		}
+		res, err := compactor.Compact(job)
+		if err != nil {
+			return err
+		}
+		d.metCompRead.Add(res.BytesRead)
+		d.metCompWrite.Add(res.BytesWritten)
+		for _, out := range res.Outputs {
+			meta := out
+			if d.opts.CompactionStyle == CompactionUniversal {
+				meta.Seq = plan.universalSeq
+			}
+			edit.Added = append(edit.Added, manifest.AddedFile{Level: plan.outputLevel, Meta: meta})
+		}
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, a := range edit.Added {
+		if a.Meta.DEKID != "" {
+			d.dekIDs[a.Meta.FileNum] = a.Meta.DEKID
+		}
+	}
+	if err := d.applyEditLocked(edit); err != nil {
+		return err
+	}
+	d.metCompact.Add(1)
+	d.deleteObsoleteLocked()
+	d.bgCond.Broadcast()
+	return nil
+}
+
+// CompactRange forces full compaction of the whole key space, level by
+// level, waiting for completion. It first flushes the memtable.
+func (d *DB) CompactRange() error {
+	if d.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if err := d.Flush(); err != nil {
+		return err
+	}
+
+	// Block automatic scheduling while the manual compaction runs.
+	d.mu.Lock()
+	for d.compactions > 0 {
+		d.bgCond.Wait()
+	}
+	if d.bgErr != nil {
+		err := d.bgErr
+		d.mu.Unlock()
+		return err
+	}
+	d.manualActive = true
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.manualActive = false
+		d.maybeScheduleCompactionLocked()
+		d.mu.Unlock()
+	}()
+
+	if d.opts.CompactionStyle != CompactionLeveled {
+		// Universal/FIFO: run picks until quiescent.
+		for {
+			d.mu.Lock()
+			plan := d.pickCompactionLocked()
+			d.mu.Unlock()
+			if plan == nil {
+				return nil
+			}
+			if err := d.runCompactionPlan(plan); err != nil {
+				return err
+			}
+		}
+	}
+
+	for lvl := 0; lvl < manifest.NumLevels-1; lvl++ {
+		d.mu.Lock()
+		files := d.current.Levels[lvl]
+		if len(files) == 0 {
+			d.mu.Unlock()
+			continue
+		}
+		smallest, largest := keyRange(files)
+		overlap := d.current.Overlapping(lvl+1, base.UserKey(smallest), base.UserKey(largest))
+		plan := &compactionPlan{outputLevel: lvl + 1}
+		plan.inputs = append(plan.inputs, JobLevel{Level: lvl, Files: derefFiles(files)})
+		if len(overlap) > 0 {
+			plan.inputs = append(plan.inputs, JobLevel{Level: lvl + 1, Files: derefFiles(overlap)})
+		}
+		allS, allL := smallest, largest
+		if len(overlap) > 0 {
+			s2, l2 := keyRange(overlap)
+			if base.CompareInternal(s2, allS) < 0 {
+				allS = s2
+			}
+			if base.CompareInternal(l2, allL) > 0 {
+				allL = l2
+			}
+		}
+		plan.bottommost = d.isBottommostLocked(lvl+1, base.UserKey(allS), base.UserKey(allL))
+		d.mu.Unlock()
+		if err := d.runCompactionPlan(plan); err != nil {
+			return err
+		}
+	}
+	return nil
+}

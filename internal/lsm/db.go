@@ -1,0 +1,1306 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shield/internal/cache"
+	"shield/internal/lsm/base"
+	"shield/internal/lsm/manifest"
+	"shield/internal/lsm/sstable"
+	"shield/internal/lsm/wal"
+	"shield/internal/vfs"
+)
+
+// Errors returned by DB operations.
+var (
+	ErrNotFound = errors.New("lsm: key not found")
+	ErrClosed   = errors.New("lsm: database closed")
+	ErrReadOnly = errors.New("lsm: database opened read-only")
+)
+
+// Metrics exposes engine counters.
+type Metrics struct {
+	Flushes           int64
+	Compactions       int64
+	CompactionRead    int64 // bytes
+	CompactionWritten int64 // bytes
+	FlushWritten      int64 // bytes
+	WALWritten        int64 // bytes
+	StallTime         time.Duration
+	Gets              int64
+	Writes            int64
+}
+
+// DB is the LSM-KVS instance.
+type DB struct {
+	opts    Options
+	dir     string
+	fs      vfs.FS
+	wrapper FileWrapper
+
+	blockCache *cache.LRU
+	tables     *tableCache
+
+	// Commit pipeline. commitMu guards channel sends against Close; senders
+	// hold RLock, Close holds Lock while closing.
+	commitMu sync.RWMutex
+	commitCh chan *commitRequest
+	commitWG sync.WaitGroup
+
+	// lastSeq is the newest committed sequence, readable without mu.
+	lastSeq atomic.Uint64
+
+	mu          sync.Mutex
+	mem         *memTable
+	imm         []*memTable // oldest first
+	current     *manifest.Version
+	nextFileNum uint64
+	fileSeq     uint64 // strictly increasing run ordinal for L0 ordering
+	logNum      uint64
+	walWriter   *wal.Writer
+	walDEKID    string
+	manifestW   *wal.Writer
+	manifestNum uint64
+
+	flushing      bool
+	compactions   int // active compaction workers
+	manualActive  bool
+	busyFiles     map[uint64]bool
+	bgErr         error
+	bgCond        *sync.Cond
+	closed        bool
+	iterCount     int
+	zombies       []zombieFile
+	snapshots     []base.SeqNum
+	dekIDs        map[uint64]string // fileNum -> DEK-ID for SSTs
+	flushWaiters  []chan error
+	metFlushes    atomic.Int64
+	metCompact    atomic.Int64
+	metCompRead   atomic.Int64
+	metCompWrite  atomic.Int64
+	metFlushWrite atomic.Int64
+	metWAL        atomic.Int64
+	metStallNanos atomic.Int64
+	metGets       atomic.Int64
+	metWrites     atomic.Int64
+}
+
+type zombieFile struct {
+	name    string
+	dekID   string
+	fileNum uint64
+	isSST   bool
+}
+
+type commitRequest struct {
+	batch  *Batch
+	sync   bool
+	rotate bool // rotate the memtable instead of committing a batch
+	done   chan error
+}
+
+// Open opens (creating if necessary) the database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if opts.FS == nil {
+		return nil, fmt.Errorf("lsm: Options.FS is required")
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	d := &DB{
+		opts:      opts,
+		dir:       dir,
+		fs:        opts.FS,
+		wrapper:   opts.Wrapper,
+		commitCh:  make(chan *commitRequest, 1024),
+		busyFiles: make(map[uint64]bool),
+		dekIDs:    make(map[uint64]string),
+	}
+	d.bgCond = sync.NewCond(&d.mu)
+	if opts.BlockCacheSize > 0 {
+		d.blockCache = cache.New(opts.BlockCacheSize)
+	}
+	d.tables = newTableCache(d.fs, dir, d.wrapper, d.blockCache)
+
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+
+	d.commitWG.Add(1)
+	go d.commitLoop()
+
+	d.mu.Lock()
+	d.maybeScheduleFlushLocked()
+	d.maybeScheduleCompactionLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+// ---- Recovery ----
+
+func (d *DB) recover() error {
+	currentName := currentFileName(d.dir)
+	_, err := d.fs.Stat(currentName)
+	switch {
+	case errors.Is(err, vfs.ErrNotFound):
+		if d.opts.ReadOnly {
+			return fmt.Errorf("lsm: read-only open of missing database: %w", err)
+		}
+		return d.createNew()
+	case err != nil:
+		return err
+	}
+
+	// Load CURRENT -> MANIFEST name.
+	data, err := vfs.ReadFile(d.fs, currentName)
+	if err != nil {
+		return fmt.Errorf("lsm: reading CURRENT: %w", err)
+	}
+	manifestName := strings.TrimSpace(string(data))
+	num, ok := parseManifestName(manifestName)
+	if !ok {
+		return fmt.Errorf("lsm: CURRENT points to invalid manifest %q", manifestName)
+	}
+	d.manifestNum = num
+
+	var ver *manifest.Version
+	var logNum, nextFile uint64
+	var lastSeq base.SeqNum
+	if d.opts.ReadOnly {
+		ver, logNum, nextFile, lastSeq, err = d.loadManifest(manifestName)
+	} else {
+		ver, logNum, nextFile, lastSeq, err = d.replayManifest(manifestName)
+	}
+	if err != nil {
+		return err
+	}
+	d.current = ver
+	d.logNum = logNum
+	d.nextFileNum = nextFile
+	d.lastSeq.Store(uint64(lastSeq))
+	for _, lvl := range ver.Levels {
+		for _, f := range lvl {
+			if f.DEKID != "" {
+				d.dekIDs[f.FileNum] = f.DEKID
+			}
+			if f.Seq > d.fileSeq {
+				d.fileSeq = f.Seq
+			}
+		}
+	}
+
+	// Replay WALs >= logNum, oldest first.
+	entries, err := d.fs.List(d.dir)
+	if err != nil {
+		return err
+	}
+	var walNums []uint64
+	for _, e := range entries {
+		kind, n, ok := parseFileName(e.Name)
+		if !ok {
+			continue
+		}
+		// The manifest's NextFileNumber can lag files created after the
+		// last edit (e.g. a WAL rotated right before a crash); clear them.
+		if kind != FileKindCurrent && n >= d.nextFileNum {
+			d.nextFileNum = n + 1
+		}
+		if kind == FileKindWAL && n >= d.logNum {
+			walNums = append(walNums, n)
+		}
+	}
+	sort.Slice(walNums, func(i, j int) bool { return walNums[i] < walNums[j] })
+
+	recovered := newMemTable(0)
+	for _, n := range walNums {
+		if err := d.replayWAL(n, recovered); err != nil {
+			return err
+		}
+	}
+
+	if d.opts.ReadOnly {
+		// Serve the replayed WAL contents from the memtable; write nothing.
+		d.mem = recovered
+		return nil
+	}
+
+	// Start a fresh WAL + memtable; flush recovered data straight to L0.
+	if err := d.startNewLogLocked(); err != nil {
+		return err
+	}
+	if !recovered.empty() {
+		meta, err := d.writeMemTable(recovered)
+		if err != nil {
+			return err
+		}
+		edit := &manifest.VersionEdit{
+			Added: []manifest.AddedFile{{Level: 0, Meta: *meta}},
+		}
+		ln := d.logNum
+		edit.LogNumber = &ln
+		if err := d.applyEditLocked(edit); err != nil {
+			return err
+		}
+	} else {
+		// Persist the new log number so old WALs are not replayed twice.
+		edit := &manifest.VersionEdit{}
+		ln := d.logNum
+		edit.LogNumber = &ln
+		if err := d.applyEditLocked(edit); err != nil {
+			return err
+		}
+	}
+	d.deleteObsoleteLocked()
+	return nil
+}
+
+func parseManifestName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "MANIFEST-") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimPrefix(name, "MANIFEST-"), 10, 64)
+	return n, err == nil
+}
+
+func (d *DB) createNew() error {
+	d.current = &manifest.Version{}
+	d.nextFileNum = 1
+	d.manifestNum = d.allocFileNum()
+	if err := d.openManifest(); err != nil {
+		return err
+	}
+	if err := d.startNewLogLocked(); err != nil {
+		return err
+	}
+	edit := &manifest.VersionEdit{}
+	ln := d.logNum
+	edit.LogNumber = &ln
+	return d.applyEditLocked(edit)
+}
+
+func (d *DB) allocFileNum() uint64 {
+	n := d.nextFileNum
+	d.nextFileNum++
+	return n
+}
+
+func (d *DB) openManifest() error {
+	name := manifestFileName(d.dir, d.manifestNum)
+	raw, err := d.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	wrapped, _, err := d.wrapper.WrapCreate(name, FileKindManifest, raw)
+	if err != nil {
+		raw.Close()
+		return err
+	}
+	d.manifestW = wal.NewWriter(wrapped)
+
+	// Point CURRENT at it (write tmp + rename for atomicity).
+	tmp := currentFileName(d.dir) + ".tmp"
+	if err := vfs.WriteFile(d.fs, tmp, []byte(fmt.Sprintf("MANIFEST-%06d\n", d.manifestNum))); err != nil {
+		return err
+	}
+	return d.fs.Rename(tmp, currentFileName(d.dir))
+}
+
+// loadManifest replays the named MANIFEST's edit log without writing
+// anything, returning the recovered version and bookkeeping.
+func (d *DB) loadManifest(name string) (*manifest.Version, uint64, uint64, base.SeqNum, error) {
+	full := d.dir + "/" + name
+	raw, err := d.fs.OpenSequential(full)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("lsm: opening manifest: %w", err)
+	}
+	wrapped, err := d.wrapper.WrapOpenSequential(full, FileKindManifest, raw)
+	if err != nil {
+		raw.Close()
+		return nil, 0, 0, 0, err
+	}
+	r := wal.NewReader(wrapped)
+	defer r.Close()
+
+	ver := &manifest.Version{}
+	var logNum, nextFile uint64
+	var lastSeq base.SeqNum
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A torn tail on the manifest (crash during write) ends replay.
+			if errors.Is(err, wal.ErrCorrupt) {
+				break
+			}
+			return nil, 0, 0, 0, err
+		}
+		edit, err := manifest.DecodeVersionEdit(rec)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		ver, err = ver.Apply(edit)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		if edit.LogNumber != nil {
+			logNum = *edit.LogNumber
+		}
+		if edit.NextFileNumber != nil {
+			nextFile = *edit.NextFileNumber
+		}
+		if edit.LastSeq != nil {
+			lastSeq = base.SeqNum(*edit.LastSeq)
+		}
+	}
+	// nextFile must clear every referenced file and the manifest itself.
+	for _, lvl := range ver.Levels {
+		for _, f := range lvl {
+			if f.FileNum >= nextFile {
+				nextFile = f.FileNum + 1
+			}
+		}
+	}
+	if logNum >= nextFile {
+		nextFile = logNum + 1
+	}
+	if d.manifestNum >= nextFile {
+		nextFile = d.manifestNum + 1
+	}
+	return ver, logNum, nextFile, lastSeq, nil
+}
+
+// replayManifest loads the manifest, then rolls the edit history into a
+// fresh MANIFEST (compacting it) and repoints CURRENT.
+func (d *DB) replayManifest(name string) (*manifest.Version, uint64, uint64, base.SeqNum, error) {
+	ver, logNum, nextFile, lastSeq, err := d.loadManifest(name)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	d.manifestNum = nextFile
+	nextFile++
+	d.nextFileNum = nextFile
+	if err := d.openManifest(); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	// Write a snapshot edit describing the recovered state.
+	snap := &manifest.VersionEdit{}
+	for lvl := range ver.Levels {
+		for _, f := range ver.Levels[lvl] {
+			snap.Added = append(snap.Added, manifest.AddedFile{Level: lvl, Meta: *f})
+		}
+	}
+	nf := d.nextFileNum
+	ls := uint64(lastSeq)
+	ln := logNum
+	snap.NextFileNumber = &nf
+	snap.LastSeq = &ls
+	snap.LogNumber = &ln
+	enc, err := snap.Encode()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if err := d.manifestW.AddRecord(enc); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if err := d.manifestW.Sync(); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return ver, logNum, d.nextFileNum, lastSeq, nil
+}
+
+func (d *DB) replayWAL(num uint64, mem *memTable) error {
+	name := walFileName(d.dir, num)
+	raw, err := d.fs.OpenSequential(name)
+	if err != nil {
+		return err
+	}
+	wrapped, err := d.wrapper.WrapOpenSequential(name, FileKindWAL, raw)
+	if err != nil {
+		raw.Close()
+		// A WAL whose header never reached storage (crash or an unflushed
+		// remote write buffer) is an empty log — the same torn-tail case
+		// the record reader already tolerates.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			d.opts.Logger("lsm: WAL %d has no readable header; treating as empty", num)
+			return nil
+		}
+		return err
+	}
+	r := wal.NewReader(wrapped)
+	defer r.Close()
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) {
+				// Torn tail from a crash: recover everything before it.
+				d.opts.Logger("lsm: WAL %d truncated at corrupt record: %v", num, err)
+				return nil
+			}
+			return err
+		}
+		var maxSeq base.SeqNum
+		err = decodeBatch(rec, func(seq base.SeqNum, kind base.Kind, key, value []byte) error {
+			mem.add(seq, kind, key, value)
+			maxSeq = seq
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if uint64(maxSeq) > d.lastSeq.Load() {
+			d.lastSeq.Store(uint64(maxSeq))
+		}
+	}
+}
+
+// startNewLogLocked creates a fresh WAL file and active memtable.
+func (d *DB) startNewLogLocked() error {
+	num := d.allocFileNum()
+	name := walFileName(d.dir, num)
+	raw, err := d.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	wrapped, dekID, err := d.wrapper.WrapCreate(name, FileKindWAL, raw)
+	if err != nil {
+		raw.Close()
+		return err
+	}
+	d.walWriter = wal.NewWriter(wrapped)
+	d.walDEKID = dekID
+	d.logNum = num
+	d.mem = newMemTable(num)
+	return nil
+}
+
+// ---- Write path ----
+
+// Put sets key to value.
+func (d *DB) Put(key, value []byte) error {
+	b := NewBatch()
+	b.Put(key, value)
+	return d.Write(b, d.opts.SyncWrites)
+}
+
+// Delete removes key.
+func (d *DB) Delete(key []byte) error {
+	b := NewBatch()
+	b.Delete(key)
+	return d.Write(b, d.opts.SyncWrites)
+}
+
+// Write atomically commits a batch. When sync is true the WAL is fsynced
+// before returning.
+func (d *DB) Write(b *Batch, sync bool) error {
+	if d.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if b.Empty() {
+		return nil
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if d.bgErr != nil {
+		err := d.bgErr
+		d.mu.Unlock()
+		return err
+	}
+	d.mu.Unlock()
+	req := &commitRequest{batch: b, sync: sync, done: make(chan error, 1)}
+	if err := d.sendCommit(req); err != nil {
+		return err
+	}
+	return <-req.done
+}
+
+// sendCommit enqueues a request, failing cleanly if the DB closed.
+func (d *DB) sendCommit(req *commitRequest) error {
+	d.commitMu.RLock()
+	defer d.commitMu.RUnlock()
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	d.commitCh <- req
+	return nil
+}
+
+func (d *DB) commitLoop() {
+	defer d.commitWG.Done()
+	for req := range d.commitCh {
+		if req.rotate {
+			req.done <- d.rotateMemtable()
+			continue
+		}
+		group := []*commitRequest{req}
+		// Opportunistically group more pending writers (group commit).
+	drain:
+		for len(group) < 128 {
+			select {
+			case r, ok := <-d.commitCh:
+				if !ok {
+					break drain
+				}
+				if r.rotate {
+					// Rotation runs after the group it interrupted.
+					err := d.commitGroup(group)
+					for _, g := range group {
+						g.done <- err
+					}
+					group = group[:0]
+					r.done <- d.rotateMemtable()
+					continue drain
+				}
+				group = append(group, r)
+			default:
+				break drain
+			}
+		}
+		if len(group) > 0 {
+			err := d.commitGroup(group)
+			for _, r := range group {
+				r.done <- err
+			}
+		}
+	}
+}
+
+func (d *DB) commitGroup(group []*commitRequest) error {
+	if err := d.makeRoomForWrite(); err != nil {
+		return err
+	}
+
+	seqBase := base.SeqNum(d.lastSeq.Load()) + 1
+	next := seqBase
+	needSync := false
+	for _, r := range group {
+		r.batch.setSeq(next)
+		next += base.SeqNum(r.batch.Count())
+		if r.sync {
+			needSync = true
+		}
+	}
+
+	d.mu.Lock()
+	w := d.walWriter
+	mem := d.mem
+	d.mu.Unlock()
+
+	if !d.opts.DisableWAL {
+		for _, r := range group {
+			if err := w.AddRecord(r.batch.data); err != nil {
+				d.setBGErr(err)
+				return err
+			}
+			d.metWAL.Add(int64(len(r.batch.data)))
+		}
+		if needSync {
+			if err := w.Sync(); err != nil {
+				d.setBGErr(err)
+				return err
+			}
+		}
+	}
+
+	for _, r := range group {
+		err := decodeBatch(r.batch.data, func(seq base.SeqNum, kind base.Kind, key, value []byte) error {
+			mem.add(seq, kind, key, value)
+			return nil
+		})
+		if err != nil {
+			d.setBGErr(err)
+			return err
+		}
+	}
+	d.lastSeq.Store(uint64(next - 1))
+	d.metWrites.Add(int64(len(group)))
+	return nil
+}
+
+// makeRoomForWrite rotates a full memtable and stalls on back-pressure.
+func (d *DB) makeRoomForWrite() error {
+	stallStart := time.Time{}
+	for {
+		d.mu.Lock()
+		switch {
+		case d.bgErr != nil:
+			err := d.bgErr
+			d.mu.Unlock()
+			return err
+		case d.mem.approximateSize() < d.opts.MemtableSize:
+			d.mu.Unlock()
+			if !stallStart.IsZero() {
+				d.metStallNanos.Add(time.Since(stallStart).Nanoseconds())
+			}
+			return nil
+		case len(d.imm) >= 2:
+			// Too many unflushed memtables: wait for flush.
+			if stallStart.IsZero() {
+				stallStart = time.Now()
+			}
+			d.maybeScheduleFlushLocked()
+			d.bgCond.Wait()
+			d.mu.Unlock()
+		case d.opts.CompactionStyle != CompactionFIFO &&
+			len(d.current.Levels[0]) >= d.opts.L0StopWritesTrigger:
+			// FIFO is exempt: it never merges L0, so a file-count stall
+			// would never clear — FIFO bounds data by total size instead.
+			if stallStart.IsZero() {
+				stallStart = time.Now()
+			}
+			d.maybeScheduleCompactionLocked()
+			d.bgCond.Wait()
+			d.mu.Unlock()
+		default:
+			// Rotate: seal current memtable, start a fresh WAL.
+			old := d.walWriter
+			d.imm = append(d.imm, d.mem)
+			if err := d.startNewLogLocked(); err != nil {
+				d.bgErr = err
+				d.mu.Unlock()
+				return err
+			}
+			d.maybeScheduleFlushLocked()
+			d.mu.Unlock()
+			if old != nil {
+				if err := old.Close(); err != nil {
+					d.setBGErr(err)
+					return err
+				}
+			}
+		}
+	}
+}
+
+func (d *DB) setBGErr(err error) {
+	d.mu.Lock()
+	if d.bgErr == nil {
+		d.bgErr = err
+		d.opts.Logger("lsm: background error: %v", err)
+	}
+	d.bgCond.Broadcast()
+	d.mu.Unlock()
+}
+
+// ---- Read path ----
+
+// Get returns the value for key, or ErrNotFound.
+func (d *DB) Get(key []byte) ([]byte, error) {
+	return d.getAt(key, base.SeqNum(d.lastSeq.Load()))
+}
+
+func (d *DB) getAt(key []byte, seq base.SeqNum) ([]byte, error) {
+	d.metGets.Add(1)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem := d.mem
+	imms := append([]*memTable(nil), d.imm...)
+	ver := d.current
+	// Pin obsolete-file deletion while this read holds the version:
+	// compaction may otherwise unlink an SST between the version capture
+	// and the table open.
+	d.iterCount++
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.iterCount--
+		if d.iterCount == 0 && len(d.zombies) > 0 {
+			d.deleteObsoleteLocked()
+		}
+		d.mu.Unlock()
+	}()
+
+	// Active memtable, then immutables newest-first.
+	if v, kind, ok := mem.get(key, seq); ok {
+		if kind == base.KindDelete {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	for i := len(imms) - 1; i >= 0; i-- {
+		if v, kind, ok := imms[i].get(key, seq); ok {
+			if kind == base.KindDelete {
+				return nil, ErrNotFound
+			}
+			return append([]byte(nil), v...), nil
+		}
+	}
+
+	// L0 newest-first: files may overlap.
+	for _, f := range ver.Levels[0] {
+		if !f.Overlaps(key, key) {
+			continue
+		}
+		v, kind, err := d.tableGet(f.FileNum, key, seq)
+		if err == nil {
+			if kind == base.KindDelete {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+	}
+	// Deeper levels: at most one candidate file per level.
+	for lvl := 1; lvl < manifest.NumLevels; lvl++ {
+		files := ver.Levels[lvl]
+		idx := sort.Search(len(files), func(i int) bool {
+			return string(base.UserKey(files[i].Largest)) >= string(key)
+		})
+		if idx >= len(files) || !files[idx].Overlaps(key, key) {
+			continue
+		}
+		v, kind, err := d.tableGet(files[idx].FileNum, key, seq)
+		if err == nil {
+			if kind == base.KindDelete {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func (d *DB) tableGet(fileNum uint64, key []byte, seq base.SeqNum) ([]byte, base.Kind, error) {
+	r, release, err := d.tables.get(fileNum)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer release()
+	v, kind, err := r.Get(key, seq)
+	if err != nil {
+		if errors.Is(err, sstable.ErrNotFound) {
+			return nil, 0, ErrNotFound
+		}
+		return nil, 0, err
+	}
+	return v, kind, nil
+}
+
+// NewIter returns an iterator over a consistent snapshot of the database.
+func (d *DB) NewIter() (*Iterator, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	seq := base.SeqNum(d.lastSeq.Load())
+	var iters []internalIterator
+	iters = append(iters, d.mem.iter())
+	for i := len(d.imm) - 1; i >= 0; i-- {
+		iters = append(iters, d.imm[i].iter())
+	}
+	ver := d.current
+	for _, f := range ver.Levels[0] {
+		it, err := d.openTableIter(f.FileNum)
+		if err != nil {
+			for _, o := range iters {
+				o.Close()
+			}
+			return nil, err
+		}
+		iters = append(iters, it)
+	}
+	for lvl := 1; lvl < manifest.NumLevels; lvl++ {
+		if len(ver.Levels[lvl]) == 0 {
+			continue
+		}
+		var handles []fileHandle
+		for _, f := range ver.Levels[lvl] {
+			num := f.FileNum
+			handles = append(handles, fileHandle{
+				open:     func() (internalIterator, error) { return d.openTableIter(num) },
+				smallest: f.Smallest,
+				largest:  f.Largest,
+			})
+		}
+		iters = append(iters, newConcatIter(handles))
+	}
+	d.iterCount++
+	it := &Iterator{
+		m:   newMergingIter(iters...),
+		seq: seq,
+		onClose: func() {
+			d.mu.Lock()
+			d.iterCount--
+			if d.iterCount == 0 {
+				d.deleteObsoleteLocked()
+			}
+			d.mu.Unlock()
+		},
+	}
+	return it, nil
+}
+
+func (d *DB) openTableIter(fileNum uint64) (internalIterator, error) {
+	r, release, err := d.tables.get(fileNum)
+	if err != nil {
+		return nil, err
+	}
+	return &sstIterAdapter{it: r.NewIter(), release: release}, nil
+}
+
+// ---- Flush ----
+
+func (d *DB) maybeScheduleFlushLocked() {
+	if d.opts.ReadOnly {
+		return
+	}
+	if d.flushing || d.closed || d.bgErr != nil || len(d.imm) == 0 {
+		return
+	}
+	d.flushing = true
+	go d.flushWorker()
+}
+
+func (d *DB) flushWorker() {
+	for {
+		d.mu.Lock()
+		if len(d.imm) == 0 || d.bgErr != nil || d.closed {
+			d.flushing = false
+			waiters := d.flushWaiters
+			d.flushWaiters = nil
+			err := d.bgErr
+			d.maybeScheduleCompactionLocked()
+			d.bgCond.Broadcast()
+			d.mu.Unlock()
+			for _, w := range waiters {
+				w <- err
+			}
+			return
+		}
+		mem := d.imm[0]
+		d.mu.Unlock()
+
+		meta, err := d.writeMemTable(mem)
+		if err != nil {
+			d.setBGErr(err)
+			continue
+		}
+
+		d.mu.Lock()
+		edit := &manifest.VersionEdit{}
+		if meta != nil {
+			edit.Added = []manifest.AddedFile{{Level: 0, Meta: *meta}}
+		}
+		// All WALs older than the next surviving memtable are obsolete.
+		var minLog uint64
+		if len(d.imm) > 1 {
+			minLog = d.imm[1].logNum
+		} else {
+			minLog = d.mem.logNum
+		}
+		edit.LogNumber = &minLog
+		if err := d.applyEditLocked(edit); err != nil {
+			d.mu.Unlock()
+			d.setBGErr(err)
+			continue
+		}
+		d.imm = d.imm[1:]
+		d.metFlushes.Add(1)
+		d.deleteObsoleteLocked()
+		d.maybeScheduleCompactionLocked()
+		d.bgCond.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// writeMemTable persists mem as an L0 table. Returns nil meta for an empty
+// memtable.
+func (d *DB) writeMemTable(mem *memTable) (*manifest.FileMetadata, error) {
+	if mem.empty() {
+		return nil, nil
+	}
+	d.mu.Lock()
+	fileNum := d.allocFileNum()
+	d.fileSeq++
+	seq := d.fileSeq
+	d.mu.Unlock()
+
+	name := sstFileName(d.dir, fileNum)
+	raw, err := d.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	wrapped, dekID, err := d.wrapper.WrapCreate(name, FileKindSST, raw)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	w := newTableWriter(wrapped, d.opts)
+	it := mem.iter()
+	for ok := it.First(); ok; ok = it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return nil, err
+	}
+	d.metFlushWrite.Add(int64(w.FileSize()))
+
+	meta := &manifest.FileMetadata{
+		FileNum:  fileNum,
+		Size:     w.FileSize(),
+		Smallest: w.Smallest(),
+		Largest:  w.Largest(),
+		DEKID:    dekID,
+		Seq:      seq,
+	}
+	if dekID != "" {
+		d.mu.Lock()
+		d.dekIDs[fileNum] = dekID
+		d.mu.Unlock()
+	}
+	return meta, nil
+}
+
+// rotateMemtable seals the active memtable behind a fresh WAL. It runs on
+// the commit goroutine, so it never races WAL appends.
+func (d *DB) rotateMemtable() error {
+	d.mu.Lock()
+	if d.mem.empty() {
+		d.mu.Unlock()
+		return nil
+	}
+	old := d.walWriter
+	d.imm = append(d.imm, d.mem)
+	if err := d.startNewLogLocked(); err != nil {
+		d.bgErr = err
+		d.mu.Unlock()
+		return err
+	}
+	d.maybeScheduleFlushLocked()
+	d.mu.Unlock()
+	if old != nil {
+		return old.Close()
+	}
+	return nil
+}
+
+// Flush forces the active memtable to disk and waits for all pending
+// flushes to finish.
+func (d *DB) Flush() error {
+	if d.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	req := &commitRequest{rotate: true, done: make(chan error, 1)}
+	if err := d.sendCommit(req); err != nil {
+		return err
+	}
+	if err := <-req.done; err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if len(d.imm) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	ch := make(chan error, 1)
+	d.flushWaiters = append(d.flushWaiters, ch)
+	d.maybeScheduleFlushLocked()
+	d.mu.Unlock()
+	return <-ch
+}
+
+// ---- Version management ----
+
+// applyEditLocked logs edit to the MANIFEST and installs the new version.
+// d.mu must be held.
+func (d *DB) applyEditLocked(edit *manifest.VersionEdit) error {
+	nf := d.nextFileNum
+	ls := d.lastSeq.Load()
+	edit.NextFileNumber = &nf
+	edit.LastSeq = &ls
+
+	nv, err := d.current.Apply(edit)
+	if err != nil {
+		return err
+	}
+	enc, err := edit.Encode()
+	if err != nil {
+		return err
+	}
+	if err := d.manifestW.AddRecord(enc); err != nil {
+		return err
+	}
+	if err := d.manifestW.Sync(); err != nil {
+		return err
+	}
+	// Long-running instances roll the MANIFEST once the edit history grows
+	// past the cap, replacing it with one snapshot record (the same
+	// compaction that happens at every open).
+	if d.manifestW.Size() > maxManifestSize {
+		if err := d.rotateManifestLocked(nv); err != nil {
+			// Rotation failure is not fatal: the old manifest is intact.
+			d.opts.Logger("lsm: manifest rotation failed: %v", err)
+		}
+	}
+	// Files removed by this edit become deletion candidates.
+	for _, del := range edit.Deleted {
+		dekID := d.dekIDs[del.FileNum]
+		delete(d.dekIDs, del.FileNum)
+		d.zombies = append(d.zombies, zombieFile{
+			name:    sstFileName(d.dir, del.FileNum),
+			dekID:   dekID,
+			fileNum: del.FileNum,
+			isSST:   true,
+		})
+	}
+	d.current = nv
+	return nil
+}
+
+// maxManifestSize triggers a MANIFEST roll (snapshot into a fresh file).
+// A variable so tests can lower it.
+var maxManifestSize int64 = 4 << 20
+
+// rotateManifestLocked writes nv as a single snapshot edit into a fresh
+// MANIFEST, repoints CURRENT, and retires the old manifest file. d.mu held.
+func (d *DB) rotateManifestLocked(nv *manifest.Version) error {
+	oldNum := d.manifestNum
+	oldW := d.manifestW
+	d.manifestNum = d.allocFileNum()
+	if err := d.openManifest(); err != nil {
+		// Restore the previous writer; openManifest may have clobbered it.
+		d.manifestNum = oldNum
+		d.manifestW = oldW
+		return err
+	}
+	snap := &manifest.VersionEdit{}
+	for lvl := range nv.Levels {
+		for _, f := range nv.Levels[lvl] {
+			snap.Added = append(snap.Added, manifest.AddedFile{Level: lvl, Meta: *f})
+		}
+	}
+	nf := d.nextFileNum
+	ls := d.lastSeq.Load()
+	ln := d.logNum
+	snap.NextFileNumber = &nf
+	snap.LastSeq = &ls
+	snap.LogNumber = &ln
+	enc, err := snap.Encode()
+	if err != nil {
+		return err
+	}
+	if err := d.manifestW.AddRecord(enc); err != nil {
+		return err
+	}
+	if err := d.manifestW.Sync(); err != nil {
+		return err
+	}
+	oldW.Close()
+	oldName := manifestFileName(d.dir, oldNum)
+	if err := d.fs.Remove(oldName); err == nil {
+		d.wrapper.FileDeleted(oldName, "")
+	}
+	return nil
+}
+
+// deleteObsoleteLocked removes zombie SSTs (unless iterators pin them) and
+// WALs older than the live log. d.mu must be held.
+func (d *DB) deleteObsoleteLocked() {
+	if d.iterCount == 0 {
+		for _, z := range d.zombies {
+			d.tables.evict(z.fileNum)
+			if err := d.fs.Remove(z.name); err != nil && !errors.Is(err, vfs.ErrNotFound) {
+				d.opts.Logger("lsm: removing %s: %v", z.name, err)
+			}
+			d.wrapper.FileDeleted(z.name, z.dekID)
+		}
+		d.zombies = nil
+	}
+
+	// WALs below the oldest live memtable log are dead.
+	minLog := d.logNum
+	for _, m := range d.imm {
+		if m.logNum < minLog {
+			minLog = m.logNum
+		}
+	}
+	entries, err := d.fs.List(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		kind, num, ok := parseFileName(e.Name)
+		if !ok {
+			continue
+		}
+		full := d.dir + "/" + e.Name
+		switch kind {
+		case FileKindWAL:
+			if num < minLog {
+				if err := d.fs.Remove(full); err == nil {
+					d.wrapper.FileDeleted(full, "")
+				}
+			}
+		case FileKindManifest:
+			if num != d.manifestNum {
+				if err := d.fs.Remove(full); err == nil {
+					d.wrapper.FileDeleted(full, "")
+				}
+			}
+		}
+	}
+}
+
+// ---- Snapshots ----
+
+// Snapshot pins a point-in-time view for reads.
+type Snapshot struct {
+	db  *DB
+	seq base.SeqNum
+}
+
+// NewSnapshot returns a snapshot at the current sequence.
+func (d *DB) NewSnapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := &Snapshot{db: d, seq: base.SeqNum(d.lastSeq.Load())}
+	d.snapshots = append(d.snapshots, s.seq)
+	return s
+}
+
+// Get reads key at the snapshot.
+func (s *Snapshot) Get(key []byte) ([]byte, error) { return s.db.getAt(key, s.seq) }
+
+// Release unpins the snapshot.
+func (s *Snapshot) Release() {
+	d := s.db
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, seq := range d.snapshots {
+		if seq == s.seq {
+			d.snapshots = append(d.snapshots[:i], d.snapshots[i+1:]...)
+			break
+		}
+	}
+}
+
+// smallestSnapshotLocked returns the lowest pinned sequence (or lastSeq).
+func (d *DB) smallestSnapshotLocked() base.SeqNum {
+	min := base.SeqNum(d.lastSeq.Load())
+	for _, s := range d.snapshots {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// ---- Metrics / lifecycle ----
+
+// Metrics returns a snapshot of engine counters.
+func (d *DB) Metrics() Metrics {
+	return Metrics{
+		Flushes:           d.metFlushes.Load(),
+		Compactions:       d.metCompact.Load(),
+		CompactionRead:    d.metCompRead.Load(),
+		CompactionWritten: d.metCompWrite.Load(),
+		FlushWritten:      d.metFlushWrite.Load(),
+		WALWritten:        d.metWAL.Load(),
+		StallTime:         time.Duration(d.metStallNanos.Load()),
+		Gets:              d.metGets.Load(),
+		Writes:            d.metWrites.Load(),
+	}
+}
+
+// NumFilesAtLevel reports the file count at a level (for tests/benches).
+func (d *DB) NumFilesAtLevel(level int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.current.Levels[level])
+}
+
+// Close flushes the WAL and stops background work. Memtable contents remain
+// recoverable from the WAL on reopen.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+
+	// Exclude all senders, then close the commit channel.
+	d.commitMu.Lock()
+	close(d.commitCh)
+	d.commitMu.Unlock()
+	d.commitWG.Wait()
+
+	// Wait for background workers to drain.
+	d.mu.Lock()
+	for d.flushing || d.compactions > 0 {
+		d.bgCond.Wait()
+	}
+	walW := d.walWriter
+	manW := d.manifestW
+	d.mu.Unlock()
+
+	var firstErr error
+	if walW != nil {
+		if err := walW.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if manW != nil {
+		if err := manW.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	d.tables.close()
+	return firstErr
+}
+
+// DebugString renders a human-readable summary of the tree: per-level file
+// counts and sizes plus engine counters — the analog of RocksDB's
+// "rocksdb.stats" property, used by tools and tests.
+func (d *DB) DebugString() string {
+	d.mu.Lock()
+	ver := d.current
+	memBytes := d.mem.approximateSize()
+	immCount := len(d.imm)
+	d.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "memtable: %d bytes (+%d immutable)\n", memBytes, immCount)
+	for lvl := range ver.Levels {
+		if len(ver.Levels[lvl]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "L%d: %3d files %10d bytes\n", lvl, len(ver.Levels[lvl]), ver.LevelSize(lvl))
+	}
+	m := d.Metrics()
+	fmt.Fprintf(&b, "flushes=%d compactions=%d wal=%dB flushed=%dB compacted(r/w)=%dB/%dB stall=%v\n",
+		m.Flushes, m.Compactions, m.WALWritten, m.FlushWritten,
+		m.CompactionRead, m.CompactionWritten, m.StallTime.Round(time.Millisecond))
+	return b.String()
+}

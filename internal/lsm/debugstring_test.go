@@ -1,0 +1,30 @@
+package lsm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"shield/internal/vfs"
+)
+
+func TestDebugString(t *testing.T) {
+	db, err := Open("db", testOptions(vfs.NewMem()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), make([]byte, 64))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.DebugString()
+	if !strings.Contains(s, "memtable:") || !strings.Contains(s, "flushes=") {
+		t.Fatalf("malformed debug string:\n%s", s)
+	}
+	if !strings.Contains(s, "L0:") && !strings.Contains(s, "L1:") {
+		t.Fatalf("no level lines:\n%s", s)
+	}
+}

@@ -1,0 +1,193 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"shield/internal/vfs"
+)
+
+// faultFS injects write failures after a byte budget is exhausted,
+// simulating a storage device or remote mount going bad mid-run.
+type faultFS struct {
+	vfs.FS
+	budget atomic.Int64 // remaining writable bytes; negative = failing
+}
+
+var errInjected = errors.New("injected write failure")
+
+func newFaultFS(base vfs.FS, budget int64) *faultFS {
+	f := &faultFS{FS: base}
+	f.budget.Store(budget)
+	return f
+}
+
+func (f *faultFS) Create(name string) (vfs.WritableFile, error) {
+	w, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultWritable{f: w, fs: f}, nil
+}
+
+type faultWritable struct {
+	f  vfs.WritableFile
+	fs *faultFS
+}
+
+func (w *faultWritable) Write(p []byte) (int, error) {
+	if w.fs.budget.Add(-int64(len(p))) < 0 {
+		return 0, errInjected
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultWritable) Sync() error {
+	if w.fs.budget.Load() < 0 {
+		return errInjected
+	}
+	return w.f.Sync()
+}
+
+func (w *faultWritable) Close() error { return w.f.Close() }
+
+// TestWriteFailureSurfacesAndPoisons: when storage starts failing, writes
+// report errors (directly or via the poisoned background state) instead of
+// silently losing data, and the process does not hang or panic.
+func TestWriteFailureSurfacesAndPoisons(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := newFaultFS(base, 256<<10) // fail after 256 KiB of writes
+	opts := testOptions(ffs)
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var firstErr error
+	for i := 0; i < 50_000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), make([]byte, 100)); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("no error surfaced despite storage failure")
+	}
+	// Once poisoned, later writes keep failing fast.
+	if err := db.Put([]byte("after"), []byte("x")); err == nil {
+		t.Fatal("write succeeded on a poisoned database")
+	}
+}
+
+// TestRecoveryAfterWriteFailure: data that was durably written before the
+// fault is recoverable once the storage is healthy again.
+func TestRecoveryAfterWriteFailure(t *testing.T) {
+	base := vfs.NewMem()
+	ffs := newFaultFS(base, 128<<10)
+	opts := testOptions(ffs)
+	opts.SyncWrites = true
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := 0
+	for i := 0; i < 50_000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), make([]byte, 100)); err != nil {
+			break
+		}
+		written++
+	}
+	db.Close()
+	if written == 0 {
+		t.Fatal("nothing written before fault")
+	}
+
+	// Reopen on the healthy base filesystem.
+	db2, err := Open("db", testOptions(base))
+	if err != nil {
+		t.Fatalf("reopen after fault: %v", err)
+	}
+	defer db2.Close()
+	// Every synced pre-fault write must be present.
+	for i := 0; i < written; i++ {
+		if _, err := db2.Get([]byte(fmt.Sprintf("k%06d", i))); err != nil {
+			t.Fatalf("synced pre-fault key k%06d lost: %v", i, err)
+		}
+	}
+}
+
+// TestCloseIsIdempotent and post-close operations fail cleanly.
+func TestCloseIdempotentAndGuards(t *testing.T) {
+	db, err := Open("db", testOptions(vfs.NewMem()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := db.Put([]byte("k2"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("get after close: %v", err)
+	}
+	if _, err := db.NewIter(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("iter after close: %v", err)
+	}
+}
+
+// TestEmptyAndEdgeKeys: empty keys/values and binary keys are legal.
+func TestEmptyAndEdgeKeys(t *testing.T) {
+	db, err := Open("db", testOptions(vfs.NewMem()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Put([]byte{}, []byte("empty-key")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Get([]byte{}); err != nil || string(v) != "empty-key" {
+		t.Fatalf("empty key: %q %v", v, err)
+	}
+	if err := db.Put([]byte("k"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Get([]byte("k")); err != nil || len(v) != 0 {
+		t.Fatalf("nil value: %q %v", v, err)
+	}
+	bin := []byte{0x00, 0xff, 0x00, 0x01}
+	if err := db.Put(bin, []byte("binary")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Get(bin); err != nil || string(v) != "binary" {
+		t.Fatalf("binary key after flush: %q %v", v, err)
+	}
+	// Large value crossing block and WAL-fragment boundaries.
+	big := make([]byte, 300_000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := db.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("big"))
+	if err != nil || len(v) != len(big) {
+		t.Fatalf("big value: %d bytes, %v", len(v), err)
+	}
+	for i := range big {
+		if v[i] != big[i] {
+			t.Fatalf("big value corrupted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package lsm
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// File naming follows the LevelDB/RocksDB convention:
+//
+//	000042.log        WAL
+//	000042.sst        SST
+//	MANIFEST-000042   version-edit log
+//	CURRENT           pointer to the live MANIFEST
+//	LOCK              single-process guard (advisory)
+
+func walFileName(dir string, num uint64) string {
+	return path.Join(dir, fmt.Sprintf("%06d.log", num))
+}
+
+func sstFileName(dir string, num uint64) string {
+	return path.Join(dir, fmt.Sprintf("%06d.sst", num))
+}
+
+func manifestFileName(dir string, num uint64) string {
+	return path.Join(dir, fmt.Sprintf("MANIFEST-%06d", num))
+}
+
+func currentFileName(dir string) string { return path.Join(dir, "CURRENT") }
+
+// parseFileName classifies a directory entry, returning its kind and number.
+// ok is false for unrelated files.
+func parseFileName(name string) (kind FileKind, num uint64, ok bool) {
+	switch {
+	case name == "CURRENT":
+		return FileKindCurrent, 0, true
+	case strings.HasPrefix(name, "MANIFEST-"):
+		n, err := strconv.ParseUint(strings.TrimPrefix(name, "MANIFEST-"), 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return FileKindManifest, n, true
+	case strings.HasSuffix(name, ".log"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return FileKindWAL, n, true
+	case strings.HasSuffix(name, ".sst"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return FileKindSST, n, true
+	default:
+		return 0, 0, false
+	}
+}

@@ -1,0 +1,71 @@
+package lsm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"shield/internal/vfs"
+)
+
+// TestManifestRotation: once the MANIFEST outgrows the cap it is rolled
+// into a fresh snapshot file, CURRENT is repointed, the old manifest is
+// deleted, and the database still recovers correctly.
+func TestManifestRotation(t *testing.T) {
+	old := maxManifestSize
+	maxManifestSize = 4 << 10 // tiny cap to force rotations
+	defer func() { maxManifestSize = old }()
+
+	fs := vfs.NewMem()
+	opts := testOptions(fs)
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Many flushes -> many edits -> several rotations.
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 50; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("r%02d-k%03d", round, i)), make([]byte, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Exactly one manifest file remains.
+	entries, err := fs.List("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifests := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name, "MANIFEST-") {
+			manifests++
+			if e.Size > 64<<10 {
+				t.Fatalf("manifest %s grew to %d bytes despite rotation", e.Name, e.Size)
+			}
+		}
+	}
+	if manifests != 1 {
+		t.Fatalf("%d manifest files on disk, want 1", manifests)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery through the rotated manifest.
+	db2, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for round := 0; round < 40; round += 7 {
+		k := fmt.Sprintf("r%02d-k%03d", round, 25)
+		if _, err := db2.Get([]byte(k)); err != nil {
+			t.Fatalf("after rotation+reopen, Get(%s): %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package lsm
+
+import (
+	"bytes"
+
+	"shield/internal/lsm/base"
+	"shield/internal/lsm/skiplist"
+)
+
+// memTable wraps the skiplist with internal-key semantics.
+type memTable struct {
+	list   *skiplist.List
+	logNum uint64 // WAL file backing this memtable
+}
+
+func newMemTable(logNum uint64) *memTable {
+	return &memTable{list: skiplist.New(base.CompareInternal), logNum: logNum}
+}
+
+// add inserts one record. Callers serialize adds (the commit pipeline).
+func (m *memTable) add(seq base.SeqNum, kind base.Kind, key, value []byte) {
+	ikey := base.MakeInternalKey(key, seq, kind)
+	v := append([]byte(nil), value...)
+	m.list.Insert(ikey, v)
+}
+
+// get returns the newest record for userKey visible at seq.
+// ok reports whether any record was found; kind distinguishes live values
+// from tombstones.
+func (m *memTable) get(userKey []byte, seq base.SeqNum) (value []byte, kind base.Kind, ok bool) {
+	it := m.list.NewIterator()
+	it.SeekGE(base.SearchKey(userKey, seq))
+	if !it.Valid() {
+		return nil, 0, false
+	}
+	ikey := it.Key()
+	if !bytes.Equal(base.UserKey(ikey), userKey) {
+		return nil, 0, false
+	}
+	_, k := base.DecodeTrailer(ikey)
+	return it.Value(), k, true
+}
+
+func (m *memTable) approximateSize() int64 { return m.list.ApproximateSize() }
+func (m *memTable) empty() bool            { return m.list.Len() == 0 }
+
+// iter adapts the skiplist iterator to the internalIterator interface.
+func (m *memTable) iter() internalIterator {
+	return &memIter{it: m.list.NewIterator()}
+}
+
+type memIter struct {
+	it *skiplist.Iterator
+}
+
+func (m *memIter) First() bool {
+	m.it.First()
+	return m.it.Valid()
+}
+
+func (m *memIter) Next() bool {
+	m.it.Next()
+	return m.it.Valid()
+}
+
+func (m *memIter) SeekGE(target []byte) bool {
+	m.it.SeekGE(target)
+	return m.it.Valid()
+}
+
+func (m *memIter) SeekLT(target []byte) bool {
+	m.it.SeekLT(target)
+	return m.it.Valid()
+}
+
+func (m *memIter) Last() bool {
+	m.it.Last()
+	return m.it.Valid()
+}
+
+func (m *memIter) Valid() bool   { return m.it.Valid() }
+func (m *memIter) Key() []byte   { return m.it.Key() }
+func (m *memIter) Value() []byte { return m.it.Value() }
+func (m *memIter) Err() error    { return nil }
+func (m *memIter) Close() error  { return nil }

@@ -1,0 +1,248 @@
+// Package lsm implements the Log-Structured Merge-tree key-value store the
+// SHIELD paper builds on: WAL-fronted writes into a skiplist memtable,
+// flushes to block-based SST files, and leveled / universal / FIFO
+// background compaction, with a MANIFEST-logged version set.
+//
+// The engine is encryption-agnostic. Every file it creates or opens passes
+// through Options.FileWrapper — the seam where SHIELD (internal/core)
+// embeds per-file DEKs, the WAL buffer, and chunked compaction encryption,
+// and where instance-level encryption is a no-op (EncFS wraps the
+// filesystem below this layer instead).
+package lsm
+
+import (
+	"fmt"
+
+	"shield/internal/lsm/sstable"
+	"shield/internal/vfs"
+)
+
+// FileKind tells the FileWrapper what role a file plays, so encryption
+// policy can differ per component (e.g. buffered WAL writes, chunked SST
+// encryption, plaintext CURRENT pointer).
+type FileKind int
+
+// File roles.
+const (
+	FileKindWAL FileKind = iota
+	FileKindSST
+	FileKindManifest
+	FileKindCurrent
+	FileKindOther
+)
+
+// String implements fmt.Stringer.
+func (k FileKind) String() string {
+	switch k {
+	case FileKindWAL:
+		return "wal"
+	case FileKindSST:
+		return "sst"
+	case FileKindManifest:
+		return "manifest"
+	case FileKindCurrent:
+		return "current"
+	default:
+		return "other"
+	}
+}
+
+// FileWrapper intercepts file creation and opening on the engine's write
+// and read paths. Implementations encrypt/decrypt, assign DEKs, and track
+// key lifecycle. The zero wrapper (NopWrapper) passes files through.
+type FileWrapper interface {
+	// WrapCreate wraps a newly created file. It may write a plaintext
+	// header (e.g. carrying a DEK-ID) before returning. The returned dekID
+	// (possibly empty) is recorded in file metadata for SSTs.
+	WrapCreate(name string, kind FileKind, f vfs.WritableFile) (vfs.WritableFile, string, error)
+
+	// WrapOpen wraps a file opened for random access, typically reading
+	// the header written by WrapCreate and resolving its DEK.
+	WrapOpen(name string, kind FileKind, f vfs.RandomAccessFile) (vfs.RandomAccessFile, error)
+
+	// WrapOpenSequential is WrapOpen for streaming reads (WAL/MANIFEST
+	// recovery).
+	WrapOpenSequential(name string, kind FileKind, f vfs.SequentialFile) (vfs.SequentialFile, error)
+
+	// FileDeleted notifies that a file was removed, so its DEK can be
+	// pruned from the secure cache and revoked at the KDS (DEK rotation:
+	// old keys die with their files).
+	FileDeleted(name string, dekID string)
+}
+
+// NopWrapper is the identity FileWrapper (no encryption).
+type NopWrapper struct{}
+
+// WrapCreate implements FileWrapper.
+func (NopWrapper) WrapCreate(_ string, _ FileKind, f vfs.WritableFile) (vfs.WritableFile, string, error) {
+	return f, "", nil
+}
+
+// WrapOpen implements FileWrapper.
+func (NopWrapper) WrapOpen(_ string, _ FileKind, f vfs.RandomAccessFile) (vfs.RandomAccessFile, error) {
+	return f, nil
+}
+
+// WrapOpenSequential implements FileWrapper.
+func (NopWrapper) WrapOpenSequential(_ string, _ FileKind, f vfs.SequentialFile) (vfs.SequentialFile, error) {
+	return f, nil
+}
+
+// FileDeleted implements FileWrapper.
+func (NopWrapper) FileDeleted(string, string) {}
+
+// CompactionStyle selects the background-compaction policy.
+type CompactionStyle int
+
+// Compaction styles, mirroring RocksDB's leveled, universal (size-tiered),
+// and FIFO policies.
+const (
+	CompactionLeveled CompactionStyle = iota
+	CompactionUniversal
+	CompactionFIFO
+)
+
+// String implements fmt.Stringer.
+func (s CompactionStyle) String() string {
+	switch s {
+	case CompactionLeveled:
+		return "leveled"
+	case CompactionUniversal:
+		return "universal"
+	case CompactionFIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// Options configures a DB.
+type Options struct {
+	// FS is the filesystem; defaults to the in-memory filesystem (tests)
+	// is NOT implied — FS is required.
+	FS vfs.FS
+
+	// Wrapper intercepts file I/O; defaults to NopWrapper.
+	Wrapper FileWrapper
+
+	// MemtableSize triggers flush when the active memtable exceeds this
+	// many bytes. Default 4 MiB.
+	MemtableSize int64
+
+	// BlockSize is the SST data-block size. Default 4096.
+	BlockSize int
+
+	// BloomBitsPerKey sizes SST bloom filters. Default 10; negative
+	// disables filters.
+	BloomBitsPerKey int
+
+	// Compression compresses SST data blocks before they are encrypted
+	// (ciphertext does not compress, so the pipeline order matters).
+	// Default off, matching the paper's evaluation configuration.
+	Compression sstable.Compression
+
+	// BlockCacheSize bounds the decrypted-block cache. Default 8 MiB;
+	// 0 keeps the default, negative disables the cache.
+	BlockCacheSize int64
+
+	// L0CompactionTrigger is the L0 file count that starts a leveled
+	// compaction (or the run count for universal). Default 4.
+	L0CompactionTrigger int
+
+	// L0StopWritesTrigger stalls writes when L0 grows past it. Default 20.
+	L0StopWritesTrigger int
+
+	// BaseLevelSize is the target size of L1. Default 16 MiB.
+	BaseLevelSize uint64
+
+	// LevelSizeMultiplier is the fanout between level targets. Default 10.
+	LevelSizeMultiplier int
+
+	// TargetFileSize caps individual compaction output files. Default 4 MiB.
+	TargetFileSize uint64
+
+	// MaxBackgroundJobs bounds concurrent flush+compaction goroutines.
+	// Default 2.
+	MaxBackgroundJobs int
+
+	// CompactionStyle selects leveled, universal, or FIFO compaction.
+	CompactionStyle CompactionStyle
+
+	// FIFOMaxTableSize is the total-size cap for FIFO compaction; oldest
+	// files are dropped beyond it. Default 256 MiB.
+	FIFOMaxTableSize uint64
+
+	// UniversalMaxRuns is the sorted-run count that triggers a universal
+	// merge. Default 8.
+	UniversalMaxRuns int
+
+	// SyncWrites makes every committed batch fsync the WAL. Default false
+	// (matching db_bench's default of buffered, non-synced WAL writes).
+	SyncWrites bool
+
+	// DisableWAL turns the WAL off entirely (crash consistency is lost);
+	// used by benchmarks isolating non-WAL costs.
+	DisableWAL bool
+
+	// Compactor, when non-nil, executes compactions remotely (offloaded
+	// compaction). Flushes always run locally.
+	Compactor Compactor
+
+	// ReadOnly opens the database as a read-only instance (the DS
+	// optimization of launching extra read replicas over shared WAL and
+	// SST files): the manifest and WALs are replayed in memory, nothing is
+	// written or deleted, and no background work runs. Writes, Flush, and
+	// CompactRange return ErrReadOnly.
+	ReadOnly bool
+
+	// Logger receives background-error and event lines; nil discards.
+	Logger func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Wrapper == nil {
+		o.Wrapper = NopWrapper{}
+	}
+	if o.MemtableSize == 0 {
+		o.MemtableSize = 4 << 20
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 4096
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.BlockCacheSize == 0 {
+		o.BlockCacheSize = 8 << 20
+	} else if o.BlockCacheSize < 0 {
+		o.BlockCacheSize = 0
+	}
+	if o.L0CompactionTrigger == 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.L0StopWritesTrigger == 0 {
+		o.L0StopWritesTrigger = 20
+	}
+	if o.BaseLevelSize == 0 {
+		o.BaseLevelSize = 16 << 20
+	}
+	if o.LevelSizeMultiplier == 0 {
+		o.LevelSizeMultiplier = 10
+	}
+	if o.TargetFileSize == 0 {
+		o.TargetFileSize = 4 << 20
+	}
+	if o.MaxBackgroundJobs == 0 {
+		o.MaxBackgroundJobs = 2
+	}
+	if o.FIFOMaxTableSize == 0 {
+		o.FIFOMaxTableSize = 256 << 20
+	}
+	if o.UniversalMaxRuns == 0 {
+		o.UniversalMaxRuns = 8
+	}
+	if o.Logger == nil {
+		o.Logger = func(string, ...any) {}
+	}
+	return o
+}

@@ -1,0 +1,108 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shield/internal/vfs"
+)
+
+// TestReadOnlyInstance: a second instance opens the same directory
+// read-only and serves both SST data and WAL-resident (unflushed) data,
+// without writing a byte — the DS read-only-replica mechanism.
+func TestReadOnlyInstance(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := testOptions(fs)
+	primary, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flushed data.
+	for i := 0; i < 3000; i++ {
+		if err := primary.Put([]byte(fmt.Sprintf("sst-%05d", i)), []byte("flushed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL-only data, synced so it is visible to a second reader.
+	b := NewBatch()
+	for i := 0; i < 100; i++ {
+		b.Put([]byte(fmt.Sprintf("wal-%03d", i)), []byte("unflushed"))
+	}
+	if err := primary.Write(b, true); err != nil {
+		t.Fatal(err)
+	}
+
+	roOpts := opts
+	roOpts.ReadOnly = true
+	replica, err := Open("db", roOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	filesBefore, _ := fs.List("db")
+
+	// Reads of both flushed and WAL-resident data.
+	if v, err := replica.Get([]byte("sst-00042")); err != nil || string(v) != "flushed" {
+		t.Fatalf("replica SST read: %q %v", v, err)
+	}
+	if v, err := replica.Get([]byte("wal-050")); err != nil || string(v) != "unflushed" {
+		t.Fatalf("replica WAL read: %q %v", v, err)
+	}
+	it, err := replica.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		count++
+	}
+	it.Close()
+	if count != 3100 {
+		t.Fatalf("replica iterated %d keys, want 3100", count)
+	}
+
+	// Writes and maintenance are refused.
+	if err := replica.Put([]byte("x"), []byte("y")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica Put: %v", err)
+	}
+	if err := replica.Flush(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica Flush: %v", err)
+	}
+	if err := replica.CompactRange(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica CompactRange: %v", err)
+	}
+
+	// The replica changed nothing on shared storage.
+	filesAfter, _ := fs.List("db")
+	if len(filesBefore) != len(filesAfter) {
+		t.Fatalf("read-only replica changed the directory: %d -> %d files",
+			len(filesBefore), len(filesAfter))
+	}
+	for i := range filesBefore {
+		if filesBefore[i] != filesAfter[i] {
+			t.Fatalf("file %v changed to %v", filesBefore[i], filesAfter[i])
+		}
+	}
+
+	// The primary keeps working while the replica is open.
+	if err := primary.Put([]byte("post"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyMissingDB(t *testing.T) {
+	opts := testOptions(vfs.NewMem())
+	opts.ReadOnly = true
+	if _, err := Open("nope", opts); err == nil {
+		t.Fatal("read-only open created a database")
+	}
+}

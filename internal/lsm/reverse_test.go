@@ -1,0 +1,172 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"shield/internal/vfs"
+)
+
+// TestReverseIteration validates Last/Prev/SeekLT against a model across
+// memtable-only, flushed, and compacted states, with overwrites and
+// deletes in the mix.
+func TestReverseIteration(t *testing.T) {
+	fs := vfs.NewMem()
+	db, err := Open("db", testOptions(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	model := make(map[string]string)
+	rng := rand.New(rand.NewSource(5))
+	apply := func(n int) {
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%05d", rng.Intn(3000))
+			if rng.Intn(5) == 0 {
+				if err := db.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", rng.Int63())
+				if err := db.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = v
+			}
+		}
+	}
+
+	verify := func(stage string) {
+		t.Helper()
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		it, err := db.NewIter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+
+		// Full reverse scan must mirror the sorted model.
+		i := len(keys) - 1
+		for ok := it.Last(); ok; ok = it.Prev() {
+			if i < 0 {
+				t.Fatalf("%s: reverse scan yielded extra key %q", stage, it.Key())
+			}
+			if string(it.Key()) != keys[i] {
+				t.Fatalf("%s: reverse position %d: got %q want %q", stage, i, it.Key(), keys[i])
+			}
+			if string(it.Value()) != model[keys[i]] {
+				t.Fatalf("%s: reverse value for %q mismatch", stage, it.Key())
+			}
+			i--
+		}
+		if err := it.Err(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if i != -1 {
+			t.Fatalf("%s: reverse scan stopped early, %d keys unseen", stage, i+1)
+		}
+
+		// SeekLT spot checks, including targets between keys and past ends.
+		for probe := 0; probe < 50; probe++ {
+			target := fmt.Sprintf("k%05d", rng.Intn(3200))
+			idx := sort.SearchStrings(keys, target) - 1 // last key < target
+			got := it.SeekLT([]byte(target))
+			if idx < 0 {
+				if got {
+					t.Fatalf("%s: SeekLT(%s) found %q, want none", stage, target, it.Key())
+				}
+				continue
+			}
+			if !got {
+				t.Fatalf("%s: SeekLT(%s) found nothing, want %q", stage, target, keys[idx])
+			}
+			if string(it.Key()) != keys[idx] {
+				t.Fatalf("%s: SeekLT(%s) = %q, want %q", stage, target, it.Key(), keys[idx])
+			}
+		}
+
+		// Direction mixing: Prev after SeekGE, Next-like consistency.
+		if len(keys) > 2 {
+			mid := keys[len(keys)/2]
+			if !it.SeekGE([]byte(mid)) {
+				t.Fatalf("%s: SeekGE(%s) failed", stage, mid)
+			}
+			if it.Prev() {
+				got := string(it.Key())
+				idx := sort.SearchStrings(keys, mid) - 1
+				if idx >= 0 && got != keys[idx] {
+					t.Fatalf("%s: Prev after SeekGE(%s) = %q want %q", stage, mid, got, keys[idx])
+				}
+			}
+		}
+	}
+
+	// Stage 1: memtable only.
+	apply(2000)
+	verify("memtable")
+
+	// Stage 2: flushed to L0 (plus fresh memtable contents).
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	apply(2000)
+	verify("L0+memtable")
+
+	// Stage 3: fully compacted plus a fresh overlay.
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	apply(1000)
+	verify("compacted+overlay")
+}
+
+// TestReverseEmptyAndEdges covers reverse ops on empty and single-key DBs.
+func TestReverseEmptyAndEdges(t *testing.T) {
+	db, err := Open("db", testOptions(vfs.NewMem()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Last() || it.Prev() || it.SeekLT([]byte("z")) {
+		t.Fatal("reverse ops on empty db returned entries")
+	}
+	it.Close()
+
+	db.Put([]byte("only"), []byte("one"))
+	it2, _ := db.NewIter()
+	defer it2.Close()
+	if !it2.Last() || string(it2.Key()) != "only" {
+		t.Fatal("Last on single-key db")
+	}
+	if it2.Prev() {
+		t.Fatal("Prev past the beginning returned an entry")
+	}
+	if it2.SeekLT([]byte("only")) {
+		t.Fatal("SeekLT(first key) returned an entry")
+	}
+	if !it2.SeekLT([]byte("onlyz")) || string(it2.Key()) != "only" {
+		t.Fatal("SeekLT(after) missed the key")
+	}
+	// Tombstoned newest version must be skipped in reverse too.
+	db.Put([]byte("zz"), []byte("x"))
+	db.Delete([]byte("zz"))
+	it3, _ := db.NewIter()
+	defer it3.Close()
+	if !it3.Last() || string(it3.Key()) != "only" {
+		t.Fatalf("Last skipped tombstone wrong: %q", it3.Key())
+	}
+}

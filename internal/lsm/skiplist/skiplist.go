@@ -1,0 +1,182 @@
+// Package skiplist implements the self-sorting in-memory structure backing
+// the memtable. Writers hold an external lock (the DB write path is
+// group-committed); readers are concurrent with writers thanks to
+// atomically published next pointers, mirroring LevelDB's memtable contract.
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	maxHeight = 12
+	branching = 4
+)
+
+// node is a skiplist node. next pointers are atomic so readers never observe
+// a half-linked node.
+type node struct {
+	key   []byte
+	value []byte
+	next  []atomic.Pointer[node]
+}
+
+// List is a skiplist keyed by byte slices under a caller-supplied comparator.
+type List struct {
+	cmp    func(a, b []byte) int
+	head   *node
+	height atomic.Int32
+	size   atomic.Int64
+	count  atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New returns an empty list ordered by cmp.
+func New(cmp func(a, b []byte) int) *List {
+	head := &node{next: make([]atomic.Pointer[node], maxHeight)}
+	l := &List{cmp: cmp, head: head, rng: rand.New(rand.NewSource(0xdecaf))}
+	l.height.Store(1)
+	return l
+}
+
+func (l *List) randomHeight() int {
+	l.rngMu.Lock()
+	h := 1
+	for h < maxHeight && l.rng.Intn(branching) == 0 {
+		h++
+	}
+	l.rngMu.Unlock()
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= key, filling prev
+// with the predecessor at every level when prev is non-nil.
+func (l *List) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && l.cmp(next.key, key) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Insert adds key with value. Keys must be unique (the memtable guarantees
+// this by embedding a fresh sequence number in every internal key). The
+// caller must serialize Insert calls.
+func (l *List) Insert(key, value []byte) {
+	var prev [maxHeight]*node
+	l.findGreaterOrEqual(key, &prev)
+
+	h := l.randomHeight()
+	if h > int(l.height.Load()) {
+		for i := int(l.height.Load()); i < h; i++ {
+			prev[i] = l.head
+		}
+		l.height.Store(int32(h))
+	}
+
+	n := &node{key: key, value: value, next: make([]atomic.Pointer[node], h)}
+	for i := 0; i < h; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+		prev[i].next[i].Store(n)
+	}
+	l.size.Add(int64(len(key) + len(value)))
+	l.count.Add(1)
+}
+
+// ApproximateSize returns the total bytes of keys and values inserted.
+func (l *List) ApproximateSize() int64 { return l.size.Load() }
+
+// Len returns the number of entries.
+func (l *List) Len() int { return int(l.count.Load()) }
+
+// Iterator walks the list in key order. It is valid only while the list is
+// live; it tolerates concurrent inserts.
+type Iterator struct {
+	list *List
+	n    *node
+}
+
+// NewIterator returns an iterator positioned before the first entry.
+func (l *List) NewIterator() *Iterator { return &Iterator{list: l} }
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current key. Valid only when Valid() is true.
+func (it *Iterator) Key() []byte { return it.n.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.n.value }
+
+// First positions at the smallest entry.
+func (it *Iterator) First() { it.n = it.list.head.next[0].Load() }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.n = it.n.next[0].Load() }
+
+// SeekGE positions at the first entry with key >= target.
+func (it *Iterator) SeekGE(target []byte) {
+	it.n = it.list.findGreaterOrEqual(target, nil)
+}
+
+// findLessThan returns the last node with key < target, or nil.
+func (l *List) findLessThan(target []byte) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && l.cmp(next.key, target) < 0 {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == l.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// SeekLT positions at the last entry with key < target (invalid if none).
+func (it *Iterator) SeekLT(target []byte) {
+	it.n = it.list.findLessThan(target)
+}
+
+// Last positions at the largest entry (invalid if the list is empty).
+func (it *Iterator) Last() {
+	x := it.list.head
+	level := int(it.list.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == it.list.head {
+				it.n = nil
+			} else {
+				it.n = x
+			}
+			return
+		}
+		level--
+	}
+}

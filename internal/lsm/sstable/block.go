@@ -1,0 +1,165 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shield/internal/lsm/base"
+)
+
+// Data and index blocks share one entry format:
+//
+//	varint(keyLen) varint(valueLen) key value
+//
+// Entries are sorted by internal-key order. Blocks are the encryption chunk
+// granularity of SHIELD's compaction path and the block-cache unit.
+
+// blockBuilder accumulates sorted entries into one block.
+type blockBuilder struct {
+	buf     []byte
+	count   int
+	lastKey []byte
+}
+
+func (b *blockBuilder) add(key, value []byte) {
+	var tmp [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(key)))
+	b.buf = append(b.buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(value)))
+	b.buf = append(b.buf, tmp[:n]...)
+	b.buf = append(b.buf, key...)
+	b.buf = append(b.buf, value...)
+	b.count++
+	b.lastKey = append(b.lastKey[:0], key...)
+}
+
+func (b *blockBuilder) sizeEstimate() int { return len(b.buf) }
+func (b *blockBuilder) empty() bool       { return b.count == 0 }
+
+func (b *blockBuilder) finish() []byte { return b.buf }
+
+func (b *blockBuilder) reset() {
+	b.buf = b.buf[:0]
+	b.count = 0
+}
+
+// blockIter iterates the entries of one decoded block.
+type blockIter struct {
+	data []byte
+	off  int
+	key  []byte
+	val  []byte
+	err  error
+}
+
+func newBlockIter(data []byte) *blockIter {
+	return &blockIter{data: data, off: -1}
+}
+
+// next decodes the entry at the current offset and advances. Returns false
+// at the end of the block or on corruption (recorded in err).
+func (it *blockIter) next() bool {
+	if it.off < 0 {
+		it.off = 0
+	}
+	if it.off >= len(it.data) {
+		return false
+	}
+	klen, n := binary.Uvarint(it.data[it.off:])
+	if n <= 0 {
+		it.err = fmt.Errorf("sstable: corrupt block entry at %d", it.off)
+		return false
+	}
+	it.off += n
+	vlen, n := binary.Uvarint(it.data[it.off:])
+	if n <= 0 {
+		it.err = fmt.Errorf("sstable: corrupt block entry at %d", it.off)
+		return false
+	}
+	it.off += n
+	if it.off+int(klen)+int(vlen) > len(it.data) {
+		it.err = fmt.Errorf("sstable: block entry overruns block")
+		return false
+	}
+	it.key = it.data[it.off : it.off+int(klen)]
+	it.off += int(klen)
+	it.val = it.data[it.off : it.off+int(vlen)]
+	it.off += int(vlen)
+	return true
+}
+
+// seekGE positions at the first entry with internal key >= target. Returns
+// false if no such entry exists in the block.
+func (it *blockIter) seekGE(target []byte) bool {
+	it.off = 0
+	for it.next() {
+		if base.CompareInternal(it.key, target) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// seekLT positions at the last entry with internal key < target (false if
+// the block has none). Blocks are small, so a forward scan remembering the
+// last qualifying entry suffices.
+func (it *blockIter) seekLT(target []byte) bool {
+	it.off = 0
+	var lastKey, lastVal []byte
+	found := false
+	for it.next() {
+		if base.CompareInternal(it.key, target) >= 0 {
+			break
+		}
+		lastKey = append(lastKey[:0], it.key...)
+		lastVal = append(lastVal[:0], it.val...)
+		found = true
+	}
+	if it.err != nil || !found {
+		return false
+	}
+	it.key, it.val = lastKey, lastVal
+	return true
+}
+
+// last positions at the block's final entry.
+func (it *blockIter) last() bool {
+	it.off = 0
+	found := false
+	var lastKey, lastVal []byte
+	for it.next() {
+		lastKey = append(lastKey[:0], it.key...)
+		lastVal = append(lastVal[:0], it.val...)
+		found = true
+	}
+	if it.err != nil || !found {
+		return false
+	}
+	it.key, it.val = lastKey, lastVal
+	return true
+}
+
+// blockHandle locates a block within the table body.
+type blockHandle struct {
+	offset uint64
+	length uint64
+}
+
+func (h blockHandle) encode() []byte {
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], h.offset)
+	n += binary.PutUvarint(buf[n:], h.length)
+	return buf[:n]
+}
+
+func decodeHandle(b []byte) (blockHandle, error) {
+	off, n := binary.Uvarint(b)
+	if n <= 0 {
+		return blockHandle{}, fmt.Errorf("sstable: corrupt block handle")
+	}
+	length, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return blockHandle{}, fmt.Errorf("sstable: corrupt block handle")
+	}
+	return blockHandle{offset: off, length: length}, nil
+}

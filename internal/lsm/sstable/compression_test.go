@@ -1,0 +1,114 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shield/internal/lsm/base"
+	"shield/internal/vfs"
+)
+
+// TestCompressionRoundTrip: compressed tables read identically and are
+// smaller for compressible data.
+func TestCompressionRoundTrip(t *testing.T) {
+	build := func(c Compression) (*Reader, int64) {
+		fs := vfs.NewMem()
+		f, err := fs.Create("t.sst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWriter(f, WriterOptions{Compression: c})
+		for i := 0; i < 3000; i++ {
+			ik := base.MakeInternalKey([]byte(fmt.Sprintf("key-%06d", i)), 1, base.KindSet)
+			// Highly compressible values.
+			if err := w.Add(ik, bytes.Repeat([]byte("abcd"), 25)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		info, err := fs.Stat("t.sst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raf, err := fs.Open("t.sst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(raf, ReaderOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		return r, info.Size
+	}
+
+	plain, plainSize := build(NoCompression)
+	comp, compSize := build(FlateCompression)
+
+	if compSize >= plainSize {
+		t.Fatalf("compression did not shrink the table: %d vs %d", compSize, plainSize)
+	}
+	t.Logf("table size: raw=%d flate=%d (%.0f%%)", plainSize, compSize,
+		float64(compSize)/float64(plainSize)*100)
+
+	for i := 0; i < 3000; i += 37 {
+		uk := []byte(fmt.Sprintf("key-%06d", i))
+		v1, _, err1 := plain.Get(uk, 100)
+		v2, _, err2 := comp.Get(uk, 100)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("gets: %v %v", err1, err2)
+		}
+		if !bytes.Equal(v1, v2) {
+			t.Fatalf("compressed read differs at %s", uk)
+		}
+	}
+
+	// Full scans agree.
+	it1, it2 := plain.NewIter(), comp.NewIter()
+	ok1, ok2 := it1.First(), it2.First()
+	for ok1 && ok2 {
+		if !bytes.Equal(it1.Key(), it2.Key()) || !bytes.Equal(it1.Value(), it2.Value()) {
+			t.Fatal("scan mismatch")
+		}
+		ok1, ok2 = it1.Next(), it2.Next()
+	}
+	if ok1 != ok2 {
+		t.Fatal("scan lengths differ")
+	}
+}
+
+// TestIncompressibleStaysRaw: blocks that do not shrink are stored raw
+// (no expansion, still readable).
+func TestIncompressibleStaysRaw(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("t.sst")
+	w := NewWriter(f, WriterOptions{Compression: FlateCompression})
+	// Pseudo-random (incompressible) values.
+	val := make([]byte, 100)
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 1000; i++ {
+		for j := range val {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			val[j] = byte(seed >> 56)
+		}
+		ik := base.MakeInternalKey([]byte(fmt.Sprintf("key-%06d", i)), 1, base.KindSet)
+		if err := w.Add(ik, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	raf, _ := fs.Open("t.sst")
+	r, err := NewReader(raf, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.Get([]byte("key-000500"), 100); err != nil {
+		t.Fatal(err)
+	}
+}

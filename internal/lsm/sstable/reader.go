@@ -1,0 +1,362 @@
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"shield/internal/cache"
+	"shield/internal/lsm/base"
+	"shield/internal/vfs"
+)
+
+// ErrNotFound reports that a key is absent from the table.
+var ErrNotFound = fmt.Errorf("sstable: not found")
+
+// ReaderOptions configures table reads.
+type ReaderOptions struct {
+	// Cache, when non-nil, caches decoded (decrypted) data blocks keyed by
+	// (FileNum, block offset).
+	Cache *cache.LRU
+
+	// FileNum identifies this table in the cache keyspace.
+	FileNum uint64
+}
+
+// Reader provides lookups and iteration over one SST file.
+type Reader struct {
+	f     vfs.RandomAccessFile
+	opts  ReaderOptions
+	index []indexEntry
+	// filter is the serialized bloom filter (may be nil).
+	filter []byte
+	props  Properties
+}
+
+type indexEntry struct {
+	lastKey []byte
+	handle  blockHandle
+}
+
+// NewReader opens the table stored in f. The entire index, filter, and
+// properties are loaded eagerly; data blocks are read on demand.
+func NewReader(f vfs.RandomAccessFile, opts ReaderOptions) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < footerLen {
+		return nil, fmt.Errorf("sstable: file too small (%d bytes)", size)
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("sstable: reading footer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(footer[48:]); got != tableMagic {
+		return nil, fmt.Errorf("sstable: bad magic %#x (wrong key or corrupt file?)", got)
+	}
+	getHandle := func(off int) blockHandle {
+		return blockHandle{
+			offset: binary.LittleEndian.Uint64(footer[off:]),
+			length: binary.LittleEndian.Uint64(footer[off+8:]),
+		}
+	}
+	r := &Reader{f: f, opts: opts}
+
+	indexData, err := r.readRaw(getHandle(0))
+	if err != nil {
+		return nil, fmt.Errorf("sstable: reading index: %w", err)
+	}
+	it := newBlockIter(indexData)
+	for it.next() {
+		h, err := decodeHandle(it.val)
+		if err != nil {
+			return nil, err
+		}
+		r.index = append(r.index, indexEntry{
+			lastKey: append([]byte(nil), it.key...),
+			handle:  h,
+		})
+	}
+	if it.err != nil {
+		return nil, it.err
+	}
+
+	if fh := getHandle(16); fh.length > 0 {
+		r.filter, err = r.readRaw(fh)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: reading filter: %w", err)
+		}
+	}
+	propsData, err := r.readRaw(getHandle(32))
+	if err != nil {
+		return nil, fmt.Errorf("sstable: reading properties: %w", err)
+	}
+	if err := json.Unmarshal(propsData, &r.props); err != nil {
+		return nil, fmt.Errorf("sstable: decoding properties: %w", err)
+	}
+	return r, nil
+}
+
+// readRaw fetches a block, verifies its CRC-32C trailer (catching media
+// corruption and — since the checksum lives inside the encrypted body —
+// ciphertext tampering), and decompresses it if needed.
+func (r *Reader) readRaw(h blockHandle) ([]byte, error) {
+	if h.length == 0 {
+		return nil, nil
+	}
+	if h.length < 1+blockTrailerLen {
+		return nil, fmt.Errorf("sstable: block handle too short (%d bytes)", h.length)
+	}
+	buf := make([]byte, h.length)
+	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	checked := buf[:h.length-blockTrailerLen] // payload + type byte
+	want := binary.LittleEndian.Uint32(buf[h.length-blockTrailerLen:])
+	if got := crc32.Checksum(checked, castagnoli); got != want {
+		return nil, fmt.Errorf("sstable: block at %d fails checksum (corruption or tampering)", h.offset)
+	}
+	data := checked[:len(checked)-1]
+	switch checked[len(checked)-1] {
+	case rawBlock:
+		return data, nil
+	case flateBlock:
+		fr := flate.NewReader(bytes.NewReader(data))
+		out, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: decompressing block at %d: %w", h.offset, err)
+		}
+		return out, fr.Close()
+	default:
+		return nil, fmt.Errorf("sstable: unknown block type %d at %d", checked[len(checked)-1], h.offset)
+	}
+}
+
+// readBlock fetches a data block, consulting the block cache first.
+func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
+	if r.opts.Cache != nil {
+		if v, ok := r.opts.Cache.Get(cache.Key{File: r.opts.FileNum, Offset: h.offset}); ok {
+			return v.([]byte), nil
+		}
+	}
+	data, err := r.readRaw(h)
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.Cache != nil {
+		r.opts.Cache.Put(cache.Key{File: r.opts.FileNum, Offset: h.offset}, data, int64(len(data)))
+	}
+	return data, nil
+}
+
+// Properties returns the table's properties block.
+func (r *Reader) Properties() Properties { return r.props }
+
+// Get returns the value and kind for the newest record of userKey visible at
+// snapshot seq. Returns ErrNotFound when the table holds no such record
+// (a tombstone is returned as KindDelete with a nil value, not ErrNotFound —
+// the caller must stop searching older tables).
+func (r *Reader) Get(userKey []byte, seq base.SeqNum) ([]byte, base.Kind, error) {
+	if r.filter != nil && !bloomMayContain(r.filter, userKey) {
+		return nil, 0, ErrNotFound
+	}
+	search := base.SearchKey(userKey, seq)
+	// Binary-search the index for the first block whose last key >= search.
+	lo, hi := 0, len(r.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if base.CompareInternal(r.index[mid].lastKey, search) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.index) {
+		return nil, 0, ErrNotFound
+	}
+	data, err := r.readBlock(r.index[lo].handle)
+	if err != nil {
+		return nil, 0, err
+	}
+	it := newBlockIter(data)
+	if !it.seekGE(search) {
+		if it.err != nil {
+			return nil, 0, it.err
+		}
+		return nil, 0, ErrNotFound
+	}
+	if !bytes.Equal(base.UserKey(it.key), userKey) {
+		return nil, 0, ErrNotFound
+	}
+	_, kind := base.DecodeTrailer(it.key)
+	if kind == base.KindDelete {
+		return nil, base.KindDelete, nil
+	}
+	return append([]byte(nil), it.val...), kind, nil
+}
+
+// Iter is a two-level iterator over the table's entries in internal-key
+// order.
+type Iter struct {
+	r        *Reader
+	blockIdx int
+	bi       *blockIter
+	err      error
+}
+
+// NewIter returns an iterator positioned before the first entry.
+func (r *Reader) NewIter() *Iter { return &Iter{r: r, blockIdx: -1} }
+
+// First positions at the smallest entry.
+func (it *Iter) First() bool {
+	it.blockIdx = -1
+	it.bi = nil
+	return it.nextBlock() && it.advance()
+}
+
+func (it *Iter) nextBlock() bool {
+	it.blockIdx++
+	if it.blockIdx >= len(it.r.index) {
+		it.bi = nil
+		return false
+	}
+	data, err := it.r.readBlock(it.r.index[it.blockIdx].handle)
+	if err != nil {
+		it.err = err
+		it.bi = nil
+		return false
+	}
+	it.bi = newBlockIter(data)
+	return true
+}
+
+func (it *Iter) advance() bool {
+	for {
+		if it.bi == nil {
+			return false
+		}
+		if it.bi.next() {
+			return true
+		}
+		if it.bi.err != nil {
+			it.err = it.bi.err
+			return false
+		}
+		if !it.nextBlock() {
+			return false
+		}
+	}
+}
+
+// Next advances to the following entry.
+func (it *Iter) Next() bool { return it.advance() }
+
+// SeekGE positions at the first entry with internal key >= target.
+func (it *Iter) SeekGE(target []byte) bool {
+	lo, hi := 0, len(it.r.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if base.CompareInternal(it.r.index[mid].lastKey, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.blockIdx = lo - 1 // nextBlock will land on lo
+	if !it.nextBlock() {
+		return false
+	}
+	if it.bi.seekGE(target) {
+		return true
+	}
+	if it.bi.err != nil {
+		it.err = it.bi.err
+		return false
+	}
+	// Target beyond this block's last key: continue into the next block.
+	return it.nextBlock() && it.advance()
+}
+
+// SeekLT positions at the last entry with internal key < target. After
+// SeekLT (or Last) only Key/Value/Valid are defined until the next
+// positioning call; forward Next from a reverse position is unsupported.
+func (it *Iter) SeekLT(target []byte) bool {
+	// First block whose last key >= target may still hold keys < target.
+	lo, hi := 0, len(it.r.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if base.CompareInternal(it.r.index[mid].lastKey, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Try block lo (its last key >= target, but it may start below target),
+	// then fall back to block lo-1, which is entirely < target.
+	if lo < len(it.r.index) {
+		it.blockIdx = lo - 1
+		if it.nextBlock() && it.bi.seekLT(target) {
+			return true
+		}
+		if it.bi != nil && it.bi.err != nil {
+			it.err = it.bi.err
+			return false
+		}
+	}
+	if lo == 0 {
+		it.bi = nil
+		return false
+	}
+	it.blockIdx = lo - 2 // nextBlock lands on lo-1
+	if !it.nextBlock() {
+		return false
+	}
+	if it.bi.last() {
+		return true
+	}
+	if it.bi.err != nil {
+		it.err = it.bi.err
+	}
+	it.bi = nil
+	return false
+}
+
+// Last positions at the table's final entry (same caveats as SeekLT).
+func (it *Iter) Last() bool {
+	if len(it.r.index) == 0 {
+		it.bi = nil
+		return false
+	}
+	it.blockIdx = len(it.r.index) - 2 // nextBlock lands on the final block
+	if !it.nextBlock() {
+		return false
+	}
+	if it.bi.last() {
+		return true
+	}
+	if it.bi.err != nil {
+		it.err = it.bi.err
+	}
+	it.bi = nil
+	return false
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iter) Valid() bool { return it.bi != nil && it.err == nil && it.bi.key != nil }
+
+// Key returns the current internal key.
+func (it *Iter) Key() []byte { return it.bi.key }
+
+// Value returns the current value.
+func (it *Iter) Value() []byte { return it.bi.val }
+
+// Err returns the first error encountered.
+func (it *Iter) Err() error { return it.err }
+
+// Close releases the table's file handle.
+func (r *Reader) Close() error { return r.f.Close() }

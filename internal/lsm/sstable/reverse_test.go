@@ -1,0 +1,75 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shield/internal/lsm/base"
+	"shield/internal/vfs"
+)
+
+// TestIterReverseOps covers SeekLT/Last on the table iterator across block
+// boundaries.
+func TestIterReverseOps(t *testing.T) {
+	fs := vfs.NewMem()
+	f, err := fs.Create("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, WriterOptions{BlockSize: 256}) // many small blocks
+	const n = 500
+	for i := 0; i < n; i += 2 { // even keys only
+		ik := base.MakeInternalKey([]byte(fmt.Sprintf("k%06d", i)), 1, base.KindSet)
+		if err := w.Add(ik, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	raf, _ := fs.Open("t.sst")
+	r, err := NewReader(raf, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	it := r.NewIter()
+
+	if !it.Last() {
+		t.Fatal("Last failed")
+	}
+	if got := string(base.UserKey(it.Key())); got != fmt.Sprintf("k%06d", n-2) {
+		t.Fatalf("Last = %q", got)
+	}
+
+	mk := func(i int) []byte {
+		return base.MakeInternalKey([]byte(fmt.Sprintf("k%06d", i)), base.MaxSeqNum, base.KindSet)
+	}
+	// Exact key: previous entry.
+	if !it.SeekLT(mk(100)) || !bytes.Equal(base.UserKey(it.Key()), []byte("k000098")) {
+		t.Fatalf("SeekLT(exact) = %q", base.UserKey(it.Key()))
+	}
+	// Between keys.
+	if !it.SeekLT(mk(101)) || !bytes.Equal(base.UserKey(it.Key()), []byte("k000100")) {
+		t.Fatalf("SeekLT(between) = %q", base.UserKey(it.Key()))
+	}
+	// Before the first.
+	if it.SeekLT(mk(0)) {
+		t.Fatalf("SeekLT(first) = %q", base.UserKey(it.Key()))
+	}
+	// Past the end.
+	if !it.SeekLT(mk(10_000)) || !bytes.Equal(base.UserKey(it.Key()), []byte(fmt.Sprintf("k%06d", n-2))) {
+		t.Fatalf("SeekLT(past end) = %q", base.UserKey(it.Key()))
+	}
+	// Block-boundary sweep: every even key's predecessor is key-2.
+	for i := 2; i < n; i += 2 {
+		if !it.SeekLT(mk(i)) {
+			t.Fatalf("SeekLT(%d) invalid", i)
+		}
+		want := fmt.Sprintf("k%06d", i-2)
+		if got := string(base.UserKey(it.Key())); got != want {
+			t.Fatalf("SeekLT(%d) = %q want %q", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package sstable implements the Sorted String Table file format: 4 KiB
+// data blocks of internal-key/value entries, a bloom filter over user keys,
+// an index block mapping last-keys to block handles, a properties block, and
+// a fixed footer.
+//
+// The package is encryption-agnostic by design: it writes through a
+// vfs.WritableFile and reads through a vfs.RandomAccessFile, and the caller
+// (the SHIELD codec in internal/core) supplies wrappers that encrypt the
+// body and carry the plaintext DEK-ID header. Block granularity is what
+// makes SHIELD's chunked, multi-threaded compaction encryption possible.
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"shield/internal/lsm/base"
+	"shield/internal/vfs"
+)
+
+// Footer layout: indexHandle(16) filterHandle(16) propsHandle(16) magic(8),
+// all little-endian fixed width.
+const (
+	footerLen       = 16*3 + 8
+	blockTrailerLen = 4                  // CRC-32C of payload + type byte
+	tableMagic      = 0x5353544253484c44 // "SSTBSHLD"
+	defaultBits     = 10
+
+	// Block type bytes, stored between payload and checksum.
+	rawBlock   = 0
+	flateBlock = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Compression selects the data-block compression codec. Compression runs
+// before encryption on the write path (ciphertext does not compress), the
+// same pipeline order production LSM stores use.
+type Compression uint8
+
+// Compression codecs.
+const (
+	NoCompression Compression = iota
+	FlateCompression
+)
+
+// WriterOptions configures table construction.
+type WriterOptions struct {
+	// BlockSize is the uncompressed data-block flush threshold (default 4096).
+	BlockSize int
+
+	// BloomBitsPerKey sizes the filter (default 10); 0 keeps the default,
+	// negative disables the filter.
+	BloomBitsPerKey int
+
+	// Compression compresses data blocks (metadata blocks stay raw). A
+	// compressed block that does not shrink is stored raw.
+	Compression Compression
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = defaultBits
+	}
+	return o
+}
+
+// Properties summarizes a table; serialized as JSON in the properties block.
+type Properties struct {
+	NumEntries  uint64 `json:"num_entries"`
+	NumDeletes  uint64 `json:"num_deletes"`
+	RawKeyBytes uint64 `json:"raw_key_bytes"`
+	RawValBytes uint64 `json:"raw_val_bytes"`
+	DataBlocks  uint64 `json:"data_blocks"`
+}
+
+// Writer builds one SST file. Keys must be added in strictly increasing
+// internal-key order.
+type Writer struct {
+	f      vfs.WritableFile
+	opts   WriterOptions
+	block  blockBuilder
+	index  blockBuilder
+	filter *bloomFilter
+	props  Properties
+
+	offset   uint64
+	smallest []byte
+	largest  []byte
+	lastKey  []byte
+	closed   bool
+}
+
+// NewWriter begins a table on f.
+func NewWriter(f vfs.WritableFile, opts WriterOptions) *Writer {
+	opts = opts.withDefaults()
+	w := &Writer{f: f, opts: opts}
+	if opts.BloomBitsPerKey > 0 {
+		w.filter = newBloomFilter(opts.BloomBitsPerKey)
+	}
+	return w
+}
+
+// Add appends one internal-key/value entry.
+func (w *Writer) Add(ikey, value []byte) error {
+	if w.closed {
+		return fmt.Errorf("sstable: writer closed")
+	}
+	if w.lastKey != nil && base.CompareInternal(ikey, w.lastKey) <= 0 {
+		return fmt.Errorf("sstable: keys out of order")
+	}
+	w.lastKey = append(w.lastKey[:0], ikey...)
+	if w.smallest == nil {
+		w.smallest = append([]byte(nil), ikey...)
+	}
+	w.largest = append(w.largest[:0], ikey...)
+
+	w.block.add(ikey, value)
+	if w.filter != nil {
+		w.filter.add(base.UserKey(ikey))
+	}
+	w.props.NumEntries++
+	if _, kind := base.DecodeTrailer(ikey); kind == base.KindDelete {
+		w.props.NumDeletes++
+	}
+	w.props.RawKeyBytes += uint64(len(ikey))
+	w.props.RawValBytes += uint64(len(value))
+
+	if w.block.sizeEstimate() >= w.opts.BlockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.block.empty() {
+		return nil
+	}
+	data := w.block.finish()
+	blockType := byte(rawBlock)
+	if w.opts.Compression == FlateCompression {
+		if compressed, ok := flateCompress(data); ok {
+			data = compressed
+			blockType = flateBlock
+		}
+	}
+	handle, err := w.writeBlock(data, blockType)
+	if err != nil {
+		return err
+	}
+	w.index.add(w.block.lastKey, handle.encode())
+	w.props.DataBlocks++
+	w.block.reset()
+	return nil
+}
+
+// flateCompress returns the DEFLATE encoding of data when it actually
+// shrinks the block.
+func flateCompress(data []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := fw.Write(data); err != nil {
+		return nil, false
+	}
+	if err := fw.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(data) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// writeRaw stores an uncompressed block.
+func (w *Writer) writeRaw(data []byte) (blockHandle, error) {
+	return w.writeBlock(data, rawBlock)
+}
+
+// writeBlock stores one block as payload, a type byte, and a CRC-32C over
+// both. The checksum gives end-to-end integrity — it is the "optional
+// integrity check" layer of the encryption pipeline: CTR mode is malleable,
+// and the checksum (computed over the stored bytes, itself inside the
+// encrypted body) detects both media corruption and ciphertext tampering.
+func (w *Writer) writeBlock(data []byte, blockType byte) (blockHandle, error) {
+	h := blockHandle{offset: w.offset, length: uint64(len(data)) + 1 + blockTrailerLen}
+	var tail [1 + blockTrailerLen]byte
+	tail[0] = blockType
+	crc := crc32.Checksum(data, castagnoli)
+	crc = crc32.Update(crc, castagnoli, tail[:1])
+	binary.LittleEndian.PutUint32(tail[1:], crc)
+	if _, err := w.f.Write(data); err != nil {
+		return blockHandle{}, err
+	}
+	if _, err := w.f.Write(tail[:]); err != nil {
+		return blockHandle{}, err
+	}
+	w.offset += h.length
+	return h, nil
+}
+
+// EstimatedSize returns the bytes written so far plus the pending block.
+func (w *Writer) EstimatedSize() uint64 {
+	return w.offset + uint64(w.block.sizeEstimate())
+}
+
+// NumEntries returns the number of entries added.
+func (w *Writer) NumEntries() uint64 { return w.props.NumEntries }
+
+// Smallest and Largest return copies of the bounding internal keys; valid
+// after at least one Add.
+func (w *Writer) Smallest() []byte { return append([]byte(nil), w.smallest...) }
+
+// Largest returns the largest internal key added.
+func (w *Writer) Largest() []byte { return append([]byte(nil), w.largest...) }
+
+// Finish flushes remaining data, writes filter/index/properties/footer, and
+// closes the file. The Writer is unusable afterwards.
+func (w *Writer) Finish() error {
+	if w.closed {
+		return fmt.Errorf("sstable: writer closed")
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		w.f.Close()
+		return err
+	}
+
+	var filterHandle blockHandle
+	if w.filter != nil {
+		var err error
+		filterHandle, err = w.writeRaw(w.filter.build())
+		if err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+
+	indexHandle, err := w.writeRaw(w.index.finish())
+	if err != nil {
+		w.f.Close()
+		return err
+	}
+
+	propsJSON, err := json.Marshal(w.props)
+	if err != nil {
+		w.f.Close()
+		return err
+	}
+	propsHandle, err := w.writeRaw(propsJSON)
+	if err != nil {
+		w.f.Close()
+		return err
+	}
+
+	var footer [footerLen]byte
+	putHandle := func(off int, h blockHandle) {
+		binary.LittleEndian.PutUint64(footer[off:], h.offset)
+		binary.LittleEndian.PutUint64(footer[off+8:], h.length)
+	}
+	putHandle(0, indexHandle)
+	putHandle(16, filterHandle)
+	putHandle(32, propsHandle)
+	binary.LittleEndian.PutUint64(footer[48:], tableMagic)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.offset += footerLen
+
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// FileSize returns the final size after Finish.
+func (w *Writer) FileSize() uint64 { return w.offset }

@@ -1,0 +1,202 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shield/internal/vfs"
+)
+
+// TestConcurrencyStress hammers one DB with writers, point readers,
+// iterator scans, snapshot readers, and explicit maintenance concurrently,
+// checking invariants the whole time:
+//
+//   - a read never returns a value that was never written for that key;
+//   - iterators always yield strictly ascending keys;
+//   - no operation errors, deadlocks, or panics.
+//
+// Run with -race for the full effect (the CI suite does).
+func TestConcurrencyStress(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := testOptions(fs)
+	opts.MaxBackgroundJobs = 3
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const keySpace = 500
+	duration := 2 * time.Second
+	if testing.Short() {
+		duration = 300 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	// Writers: values always encode their key, so readers can validate.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keySpace)
+				key := []byte(fmt.Sprintf("k%04d", k))
+				switch rng.Intn(10) {
+				case 0:
+					if err := db.Delete(key); err != nil {
+						fail("delete: %v", err)
+						return
+					}
+				default:
+					val := []byte(fmt.Sprintf("k%04d|payload-%d", k, rng.Int63()))
+					if err := db.Put(key, val); err != nil {
+						fail("put: %v", err)
+						return
+					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	// Point readers: any returned value must embed its own key.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keySpace)
+				key := []byte(fmt.Sprintf("k%04d", k))
+				v, err := db.Get(key)
+				if err != nil {
+					if errors.Is(err, ErrNotFound) {
+						continue
+					}
+					fail("get: %v", err)
+					return
+				}
+				if !bytes.HasPrefix(v, key) {
+					fail("get(%s) returned foreign value %q", key, v)
+					return
+				}
+				ops.Add(1)
+			}
+		}(r)
+	}
+
+	// Scanner: full iteration must be strictly ordered and self-consistent.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it, err := db.NewIter()
+			if err != nil {
+				fail("iter: %v", err)
+				return
+			}
+			var prev []byte
+			for ok := it.First(); ok; ok = it.Next() {
+				if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+					fail("iterator disorder: %q then %q", prev, it.Key())
+					it.Close()
+					return
+				}
+				if !bytes.HasPrefix(it.Value(), it.Key()) {
+					fail("iterator value mismatch at %q", it.Key())
+					it.Close()
+					return
+				}
+				prev = append(prev[:0], it.Key()...)
+			}
+			if err := it.Err(); err != nil {
+				fail("iterator error: %v", err)
+			}
+			it.Close()
+			ops.Add(1)
+		}
+	}()
+
+	// Snapshot reader: a snapshot's view of a key must be stable.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(777))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := db.NewSnapshot()
+			key := []byte(fmt.Sprintf("k%04d", rng.Intn(keySpace)))
+			v1, err1 := snap.Get(key)
+			time.Sleep(time.Millisecond)
+			v2, err2 := snap.Get(key)
+			if (err1 == nil) != (err2 == nil) || !bytes.Equal(v1, v2) {
+				fail("snapshot view changed for %s: %q/%v then %q/%v", key, v1, err1, v2, err2)
+				snap.Release()
+				return
+			}
+			snap.Release()
+			ops.Add(1)
+		}
+	}()
+
+	// Maintenance: explicit flushes (compaction runs automatically).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+				if err := db.Flush(); err != nil && !errors.Is(err, ErrClosed) {
+					fail("flush: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	t.Logf("stress: %d operations, metrics: flushes=%d compactions=%d",
+		ops.Load(), db.Metrics().Flushes, db.Metrics().Compactions)
+	if ops.Load() == 0 {
+		t.Fatal("stress made no progress")
+	}
+}

@@ -1,0 +1,210 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shield/internal/vfs"
+)
+
+func writeRecords(t *testing.T, fs *vfs.MemFS, name string, records [][]byte) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f)
+	for _, rec := range records {
+		if err := w.AddRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, fs *vfs.MemFS, name string) ([][]byte, error) {
+	t.Helper()
+	f, err := fs.OpenSequential(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(f)
+	defer r.Close()
+	var out [][]byte
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, append([]byte(nil), rec...))
+	}
+}
+
+func TestRoundTripSmallRecords(t *testing.T) {
+	fs := vfs.NewMem()
+	var records [][]byte
+	for i := 0; i < 1000; i++ {
+		records = append(records, []byte(fmt.Sprintf("record-%04d", i)))
+	}
+	writeRecords(t, fs, "wal", records)
+	got, err := readAll(t, fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// TestFragmentation covers records spanning block boundaries:
+// first/middle/last reassembly.
+func TestFragmentation(t *testing.T) {
+	fs := vfs.NewMem()
+	rng := rand.New(rand.NewSource(7))
+	var records [][]byte
+	sizes := []int{0, 1, 100, BlockSize - headerSize, BlockSize, BlockSize + 1, 3 * BlockSize, 100_000}
+	for _, size := range sizes {
+		rec := make([]byte, size)
+		rng.Read(rec)
+		records = append(records, rec)
+	}
+	writeRecords(t, fs, "wal", records)
+	got, err := readAll(t, fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d (size %d) mismatch", i, len(records[i]))
+		}
+	}
+}
+
+// Property: arbitrary record sequences round-trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(records [][]byte) bool {
+		fs := vfs.NewMem()
+		file, err := fs.Create("wal")
+		if err != nil {
+			return false
+		}
+		w := NewWriter(file)
+		for _, rec := range records {
+			if err := w.AddRecord(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		sf, err := fs.OpenSequential("wal")
+		if err != nil {
+			return false
+		}
+		r := NewReader(sf)
+		defer r.Close()
+		for _, want := range records {
+			got, err := r.Next()
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncatedTail: a crash that cuts the file mid-record yields the full
+// prefix then ErrCorrupt (not garbage).
+func TestTruncatedTail(t *testing.T) {
+	fs := vfs.NewMem()
+	records := [][]byte{
+		[]byte("alpha"), []byte("beta"), bytes.Repeat([]byte("x"), 50_000),
+	}
+	writeRecords(t, fs, "wal", records)
+
+	data, err := vfs.ReadFile(fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the middle of the big record.
+	if err := vfs.WriteFile(fs, "wal", data[:len(data)-20_000]); err != nil {
+		t.Fatal(err)
+	}
+
+	f, _ := fs.OpenSequential("wal")
+	r := NewReader(f)
+	defer r.Close()
+	for i := 0; i < 2; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("prefix record %d: %v", i, err)
+		}
+		if !bytes.Equal(rec, records[i]) {
+			t.Fatalf("prefix record %d mismatch", i)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) && err != io.EOF {
+		t.Fatalf("truncated tail: want ErrCorrupt or EOF, got %v", err)
+	}
+}
+
+// TestBitFlipDetected: corruption inside a record fails its checksum.
+func TestBitFlipDetected(t *testing.T) {
+	fs := vfs.NewMem()
+	writeRecords(t, fs, "wal", [][]byte{[]byte("good-one"), []byte("good-two")})
+	data, _ := vfs.ReadFile(fs, "wal")
+	data[headerSize+2] ^= 0x40 // flip a payload bit in record 1
+	vfs.WriteFile(fs, "wal", data)
+
+	f, _ := fs.OpenSequential("wal")
+	r := NewReader(f)
+	defer r.Close()
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	fs := vfs.NewMem()
+	writeRecords(t, fs, "wal", nil)
+	got, err := readAll(t, fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty log yielded %d records", len(got))
+	}
+}
+
+func TestWriterSize(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("wal")
+	w := NewWriter(f)
+	w.AddRecord(make([]byte, 100))
+	if w.Size() != 100+headerSize {
+		t.Fatalf("size %d", w.Size())
+	}
+	w.Close()
+}

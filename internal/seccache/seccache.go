@@ -1,0 +1,246 @@
+// Package seccache implements SHIELD's secure local DEK cache
+// (Section 5.2): an on-disk store of previously used DEKs, sealed with a
+// key derived from a server passkey that is never persisted.
+//
+// The cache removes the need to re-request every DEK from the KDS on
+// database restart, and can be shared by multiple LSM-KVS instances on the
+// same server (as in ZippyDB-style deployments) provided they hold the
+// passkey. During DEK rotation the new DEK is inserted and the DEK of the
+// compacted-away file is deleted, so only keys for live files remain
+// recoverable.
+//
+// On-disk layout:
+//
+//	magic(4) version(4) salt(16) iv(16) len(4) ciphertext hmac(32)
+//
+// The payload (a JSON map of KeyID -> hex DEK) is AES-128-CTR encrypted
+// under a PBKDF2-derived key; an HMAC-SHA256 tag over header+ciphertext
+// provides tamper evidence.
+package seccache
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"shield/internal/crypt"
+	"shield/internal/kds"
+	"shield/internal/vfs"
+)
+
+const (
+	magic      = 0x53434348 // "SCCH"
+	version    = 1
+	saltSize   = 16
+	hmacSize   = 32
+	pbkdf2Iter = 4096
+)
+
+// Errors returned by the cache.
+var (
+	ErrBadPasskey = errors.New("seccache: passkey mismatch or corrupted cache")
+	ErrNotCached  = errors.New("seccache: DEK not in cache")
+)
+
+// Cache is a secure, persistent DEK cache. It is safe for concurrent use.
+type Cache struct {
+	fs       vfs.FS
+	path     string
+	aesKey   crypt.DEK
+	hmacKey  []byte
+	salt     [saltSize]byte
+	mu       sync.Mutex
+	entries  map[kds.KeyID]crypt.DEK
+	hits     int64
+	misses   int64
+	autosave bool
+}
+
+// Open loads (or creates) the cache at path, unsealing it with passkey.
+// Opening an existing cache with the wrong passkey fails with ErrBadPasskey.
+func Open(fs vfs.FS, path string, passkey []byte) (*Cache, error) {
+	c := &Cache{
+		fs:       fs,
+		path:     path,
+		entries:  make(map[kds.KeyID]crypt.DEK),
+		autosave: true,
+	}
+	data, err := vfs.ReadFile(fs, path)
+	switch {
+	case errors.Is(err, vfs.ErrNotFound):
+		// Fresh cache: mint a salt now so derived keys are stable.
+		iv, err := crypt.NewIV()
+		if err != nil {
+			return nil, err
+		}
+		copy(c.salt[:], iv[:])
+		c.deriveKeys(passkey)
+		return c, nil
+	case err != nil:
+		return nil, err
+	}
+	if err := c.load(data, passkey); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cache) deriveKeys(passkey []byte) {
+	dk := crypt.PBKDF2SHA256(passkey, c.salt[:], pbkdf2Iter, crypt.KeySize+hmacSize)
+	copy(c.aesKey[:], dk[:crypt.KeySize])
+	c.hmacKey = dk[crypt.KeySize:]
+}
+
+func (c *Cache) load(data []byte, passkey []byte) error {
+	const hdrLen = 4 + 4 + saltSize + crypt.IVSize + 4
+	if len(data) < hdrLen+hmacSize {
+		return fmt.Errorf("%w: truncated", ErrBadPasskey)
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrBadPasskey)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
+		return fmt.Errorf("seccache: unsupported version %d", v)
+	}
+	copy(c.salt[:], data[8:8+saltSize])
+	c.deriveKeys(passkey)
+
+	var iv [crypt.IVSize]byte
+	copy(iv[:], data[8+saltSize:8+saltSize+crypt.IVSize])
+	n := binary.LittleEndian.Uint32(data[8+saltSize+crypt.IVSize : hdrLen])
+	if int(n) != len(data)-hdrLen-hmacSize {
+		return fmt.Errorf("%w: length mismatch", ErrBadPasskey)
+	}
+	body := data[hdrLen : hdrLen+int(n)]
+	tag := data[hdrLen+int(n):]
+	if !crypt.VerifyHMACSHA256(c.hmacKey, data[:hdrLen+int(n)], tag) {
+		return ErrBadPasskey
+	}
+	plain := make([]byte, len(body))
+	if err := crypt.EncryptAt(c.aesKey, iv, plain, body, 0); err != nil {
+		return err
+	}
+	var raw map[string]string
+	if err := json.Unmarshal(plain, &raw); err != nil {
+		return fmt.Errorf("%w: payload decode: %v", ErrBadPasskey, err)
+	}
+	for id, hexKey := range raw {
+		kb, err := hex.DecodeString(hexKey)
+		if err != nil {
+			return fmt.Errorf("seccache: bad key encoding for %s: %w", id, err)
+		}
+		dek, err := crypt.DEKFromBytes(kb)
+		if err != nil {
+			return err
+		}
+		c.entries[kds.KeyID(id)] = dek
+	}
+	return nil
+}
+
+// SetAutosave controls whether mutations persist immediately (default true).
+// Benchmarks that mutate at high rate can disable it and call Save once.
+func (c *Cache) SetAutosave(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.autosave = on
+}
+
+// Get returns the cached DEK for id, or ErrNotCached.
+func (c *Cache) Get(id kds.KeyID) (crypt.DEK, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dek, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		return crypt.DEK{}, fmt.Errorf("%w: %s", ErrNotCached, id)
+	}
+	c.hits++
+	return dek, nil
+}
+
+// Put stores a DEK and persists the cache (unless autosave is off).
+func (c *Cache) Put(id kds.KeyID, dek crypt.DEK) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[id] = dek
+	if c.autosave {
+		return c.saveLocked()
+	}
+	return nil
+}
+
+// Delete removes a DEK — called when its file is deleted after compaction,
+// ensuring only current keys remain accessible.
+func (c *Cache) Delete(id kds.KeyID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[id]; !ok {
+		return nil
+	}
+	delete(c.entries, id)
+	if c.autosave {
+		return c.saveLocked()
+	}
+	return nil
+}
+
+// Len reports the number of cached DEKs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Save persists the cache immediately.
+func (c *Cache) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saveLocked()
+}
+
+func (c *Cache) saveLocked() error {
+	raw := make(map[string]string, len(c.entries))
+	for id, dek := range c.entries {
+		raw[string(id)] = hex.EncodeToString(dek[:])
+	}
+	plain, err := json.Marshal(raw)
+	if err != nil {
+		return fmt.Errorf("seccache: encode: %w", err)
+	}
+	iv, err := crypt.NewIV()
+	if err != nil {
+		return err
+	}
+	body := make([]byte, len(plain))
+	if err := crypt.EncryptAt(c.aesKey, iv, body, plain, 0); err != nil {
+		return err
+	}
+
+	const hdrLen = 4 + 4 + saltSize + crypt.IVSize + 4
+	out := make([]byte, hdrLen, hdrLen+len(body)+hmacSize)
+	binary.LittleEndian.PutUint32(out[0:4], magic)
+	binary.LittleEndian.PutUint32(out[4:8], version)
+	copy(out[8:8+saltSize], c.salt[:])
+	copy(out[8+saltSize:8+saltSize+crypt.IVSize], iv[:])
+	binary.LittleEndian.PutUint32(out[8+saltSize+crypt.IVSize:hdrLen], uint32(len(body)))
+	out = append(out, body...)
+	out = append(out, crypt.HMACSHA256(c.hmacKey, out)...)
+
+	// Write-then-rename so a crash mid-save never corrupts the live cache.
+	tmp := c.path + ".tmp"
+	if err := vfs.WriteFile(c.fs, tmp, out); err != nil {
+		return err
+	}
+	return c.fs.Rename(tmp, c.path)
+}

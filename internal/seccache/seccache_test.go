@@ -1,0 +1,243 @@
+package seccache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"shield/internal/crypt"
+	"shield/internal/kds"
+	"shield/internal/vfs"
+)
+
+func mustDEK(t *testing.T) crypt.DEK {
+	t.Helper()
+	dek, err := crypt.NewDEK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dek
+}
+
+func TestPutGetDelete(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dek := mustDEK(t)
+	if err := c.Put("dek-1", dek); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("dek-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dek {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := c.Get("dek-2"); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("want ErrNotCached, got %v", err)
+	}
+	if err := c.Delete("dek-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("dek-1"); !errors.Is(err, ErrNotCached) {
+		t.Fatalf("deleted key still present: %v", err)
+	}
+	// Deleting a missing key is a no-op.
+	if err := c.Delete("dek-1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deks := make(map[kds.KeyID]crypt.DEK)
+	for i := 0; i < 50; i++ {
+		id := kds.KeyID(fmt.Sprintf("dek-%03d", i))
+		deks[id] = mustDEK(t)
+		if err := c.Put(id, deks[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 50 {
+		t.Fatalf("reopened with %d entries", c2.Len())
+	}
+	for id, want := range deks {
+		got, err := c2.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if got != want {
+			t.Fatalf("DEK %s corrupted across reopen", id)
+		}
+	}
+}
+
+func TestWrongPasskeyFailsClosed(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("correct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("dek-1", mustDEK(t))
+
+	if _, err := Open(fs, "cache.bin", []byte("wrong")); !errors.Is(err, ErrBadPasskey) {
+		t.Fatalf("wrong passkey: %v", err)
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("dek-1", mustDEK(t))
+
+	data, err := vfs.ReadFile(fs, "cache.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one ciphertext byte.
+	data[len(data)-40] ^= 0x01
+	if err := vfs.WriteFile(fs, "cache.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(fs, "cache.bin", []byte("pw")); !errors.Is(err, ErrBadPasskey) {
+		t.Fatalf("tampered cache accepted: %v", err)
+	}
+}
+
+func TestNoPlaintextDEKOnDisk(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dek := mustDEK(t)
+	c.Put("dek-secret", dek)
+
+	data, err := vfs.ReadFile(fs, "cache.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither the raw key bytes, the hex encoding, nor the key id may
+	// appear in the sealed file.
+	hexKey := dek.Hex()
+	if containsSub(data, dek[:]) || containsSub(data, []byte(hexKey)) || containsSub(data, []byte("dek-secret")) {
+		t.Fatal("plaintext key material leaked into the cache file")
+	}
+}
+
+func containsSub(haystack, needle []byte) bool {
+	if len(needle) == 0 || len(haystack) < len(needle) {
+		return false
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSharedBetweenInstances(t *testing.T) {
+	// Two cache handles on the same file (co-located instances with the
+	// same passkey): writes by one are visible after the other reopens.
+	fs := vfs.NewMem()
+	a, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dek := mustDEK(t)
+	a.Put("dek-shared", dek)
+
+	b, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get("dek-shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dek {
+		t.Fatal("shared cache mismatch")
+	}
+}
+
+func TestAutosaveOff(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAutosave(false)
+	c.Put("dek-1", mustDEK(t))
+
+	// Not yet persisted.
+	if _, err := fs.Stat("cache.bin"); !errors.Is(err, vfs.ErrNotFound) {
+		t.Fatalf("file exists before Save: %v", err)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("cache.bin"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAndConcurrency(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAutosave(false)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				id := kds.KeyID(fmt.Sprintf("dek-%d-%d", i, j))
+				c.Put(id, crypt.DEK{})
+				c.Get(id)
+				c.Get("dek-missing")
+			}
+		}(i)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits != 400 || misses != 400 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCorruptedTruncatedFile(t *testing.T) {
+	fs := vfs.NewMem()
+	if err := vfs.WriteFile(fs, "cache.bin", []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(fs, "cache.bin", []byte("pw")); !errors.Is(err, ErrBadPasskey) {
+		t.Fatalf("truncated cache accepted: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package vfs
+
+import "sync/atomic"
+
+// IOStats accumulates byte and operation counts for one FS. All fields are
+// updated atomically and may be read concurrently.
+type IOStats struct {
+	BytesWritten atomic.Int64
+	BytesRead    atomic.Int64
+	WriteOps     atomic.Int64
+	ReadOps      atomic.Int64
+	Syncs        atomic.Int64
+	Creates      atomic.Int64
+	Opens        atomic.Int64
+	Removes      atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of IOStats.
+type Snapshot struct {
+	BytesWritten int64
+	BytesRead    int64
+	WriteOps     int64
+	ReadOps      int64
+	Syncs        int64
+	Creates      int64
+	Opens        int64
+	Removes      int64
+}
+
+// Snapshot returns the current counter values.
+func (s *IOStats) Snapshot() Snapshot {
+	return Snapshot{
+		BytesWritten: s.BytesWritten.Load(),
+		BytesRead:    s.BytesRead.Load(),
+		WriteOps:     s.WriteOps.Load(),
+		ReadOps:      s.ReadOps.Load(),
+		Syncs:        s.Syncs.Load(),
+		Creates:      s.Creates.Load(),
+		Opens:        s.Opens.Load(),
+		Removes:      s.Removes.Load(),
+	}
+}
+
+// Sub returns the delta between two snapshots (s - prev).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		BytesWritten: s.BytesWritten - prev.BytesWritten,
+		BytesRead:    s.BytesRead - prev.BytesRead,
+		WriteOps:     s.WriteOps - prev.WriteOps,
+		ReadOps:      s.ReadOps - prev.ReadOps,
+		Syncs:        s.Syncs - prev.Syncs,
+		Creates:      s.Creates - prev.Creates,
+		Opens:        s.Opens - prev.Opens,
+		Removes:      s.Removes - prev.Removes,
+	}
+}
+
+// CountingFS wraps an FS and accumulates IOStats for every operation. It is
+// the accounting layer behind the paper's Table 3 (per-server I/O
+// distribution).
+type CountingFS struct {
+	base  FS
+	Stats IOStats
+}
+
+// NewCounting wraps base with I/O accounting.
+func NewCounting(base FS) *CountingFS { return &CountingFS{base: base} }
+
+// Create implements FS.
+func (c *CountingFS) Create(name string) (WritableFile, error) {
+	c.Stats.Creates.Add(1)
+	f, err := c.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingWritable{f: f, stats: &c.Stats}, nil
+}
+
+// Open implements FS.
+func (c *CountingFS) Open(name string) (RandomAccessFile, error) {
+	c.Stats.Opens.Add(1)
+	f, err := c.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingRandom{f: f, stats: &c.Stats}, nil
+}
+
+// OpenSequential implements FS.
+func (c *CountingFS) OpenSequential(name string) (SequentialFile, error) {
+	c.Stats.Opens.Add(1)
+	f, err := c.base.OpenSequential(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingSequential{f: f, stats: &c.Stats}, nil
+}
+
+// Remove implements FS.
+func (c *CountingFS) Remove(name string) error {
+	c.Stats.Removes.Add(1)
+	return c.base.Remove(name)
+}
+
+// Rename implements FS.
+func (c *CountingFS) Rename(oldname, newname string) error {
+	return c.base.Rename(oldname, newname)
+}
+
+// List implements FS.
+func (c *CountingFS) List(dir string) ([]FileInfo, error) { return c.base.List(dir) }
+
+// MkdirAll implements FS.
+func (c *CountingFS) MkdirAll(dir string) error { return c.base.MkdirAll(dir) }
+
+// Stat implements FS.
+func (c *CountingFS) Stat(name string) (FileInfo, error) { return c.base.Stat(name) }
+
+type countingWritable struct {
+	f     WritableFile
+	stats *IOStats
+}
+
+func (w *countingWritable) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.stats.BytesWritten.Add(int64(n))
+	w.stats.WriteOps.Add(1)
+	return n, err
+}
+
+func (w *countingWritable) Sync() error {
+	w.stats.Syncs.Add(1)
+	return w.f.Sync()
+}
+
+func (w *countingWritable) Close() error { return w.f.Close() }
+
+type countingRandom struct {
+	f     RandomAccessFile
+	stats *IOStats
+}
+
+func (r *countingRandom) ReadAt(p []byte, off int64) (int, error) {
+	n, err := r.f.ReadAt(p, off)
+	r.stats.BytesRead.Add(int64(n))
+	r.stats.ReadOps.Add(1)
+	return n, err
+}
+
+func (r *countingRandom) Size() (int64, error) { return r.f.Size() }
+func (r *countingRandom) Close() error         { return r.f.Close() }
+
+type countingSequential struct {
+	f     SequentialFile
+	stats *IOStats
+}
+
+func (s *countingSequential) Read(p []byte) (int, error) {
+	n, err := s.f.Read(p)
+	s.stats.BytesRead.Add(int64(n))
+	s.stats.ReadOps.Add(1)
+	return n, err
+}
+
+func (s *countingSequential) Close() error { return s.f.Close() }

@@ -1,0 +1,234 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS used by tests and benchmarks that want to factor
+// out disk latency. It is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *MemFS {
+	return &MemFS{
+		files: make(map[string]*memFile),
+		dirs:  map[string]bool{".": true, "/": true},
+	}
+}
+
+type memFile struct {
+	mu     sync.Mutex
+	data   []byte
+	synced int // bytes guaranteed durable; used by crash simulation
+}
+
+func clean(name string) string { return path.Clean(name) }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (WritableFile, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	m.dirs[path.Dir(name)] = true
+	return &memWritable{f: f}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (RandomAccessFile, error) {
+	name = clean(name)
+	m.mu.Lock()
+	f, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return &memRandom{f: f}, nil
+}
+
+// OpenSequential implements FS.
+func (m *MemFS) OpenSequential(name string) (SequentialFile, error) {
+	name = clean(name)
+	m.mu.Lock()
+	f, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return &memSequential{f: f}, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = clean(oldname), clean(newname)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldname)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	m.dirs[path.Dir(newname)] = true
+	return nil
+}
+
+// List implements FS.
+func (m *MemFS) List(dir string) ([]FileInfo, error) {
+	dir = clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var infos []FileInfo
+	for name, f := range m.files {
+		if path.Dir(name) == dir {
+			f.mu.Lock()
+			size := int64(len(f.data))
+			f.mu.Unlock()
+			infos = append(infos, FileInfo{Name: path.Base(name), Size: size})
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	dir = clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for dir != "." && dir != "/" {
+		m.dirs[dir] = true
+		dir = path.Dir(dir)
+	}
+	return nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(name string) (FileInfo, error) {
+	name = clean(name)
+	m.mu.Lock()
+	f, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FileInfo{Name: path.Base(name), Size: int64(len(f.data))}, nil
+}
+
+// CrashUnsynced simulates a system crash: for every file, data written after
+// the last Sync is discarded. Used by recovery tests to distinguish the OS
+// buffered-I/O persistency guarantee from the application-buffer trade-off.
+func (m *MemFS) CrashUnsynced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.mu.Lock()
+		if f.synced < len(f.data) {
+			f.data = f.data[:f.synced]
+		}
+		f.mu.Unlock()
+	}
+}
+
+// TotalBytes reports the sum of all file sizes, optionally restricted to
+// names containing substr.
+func (m *MemFS) TotalBytes(substr string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for name, f := range m.files {
+		if substr == "" || strings.Contains(name, substr) {
+			f.mu.Lock()
+			n += int64(len(f.data))
+			f.mu.Unlock()
+		}
+	}
+	return n
+}
+
+type memWritable struct {
+	f *memFile
+}
+
+func (w *memWritable) Write(p []byte) (int, error) {
+	w.f.mu.Lock()
+	defer w.f.mu.Unlock()
+	w.f.data = append(w.f.data, p...)
+	return len(p), nil
+}
+
+func (w *memWritable) Sync() error {
+	w.f.mu.Lock()
+	defer w.f.mu.Unlock()
+	w.f.synced = len(w.f.data)
+	return nil
+}
+
+func (w *memWritable) Close() error { return w.Sync() }
+
+type memRandom struct {
+	f *memFile
+}
+
+func (r *memRandom) ReadAt(p []byte, off int64) (int, error) {
+	r.f.mu.Lock()
+	defer r.f.mu.Unlock()
+	if off >= int64(len(r.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (r *memRandom) Size() (int64, error) {
+	r.f.mu.Lock()
+	defer r.f.mu.Unlock()
+	return int64(len(r.f.data)), nil
+}
+
+func (r *memRandom) Close() error { return nil }
+
+type memSequential struct {
+	f   *memFile
+	off int64
+}
+
+func (s *memSequential) Read(p []byte) (int, error) {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	if s.off >= int64(len(s.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.f.data[s.off:])
+	s.off += int64(n)
+	return n, nil
+}
+
+func (s *memSequential) Close() error { return nil }

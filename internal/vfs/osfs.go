@@ -1,0 +1,104 @@
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// OSFS is an FS backed by the local operating-system filesystem.
+type OSFS struct{}
+
+// NewOS returns an FS backed by the host filesystem.
+func NewOS() *OSFS { return &OSFS{} }
+
+type osWritable struct {
+	f *os.File
+}
+
+func (w *osWritable) Write(p []byte) (int, error) { return w.f.Write(p) }
+func (w *osWritable) Sync() error                 { return w.f.Sync() }
+func (w *osWritable) Close() error                { return w.f.Close() }
+
+type osRandom struct {
+	f *os.File
+}
+
+func (r *osRandom) ReadAt(p []byte, off int64) (int, error) { return r.f.ReadAt(p, off) }
+func (r *osRandom) Close() error                            { return r.f.Close() }
+
+func (r *osRandom) Size() (int64, error) {
+	st, err := r.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Create implements FS.
+func (*OSFS) Create(name string) (WritableFile, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	return &osWritable{f: f}, nil
+}
+
+// Open implements FS.
+func (*OSFS) Open(name string) (RandomAccessFile, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	return &osRandom{f: f}, nil
+}
+
+// OpenSequential implements FS.
+func (*OSFS) OpenSequential(name string) (SequentialFile, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	return f, nil
+}
+
+// Remove implements FS.
+func (*OSFS) Remove(name string) error { return mapOSError(os.Remove(name)) }
+
+// Rename implements FS.
+func (*OSFS) Rename(oldname, newname string) error {
+	return mapOSError(os.Rename(oldname, newname))
+}
+
+// List implements FS.
+func (*OSFS) List(dir string) ([]FileInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, mapOSError(err)
+	}
+	infos := make([]FileInfo, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		st, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, FileInfo{Name: e.Name(), Size: st.Size()})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// MkdirAll implements FS.
+func (*OSFS) MkdirAll(dir string) error { return mapOSError(os.MkdirAll(dir, 0o755)) }
+
+// Stat implements FS.
+func (*OSFS) Stat(name string) (FileInfo, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return FileInfo{}, mapOSError(err)
+	}
+	return FileInfo{Name: filepath.Base(name), Size: st.Size()}, nil
+}

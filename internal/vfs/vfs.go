@@ -1,0 +1,135 @@
+// Package vfs defines the filesystem abstraction (the "Env" layer of the
+// LSM-KVS) that every persistent component writes through.
+//
+// All file creation, appending, and reading in the engine goes through an FS
+// implementation. This is the seam where instance-level encryption (EncFS)
+// wraps an underlying filesystem, where the disaggregated-storage client
+// plugs in, and where I/O accounting and latency/bandwidth emulation live.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+)
+
+// ErrNotFound reports that a file does not exist.
+var ErrNotFound = errors.New("vfs: file not found")
+
+// ErrExist reports that a file already exists.
+var ErrExist = errors.New("vfs: file already exists")
+
+// WritableFile is an append-only file handle. LSM files (WAL, SST, MANIFEST)
+// are written strictly sequentially.
+type WritableFile interface {
+	io.Writer
+
+	// Sync flushes buffered data to durable storage.
+	Sync() error
+
+	// Close flushes and releases the handle. Close implies Sync for
+	// implementations where that distinction matters.
+	Close() error
+}
+
+// RandomAccessFile supports positional reads, the access pattern of SST
+// readers (block fetches by offset).
+type RandomAccessFile interface {
+	io.ReaderAt
+	io.Closer
+
+	// Size returns the file length in bytes.
+	Size() (int64, error)
+}
+
+// SequentialFile supports streaming reads, the access pattern of WAL and
+// MANIFEST recovery.
+type SequentialFile interface {
+	io.Reader
+	io.Closer
+}
+
+// FileInfo describes one directory entry.
+type FileInfo struct {
+	Name string
+	Size int64
+}
+
+// FS is the filesystem interface the engine is written against.
+type FS interface {
+	// Create creates (or truncates) a file for appending.
+	Create(name string) (WritableFile, error)
+
+	// Open opens a file for positional reads.
+	Open(name string) (RandomAccessFile, error)
+
+	// OpenSequential opens a file for streaming reads.
+	OpenSequential(name string) (SequentialFile, error)
+
+	// Remove deletes a file. Removing a missing file returns ErrNotFound.
+	Remove(name string) error
+
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+
+	// List returns the entries of a directory, sorted by name.
+	List(dir string) ([]FileInfo, error)
+
+	// MkdirAll creates a directory and all missing parents.
+	MkdirAll(dir string) error
+
+	// Stat returns metadata for one file.
+	Stat(name string) (FileInfo, error)
+}
+
+// ReadFile reads the entire named file through fs.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFile writes data to the named file through fs, replacing any existing
+// contents, and syncs it.
+func WriteFile(fsys FS, name string, data []byte) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// mapOSError converts os-package errors to vfs sentinel errors so callers can
+// test with errors.Is regardless of backend.
+func mapOSError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("%w: %w", ErrNotFound, err)
+	case errors.Is(err, fs.ErrExist):
+		return fmt.Errorf("%w: %w", ErrExist, err)
+	default:
+		return err
+	}
+}
