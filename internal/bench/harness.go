@@ -76,12 +76,21 @@ type Result struct {
 	P50       time.Duration
 	P99       time.Duration
 	Errors    int64
+
+	// Net is the delta of the process-wide network fault-tolerance
+	// counters over this run: how much retrying, failover, and degraded
+	// operation the workload needed.
+	Net metrics.NetSnapshot
 }
 
 // String renders one report row.
 func (r Result) String() string {
-	return fmt.Sprintf("%-28s %10d ops %12.0f ops/sec  mean=%-10v p50=%-10v p99=%-10v",
+	s := fmt.Sprintf("%-28s %10d ops %12.0f ops/sec  mean=%-10v p50=%-10v p99=%-10v",
 		r.Name, r.Ops, r.OpsPerSec, r.Mean, r.P50, r.P99)
+	if r.Net.Any() {
+		s += "  [" + r.Net.String() + "]"
+	}
+	return s
 }
 
 // opFunc performs one operation for index i on behalf of thread t.
@@ -95,6 +104,7 @@ func run(w Workload, fn opFunc) Result {
 	var errs atomic.Int64
 	var wg sync.WaitGroup
 
+	netBefore := metrics.Net.Snapshot()
 	start := time.Now()
 	for t := 0; t < w.Threads; t++ {
 		wg.Add(1)
@@ -128,6 +138,7 @@ func run(w Workload, fn opFunc) Result {
 		P50:       hist.Quantile(0.50),
 		P99:       hist.Quantile(0.99),
 		Errors:    errs.Load(),
+		Net:       metrics.Net.Snapshot().Sub(netBefore),
 	}
 }
 

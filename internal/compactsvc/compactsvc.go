@@ -16,8 +16,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"shield/internal/lsm"
+	"shield/internal/metrics"
+	"shield/internal/netretry"
 	"shield/internal/vfs"
 )
 
@@ -141,14 +144,32 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // Client ships compaction jobs to a remote worker. It implements
 // lsm.Compactor, so it plugs into lsm.Options.Compactor directly.
+//
+// Jobs are idempotent — RunCompaction writes fresh output files and the
+// engine installs them only on success — so the client retries freely on
+// transport errors, with per-attempt deadlines so a hung worker cannot
+// wedge the engine's background compaction goroutine.
 type Client struct {
 	addr string
+
+	// JobTimeout bounds one job attempt end to end (dial + execute +
+	// response). Compactions move real data, so the default is generous
+	// (2 minutes). Set before first use.
+	JobTimeout time.Duration
 
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
 }
+
+const (
+	compactAttempts    = 3
+	compactDialTimeout = time.Second
+	compactJobTimeout  = 2 * time.Minute
+	compactBackoffBase = 10 * time.Millisecond
+	compactBackoffMax  = 500 * time.Millisecond
+)
 
 // NewClient returns a Compactor that executes on the worker at addr.
 func NewClient(addr string) *Client { return &Client{addr: addr} }
@@ -169,31 +190,44 @@ func (c *Client) Close() error {
 func (c *Client) Compact(job lsm.CompactionJob) (lsm.CompactionResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for attempt := 0; attempt < 2; attempt++ {
+	timeout := c.JobTimeout
+	if timeout <= 0 {
+		timeout = compactJobTimeout
+	}
+	var lastErr error
+	for attempt := 0; attempt < compactAttempts; attempt++ {
+		if attempt > 0 {
+			metrics.Net.Retries.Add(1)
+			netretry.Sleep(netretry.Delay(attempt-1, compactBackoffBase, compactBackoffMax), nil)
+		}
 		if c.conn == nil {
-			conn, err := net.Dial("tcp", c.addr)
+			conn, err := net.DialTimeout("tcp", c.addr, compactDialTimeout)
 			if err != nil {
-				return lsm.CompactionResult{}, fmt.Errorf("compactsvc: dial %s: %w", c.addr, err)
+				lastErr = fmt.Errorf("compactsvc: dial %s: %w", c.addr, err)
+				continue
 			}
 			c.conn = conn
 			c.enc = json.NewEncoder(conn)
 			c.dec = json.NewDecoder(bufio.NewReader(conn))
 		}
-		if err := c.enc.Encode(&job); err != nil {
-			c.conn.Close()
-			c.conn = nil
-			continue
+		c.conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
+		err := c.enc.Encode(&job)
+		if err == nil {
+			var out wireResult
+			if err = c.dec.Decode(&out); err == nil {
+				c.conn.SetDeadline(time.Time{}) //nolint:errcheck
+				if out.Err != "" {
+					return lsm.CompactionResult{}, fmt.Errorf("compactsvc: remote: %s", out.Err)
+				}
+				return out.Result, nil
+			}
 		}
-		var out wireResult
-		if err := c.dec.Decode(&out); err != nil {
-			c.conn.Close()
-			c.conn = nil
-			continue
+		if netretry.IsTimeout(err) {
+			metrics.Net.Timeouts.Add(1)
 		}
-		if out.Err != "" {
-			return lsm.CompactionResult{}, fmt.Errorf("compactsvc: remote: %s", out.Err)
-		}
-		return out.Result, nil
+		c.conn.Close()
+		c.conn = nil
+		lastErr = err
 	}
-	return lsm.CompactionResult{}, fmt.Errorf("compactsvc: request failed after retry")
+	return lsm.CompactionResult{}, fmt.Errorf("compactsvc: request failed after %d attempts: %w", compactAttempts, lastErr)
 }

@@ -10,9 +10,25 @@ import (
 	"shield/internal/crypt"
 	"shield/internal/kds"
 	"shield/internal/lsm"
+	"shield/internal/metrics"
 	"shield/internal/seccache"
 	"shield/internal/vfs"
 )
+
+// ErrDegraded marks an operation refused because the KDS is unreachable and
+// the needed DEK is not available locally. Writes need a fresh DEK, so they
+// fail fast with this error rather than hanging; reads degrade only when the
+// DEK is in neither the in-memory map nor the secure cache. Callers match it
+// with errors.Is and typically surface "read-only / retry later" upstream.
+var ErrDegraded = errors.New("core: degraded: KDS unavailable")
+
+// kdsUnavailable distinguishes "the service cannot be reached" (every
+// replica down or unresponsive — a transient infrastructure fault worth
+// degrading over) from policy denials like ErrUnauthorized or
+// ErrAlreadyIssued, which are authoritative answers and must surface as-is.
+func kdsUnavailable(err error) bool {
+	return errors.Is(err, kds.ErrNoReplica) || errors.Is(err, kds.ErrUnconfirmed)
+}
 
 // SHIELD file header (plaintext, precedes the encrypted body):
 //
@@ -139,6 +155,10 @@ func (s *shieldWrapper) WrapCreate(name string, kind lsm.FileKind, f vfs.Writabl
 	}
 	id, dek, err := s.cfg.KDS.CreateDEK()
 	if err != nil {
+		if kdsUnavailable(err) {
+			metrics.Net.DegradedWrites.Add(1)
+			return nil, "", fmt.Errorf("%w: requesting DEK for %s: %v", ErrDegraded, name, err)
+		}
 		return nil, "", fmt.Errorf("core: requesting DEK for %s: %w", name, err)
 	}
 	s.mu.Lock()
@@ -147,9 +167,10 @@ func (s *shieldWrapper) WrapCreate(name string, kind lsm.FileKind, f vfs.Writabl
 	s.created++
 	s.mu.Unlock()
 	if s.cfg.Cache != nil {
-		if err := s.cfg.Cache.Put(id, dek); err != nil {
-			return nil, "", fmt.Errorf("core: caching DEK: %w", err)
-		}
+		// Best effort: we hold the DEK in memory, so a cache-persistence
+		// failure (storage may itself be degraded) must not fail the write
+		// path; the cache tracks SaveErrors for visibility.
+		s.cfg.Cache.Put(id, dek) //nolint:errcheck
 	}
 	iv, err := crypt.NewIV()
 	if err != nil {
@@ -194,6 +215,10 @@ func (s *shieldWrapper) resolveDEK(id kds.KeyID) (crypt.DEK, error) {
 
 	dek, err := s.cfg.KDS.FetchDEK(id)
 	if err != nil {
+		if kdsUnavailable(err) {
+			metrics.Net.DegradedReads.Add(1)
+			return crypt.DEK{}, fmt.Errorf("%w: resolving DEK %s: %v", ErrDegraded, id, err)
+		}
 		return crypt.DEK{}, fmt.Errorf("core: resolving DEK %s: %w", id, err)
 	}
 	s.mu.Lock()
@@ -201,9 +226,7 @@ func (s *shieldWrapper) resolveDEK(id kds.KeyID) (crypt.DEK, error) {
 	s.kdsFetches++
 	s.mu.Unlock()
 	if s.cfg.Cache != nil {
-		if err := s.cfg.Cache.Put(id, dek); err != nil {
-			return crypt.DEK{}, err
-		}
+		s.cfg.Cache.Put(id, dek) //nolint:errcheck // best effort, DEK is in memory
 	}
 	return dek, nil
 }

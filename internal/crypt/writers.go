@@ -38,7 +38,10 @@ func (w *BufferedWriter) Write(p []byte) (int, error) {
 	w.buf = append(w.buf, p...)
 	if len(w.buf) >= w.bufSize {
 		if err := w.flush(); err != nil {
-			return 0, err
+			// p was fully accepted into the buffer (and remains there for a
+			// later flush); report it written so the caller's offsets match
+			// the bytes this writer has consumed (io.Writer contract).
+			return len(p), err
 		}
 	}
 	return len(p), nil
@@ -141,7 +144,7 @@ func (w *ChunkedWriter) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
 	}
-	total := len(p)
+	consumed := 0
 	for len(p) > 0 {
 		room := w.chunkSize - len(w.cur)
 		n := len(p)
@@ -149,15 +152,18 @@ func (w *ChunkedWriter) Write(p []byte) (int, error) {
 			n = room
 		}
 		w.cur = append(w.cur, p[:n]...)
+		consumed += n
 		p = p[n:]
 		if len(w.cur) >= w.chunkSize {
 			if err := w.dispatch(); err != nil {
 				w.err = err
-				return 0, err
+				// Report the bytes actually accepted so far (io.Writer
+				// contract: n < len(p) must accompany a non-nil error).
+				return consumed, err
 			}
 		}
 	}
-	return total, nil
+	return consumed, nil
 }
 
 // dispatch hands the full current chunk to the pipeline (or encrypts

@@ -8,18 +8,85 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
+	"shield/internal/metrics"
+	"shield/internal/netretry"
 	"shield/internal/vfs"
 )
+
+// ErrClosed reports that the client has been closed.
+var ErrClosed = errors.New("dstore: client closed")
+
+// Config tunes the client's pool size and fault-tolerance behavior. The
+// zero value selects the defaults noted per field.
+type Config struct {
+	// Conns is the connection-pool size (default 1).
+	Conns int
+
+	// DialTimeout bounds each connection attempt (default 1s).
+	DialTimeout time.Duration
+
+	// RequestTimeout is the per-attempt deadline covering send and
+	// receive, so a hung storage node cannot wedge the engine
+	// (default 10s — remote writes ride the emulated link's bandwidth
+	// cap, so the deadline must cover packet serialization time).
+	RequestTimeout time.Duration
+
+	// MaxAttempts is the total number of transport attempts per request
+	// (default 3).
+	MaxAttempts int
+
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between attempts (defaults 5ms and 250ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 5 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 250 * time.Millisecond
+	}
+	return cfg
+}
 
 // Client is a vfs.FS backed by a remote storage node. It is safe for
 // concurrent use; requests multiplex over a small connection pool so
 // compaction traffic does not head-of-line-block foreground reads.
+//
+// Fault tolerance: every request carries a deadline; a connection that
+// sees a transport error is discarded (a gob stream cannot be resynced
+// mid-conversation) and its pool slot redials lazily; idempotent requests
+// retry with jittered backoff. Writes are made idempotent by per-handle
+// sequence numbers the server deduplicates, so a retried packet whose
+// response was lost is not appended twice.
 type Client struct {
-	addr   string
-	pool   chan *clientConn
+	addr string
+	cfg  Config
+
+	// pool holds connection slots. A slot with a nil conn marks a slot
+	// whose connection was discarded; checkout redials it. The slot count
+	// is constant, so checkout never blocks forever on a drained pool.
+	pool chan *clientConn
+	done chan struct{}
+
 	mu     sync.Mutex
-	conns  []*clientConn
+	live   map[*clientConn]struct{} // dialed conns, force-closed on Close
 	closed bool
 }
 
@@ -30,61 +97,176 @@ type clientConn struct {
 }
 
 // Dial connects to a storage node with a pool of nConns connections
-// (minimum 1).
+// (minimum 1) and default fault-tolerance settings.
 func Dial(addr string, nConns int) (*Client, error) {
-	if nConns < 1 {
-		nConns = 1
+	return DialConfig(addr, Config{Conns: nConns})
+}
+
+// DialConfig is Dial with explicit retry/timeout settings.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		addr: addr,
+		cfg:  cfg,
+		pool: make(chan *clientConn, cfg.Conns),
+		done: make(chan struct{}),
+		live: make(map[*clientConn]struct{}),
 	}
-	c := &Client{addr: addr, pool: make(chan *clientConn, nConns)}
-	for i := 0; i < nConns; i++ {
+	for i := 0; i < cfg.Conns; i++ {
 		cc, err := c.dial()
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.conns = append(c.conns, cc)
 		c.pool <- cc
 	}
 	return c, nil
 }
 
 func (c *Client) dial() (*clientConn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("dstore: dial %s: %w", c.addr, err)
 	}
-	return &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	c.live[cc] = struct{}{}
+	c.mu.Unlock()
+	return cc, nil
 }
 
-// Close releases all connections.
+// Close releases all connections and unblocks goroutines waiting on the
+// pool or retrying: they fail with ErrClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	for _, cc := range c.conns {
+	close(c.done)
+	for cc := range c.live {
 		cc.conn.Close()
 	}
-	return nil
+	c.live = make(map[*clientConn]struct{})
+	c.mu.Unlock()
+
+	// Drain idle slots so their conns are closed too (checked-out conns
+	// were force-closed above and will be dropped on return).
+	for {
+		select {
+		case cc := <-c.pool:
+			if cc.conn != nil {
+				cc.conn.Close()
+			}
+		default:
+			return nil
+		}
+	}
 }
 
-// roundTrip sends one request on a pooled connection.
+// checkout takes a pool slot, redialing it if its connection was
+// discarded. It respects Close: a waiter blocked on an empty pool returns
+// ErrClosed instead of hanging forever.
+func (c *Client) checkout() (*clientConn, error) {
+	select {
+	case cc := <-c.pool:
+		if cc.conn == nil {
+			ncc, err := c.dial()
+			if err != nil {
+				c.putBack(cc) // keep the slot so later requests can retry the dial
+				return nil, err
+			}
+			metrics.Net.Redials.Add(1)
+			return ncc, nil
+		}
+		return cc, nil
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// putBack returns a slot to the pool (or closes its conn after Close).
+func (c *Client) putBack(cc *clientConn) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		if cc.conn != nil {
+			cc.conn.Close()
+		}
+		return
+	}
+	c.pool <- cc
+}
+
+// discard closes a connection that saw a transport error — its gob stream
+// may be desynced and would poison every later request — and returns an
+// empty slot to the pool for a lazy redial.
+func (c *Client) discard(cc *clientConn) {
+	cc.conn.Close()
+	c.mu.Lock()
+	delete(c.live, cc)
+	c.mu.Unlock()
+	c.putBack(&clientConn{})
+}
+
+// retryable reports whether a request may be re-sent after a transport
+// failure that could have delivered it. Reads, metadata ops, syncs, and
+// closes are idempotent; writes are deduplicated server-side by sequence
+// number; Remove/Rename retried after being applied surface ErrNotFound,
+// which callers treat as the (already reached) goal state.
+func retryable(req *Request) bool {
+	return req.Op != OpWrite || req.Seq != 0
+}
+
+// roundTrip sends one request with deadlines, backoff, and redial.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
-	cc := <-c.pool
-	defer func() { c.pool <- cc }()
-	if err := cc.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("dstore: send: %w", err)
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			metrics.Net.Retries.Add(1)
+			if !netretry.Sleep(netretry.Delay(attempt-1, c.cfg.BackoffBase, c.cfg.BackoffMax), c.done) {
+				return nil, ErrClosed
+			}
+		}
+		cc, err := c.checkout()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			lastErr = err // dial failure: nothing sent, always retryable
+			continue
+		}
+		cc.conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)) //nolint:errcheck
+		err = cc.enc.Encode(req)
+		if err == nil {
+			var resp Response
+			if err = cc.dec.Decode(&resp); err == nil {
+				cc.conn.SetDeadline(time.Time{}) //nolint:errcheck
+				c.putBack(cc)
+				if resp.Err != "" {
+					return &resp, mapRemoteError(resp.Err)
+				}
+				return &resp, nil
+			}
+		}
+		if netretry.IsTimeout(err) {
+			metrics.Net.Timeouts.Add(1)
+		}
+		c.discard(cc)
+		lastErr = err
+		if !retryable(req) {
+			return nil, fmt.Errorf("dstore: %v (not retried: non-idempotent)", err)
+		}
 	}
-	var resp Response
-	if err := cc.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("dstore: recv: %w", err)
-	}
-	if resp.Err != "" {
-		return &resp, mapRemoteError(resp.Err)
-	}
-	return &resp, nil
+	return nil, fmt.Errorf("dstore: request failed after %d attempts: %w",
+		c.cfg.MaxAttempts, lastErr)
 }
 
 // mapRemoteError restores vfs sentinel errors across the wire.
@@ -176,13 +358,17 @@ type remoteWritable struct {
 	c      *Client
 	handle uint64
 	buf    []byte
+	seq    uint64 // last packet sequence number shipped for this handle
 }
 
 func (w *remoteWritable) Write(p []byte) (int, error) {
 	w.buf = append(w.buf, p...)
 	if len(w.buf) >= writePacketSize {
 		if err := w.flush(); err != nil {
-			return 0, err
+			// The bytes were accepted into the local packet buffer (and
+			// stay there for a later flush); report them as written per
+			// the io.Writer contract so caller offsets stay consistent.
+			return len(p), err
 		}
 	}
 	return len(p), nil
@@ -194,10 +380,14 @@ func (w *remoteWritable) flush() error {
 		if len(packet) > writePacketSize {
 			packet = packet[:writePacketSize]
 		}
-		resp, err := w.c.roundTrip(&Request{Op: OpWrite, Handle: w.handle, Data: packet})
+		// Sequence numbers make the append idempotent: if this packet is
+		// retried because the response was lost, the server recognizes
+		// the duplicate and replays the response instead of re-appending.
+		resp, err := w.c.roundTrip(&Request{Op: OpWrite, Handle: w.handle, Data: packet, Seq: w.seq + 1})
 		if err != nil {
 			return err
 		}
+		w.seq++
 		if resp.N != len(packet) {
 			return fmt.Errorf("dstore: short remote write (%d of %d)", resp.N, len(packet))
 		}
@@ -235,8 +425,13 @@ func (r *remoteRandom) ReadAt(p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	n := copy(p, resp.Data)
-	if resp.EOF || n < len(p) {
+	// Only report EOF when the server did; a short response mid-file is a
+	// transfer anomaly, not end-of-file.
+	if resp.EOF {
 		return n, io.EOF
+	}
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
 	}
 	return n, nil
 }

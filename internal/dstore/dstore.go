@@ -50,6 +50,13 @@ type Request struct {
 	Off    int64
 	Len    int
 	Data   []byte
+
+	// Seq is a per-write-handle packet sequence number (1, 2, ...) that
+	// makes OpWrite idempotent: if the client retries a packet because the
+	// response was lost in transit, the server recognizes the repeated Seq
+	// and replays the recorded response instead of appending the data
+	// twice. 0 means "no dedup" (legacy / non-write ops).
+	Seq uint64
 }
 
 // Response is the wire response.
@@ -75,12 +82,23 @@ type Server struct {
 	linkFree    time.Time
 
 	mu      sync.Mutex
-	writers map[uint64]vfs.WritableFile
+	writers map[uint64]*writerEntry
 	readers map[uint64]vfs.RandomAccessFile
 	nextID  uint64
 	closed  bool
 	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
+}
+
+// writerEntry is a server-side open write handle plus the duplicate-
+// detection state for idempotent appends: the last applied packet sequence
+// number and its byte count, so a redelivered packet's response can be
+// replayed without touching the file.
+type writerEntry struct {
+	mu      sync.Mutex // serializes writes per handle, Seq bookkeeping
+	f       vfs.WritableFile
+	lastSeq uint64
+	lastN   int
 }
 
 // NewServer starts a storage node on addr serving base. latency and
@@ -96,7 +114,7 @@ func NewServer(base vfs.FS, addr string, latency time.Duration, bytesPerSec int6
 		ln:          ln,
 		latency:     latency,
 		bytesPerSec: bytesPerSec,
-		writers:     make(map[uint64]vfs.WritableFile),
+		writers:     make(map[uint64]*writerEntry),
 		readers:     make(map[uint64]vfs.RandomAccessFile),
 		conns:       make(map[net.Conn]struct{}),
 	}
@@ -158,7 +176,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	for _, w := range s.writers {
-		w.Close()
+		w.f.Close()
 	}
 	for _, r := range s.readers {
 		r.Close()
@@ -236,38 +254,50 @@ func (s *Server) handle(req *Request) *Response {
 		s.mu.Lock()
 		s.nextID++
 		id := s.nextID
-		s.writers[id] = f
+		s.writers[id] = &writerEntry{f: f}
 		s.mu.Unlock()
 		resp.Handle = id
 	case OpWrite:
 		s.mu.Lock()
-		f, ok := s.writers[req.Handle]
+		w, ok := s.writers[req.Handle]
 		s.mu.Unlock()
 		if !ok {
 			return fail(fmt.Errorf("dstore: unknown write handle %d", req.Handle))
 		}
-		n, err := f.Write(req.Data)
+		w.mu.Lock()
+		if req.Seq != 0 && req.Seq == w.lastSeq {
+			// Duplicate delivery of the last packet (client retried after a
+			// lost response): replay the recorded result, do not re-append.
+			resp.N = w.lastN
+			w.mu.Unlock()
+			break
+		}
+		n, err := w.f.Write(req.Data)
+		if err == nil && req.Seq != 0 {
+			w.lastSeq, w.lastN = req.Seq, n
+		}
+		w.mu.Unlock()
 		resp.N = n
 		if err != nil {
 			return fail(err)
 		}
 	case OpSync:
 		s.mu.Lock()
-		f, ok := s.writers[req.Handle]
+		w, ok := s.writers[req.Handle]
 		s.mu.Unlock()
 		if !ok {
 			return fail(fmt.Errorf("dstore: unknown write handle %d", req.Handle))
 		}
-		if err := f.Sync(); err != nil {
+		if err := w.f.Sync(); err != nil {
 			return fail(err)
 		}
 	case OpCloseW:
 		s.mu.Lock()
-		f, ok := s.writers[req.Handle]
+		w, ok := s.writers[req.Handle]
 		delete(s.writers, req.Handle)
 		s.mu.Unlock()
 		if ok {
-			if err := f.Close(); err != nil {
+			if err := w.f.Close(); err != nil {
 				return fail(err)
 			}
 		}

@@ -102,6 +102,23 @@ func (d *Derived) CreateDEK(serverID string) (KeyID, crypt.DEK, error) {
 	return id, dek, err
 }
 
+// CreateDEKToken implements TokenCreator. Derivation makes this cheap:
+// the DEK-ID is itself derived from the token, so any replica holding the
+// master resolves a replayed token to the same ID and key without shared
+// state — the dedup survives even a replica restart.
+func (d *Derived) CreateDEKToken(serverID, token string) (KeyID, crypt.DEK, error) {
+	if token == "" {
+		return d.CreateDEK(serverID)
+	}
+	if err := d.check(serverID); err != nil {
+		return "", crypt.DEK{}, err
+	}
+	raw := crypt.HKDFSHA256(d.master, []byte("shield-kds-derived-id-v1"), []byte(token), 12)
+	id := KeyID("dekh-" + hex.EncodeToString(raw))
+	dek, err := d.derive(id)
+	return id, dek, err
+}
+
 // FetchDEK re-derives the key for id.
 func (d *Derived) FetchDEK(serverID string, id KeyID) (crypt.DEK, error) {
 	if err := d.check(serverID); err != nil {

@@ -43,6 +43,11 @@ var (
 	ErrNoReplica      = errors.New("kds: no replica reachable")
 	ErrClosed         = errors.New("kds: service closed")
 	ErrPolicyViolated = errors.New("kds: request denied by policy")
+
+	// ErrUnconfirmed reports that a non-idempotent request failed after it
+	// may already have reached a replica; re-sending it could apply it
+	// twice, so the client surfaces the uncertainty instead of retrying.
+	ErrUnconfirmed = errors.New("kds: request outcome unknown")
 )
 
 // Backend is the server-side key-store interface: what a KDS front end
@@ -52,6 +57,15 @@ type Backend interface {
 	CreateDEK(serverID string) (KeyID, crypt.DEK, error)
 	FetchDEK(serverID string, id KeyID) (crypt.DEK, error)
 	RevokeDEK(id KeyID) error
+}
+
+// TokenCreator is implemented by backends that support idempotent DEK
+// creation: a retried create carrying the same token returns the
+// already-issued key instead of minting (and leaking) a second one. All
+// backends in this package implement it; the network server falls back to
+// plain CreateDEK for custom backends that do not.
+type TokenCreator interface {
+	CreateDEKToken(serverID, token string) (KeyID, crypt.DEK, error)
 }
 
 // Service is the client-side interface SHIELD programs against. A Service
@@ -107,7 +121,17 @@ type Store struct {
 	issued     int64
 	fetched    int64
 	denied     int64
+
+	// Idempotency-token window for CreateDEKToken: token -> issued KeyID,
+	// bounded FIFO so a retry storm cannot grow the store.
+	tokens     map[string]KeyID
+	tokenOrder []string
 }
+
+// tokenWindow bounds how many recent create tokens are remembered. Retries
+// arrive within a request's backoff budget (milliseconds to seconds), so a
+// small window is ample.
+const tokenWindow = 1024
 
 // NewStore creates an empty key store with the given policy.
 func NewStore(policy Policy) *Store {
@@ -183,6 +207,42 @@ func (s *Store) CreateDEK(serverID string) (KeyID, crypt.DEK, error) {
 	}
 	s.keys[id] = &keyEntry{dek: dek, creator: serverID}
 	s.issued++
+	return id, dek, nil
+}
+
+// CreateDEKToken implements TokenCreator: a replayed token returns the key
+// already issued for it, so a client retrying a create whose response was
+// lost does not double-issue a DEK. The check-then-create sequence is not
+// atomic across concurrent calls with the same token, but tokens are
+// minted per request by a single client whose retries are serialized.
+func (s *Store) CreateDEKToken(serverID, token string) (KeyID, crypt.DEK, error) {
+	if token == "" {
+		return s.CreateDEK(serverID)
+	}
+	s.mu.Lock()
+	if id, ok := s.tokens[token]; ok {
+		if e, live := s.keys[id]; live {
+			dek := e.dek
+			s.mu.Unlock()
+			return id, dek, nil
+		}
+	}
+	s.mu.Unlock()
+	id, dek, err := s.CreateDEK(serverID)
+	if err != nil {
+		return id, dek, err
+	}
+	s.mu.Lock()
+	if s.tokens == nil {
+		s.tokens = make(map[string]KeyID)
+	}
+	s.tokens[token] = id
+	s.tokenOrder = append(s.tokenOrder, token)
+	for len(s.tokenOrder) > tokenWindow {
+		delete(s.tokens, s.tokenOrder[0])
+		s.tokenOrder = s.tokenOrder[1:]
+	}
+	s.mu.Unlock()
 	return id, dek, nil
 }
 

@@ -2,6 +2,7 @@ package kds
 
 import (
 	"bufio"
+	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -9,8 +10,11 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"shield/internal/crypt"
+	"shield/internal/metrics"
+	"shield/internal/netretry"
 )
 
 // The wire protocol is newline-delimited JSON over TCP. Each request carries
@@ -24,6 +28,10 @@ type wireRequest struct {
 	Op       string `json:"op"` // "create" | "fetch" | "revoke"
 	ServerID string `json:"server_id"`
 	KeyID    string `json:"key_id,omitempty"`
+
+	// Token makes "create" idempotent: a retried create with the same
+	// token resolves to the key already issued for it (TokenCreator).
+	Token string `json:"token,omitempty"`
 }
 
 type wireResponse struct {
@@ -122,7 +130,16 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) handle(req wireRequest) wireResponse {
 	switch req.Op {
 	case "create":
-		id, dek, err := s.store.CreateDEK(req.ServerID)
+		var (
+			id  KeyID
+			dek crypt.DEK
+			err error
+		)
+		if tc, ok := s.store.(TokenCreator); ok && req.Token != "" {
+			id, dek, err = tc.CreateDEKToken(req.ServerID, req.Token)
+		} else {
+			id, dek, err = s.store.CreateDEK(req.ServerID)
+		}
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
@@ -143,31 +160,100 @@ func (s *Server) handle(req wireRequest) wireResponse {
 	}
 }
 
-// Client is a Service that talks to one or more KDS replicas over TCP,
-// failing over in order. It is safe for concurrent use; requests are
-// serialized over a single connection per replica.
+// ClientConfig tunes the client's fault-tolerance behavior. The zero
+// value selects the defaults noted per field.
+type ClientConfig struct {
+	// DialTimeout bounds each connection attempt to one replica
+	// (default 1s).
+	DialTimeout time.Duration
+
+	// RequestTimeout is the per-attempt deadline covering send and
+	// receive, so a hung replica cannot wedge the caller (default 2s).
+	RequestTimeout time.Duration
+
+	// MaxAttempts is the total number of transport attempts per request,
+	// across replicas (default 4).
+	MaxAttempts int
+
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between attempts (defaults 5ms and 250ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// NoIdempotencyTokens disables the create-token protocol, for
+	// backends that do not implement TokenCreator. Without tokens a
+	// create whose transport fails after the request may have been
+	// delivered is NOT retried — it fails with ErrUnconfirmed, because a
+	// blind re-send could double-issue a DEK.
+	NoIdempotencyTokens bool
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 5 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 250 * time.Millisecond
+	}
+	return cfg
+}
+
+// Client is a Service that talks to one or more KDS replicas over TCP.
+// Every request carries a deadline and fails over between replicas with
+// jittered exponential backoff; idempotent requests (fetch, revoke, and
+// token-carrying creates) are retried across replicas, non-idempotent
+// ones surface ErrUnconfirmed rather than risk double application. It is
+// safe for concurrent use; requests are serialized over one connection.
 type Client struct {
 	serverID string
 	addrs    []string
+	cfg      ClientConfig
+	done     chan struct{}
 
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *json.Encoder
-	dec    *json.Decoder
-	closed bool
+	reqMu sync.Mutex // serializes requests on the shared connection
+
+	mu      sync.Mutex // guards connection state below
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	replica int // index into addrs of the current/last-good replica
+	closed  bool
 }
 
 // NewClient returns a Service identifying as serverID against the given
-// replica addresses.
+// replica addresses, with default fault-tolerance settings.
 func NewClient(serverID string, addrs ...string) *Client {
-	return &Client{serverID: serverID, addrs: addrs}
+	return NewClientConfig(serverID, ClientConfig{}, addrs...)
 }
 
-// Close releases the client connection.
+// NewClientConfig is NewClient with explicit retry/timeout settings.
+func NewClientConfig(serverID string, cfg ClientConfig, addrs ...string) *Client {
+	return &Client{
+		serverID: serverID,
+		addrs:    addrs,
+		cfg:      cfg.withDefaults(),
+		done:     make(chan struct{}),
+	}
+}
+
+// Close releases the client connection and unblocks in-flight requests.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
 	c.closed = true
+	close(c.done)
 	if c.conn != nil {
 		err := c.conn.Close()
 		c.conn = nil
@@ -176,55 +262,120 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// connectLocked dials the first reachable replica. Caller holds c.mu.
-func (c *Client) connectLocked() error {
-	if c.conn != nil {
-		return nil
+// connect returns the live connection, dialing replicas round-robin from
+// the current index when there is none.
+func (c *Client) connect() (net.Conn, *json.Encoder, *json.Decoder, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, nil, ErrClosed
 	}
+	if c.conn != nil {
+		conn, enc, dec := c.conn, c.enc, c.dec
+		c.mu.Unlock()
+		return conn, enc, dec, nil
+	}
+	start := c.replica
+	c.mu.Unlock()
+
 	var lastErr error
-	for _, addr := range c.addrs {
-		conn, err := net.Dial("tcp", addr)
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (start + i) % len(c.addrs)
+		conn, err := net.DialTimeout("tcp", c.addrs[idx], c.cfg.DialTimeout)
 		if err != nil {
 			lastErr = err
 			continue
 		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return nil, nil, nil, ErrClosed
+		}
+		if idx != c.replica {
+			metrics.Net.Failovers.Add(1)
+		}
+		c.replica = idx
 		c.conn = conn
 		c.enc = json.NewEncoder(conn)
 		c.dec = json.NewDecoder(bufio.NewReader(conn))
-		return nil
+		enc, dec := c.enc, c.dec
+		c.mu.Unlock()
+		return conn, enc, dec, nil
 	}
 	if lastErr == nil {
 		lastErr = errors.New("no addresses configured")
 	}
-	return fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
+	return nil, nil, nil, fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
 }
 
-func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+// dropConn discards a failed connection and advances to the next replica
+// so the following dial tries a different server first.
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return wireResponse{}, ErrClosed
+	if c.conn == conn {
+		c.conn = nil
+		if len(c.addrs) > 0 {
+			c.replica = (c.replica + 1) % len(c.addrs)
+		}
 	}
+	c.mu.Unlock()
+}
+
+// roundTrip sends one request with deadlines, backoff, and failover.
+// idempotent requests are re-sent on transport errors; others fail with
+// ErrUnconfirmed once the request may have been delivered.
+func (c *Client) roundTrip(req wireRequest, idempotent bool) (wireResponse, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
 	req.ServerID = c.serverID
-	// Two attempts: a stale connection (replica restarted) gets one redial.
-	for attempt := 0; attempt < 2; attempt++ {
-		if err := c.connectLocked(); err != nil {
-			return wireResponse{}, err
+
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			metrics.Net.Retries.Add(1)
+			if !netretry.Sleep(netretry.Delay(attempt-1, c.cfg.BackoffBase, c.cfg.BackoffMax), c.done) {
+				return wireResponse{}, ErrClosed
+			}
 		}
-		if err := c.enc.Encode(&req); err != nil {
-			c.conn.Close()
-			c.conn = nil
+		conn, enc, dec, err := c.connect()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return wireResponse{}, err
+			}
+			lastErr = err // nothing was sent; retryable for every op
 			continue
 		}
-		var resp wireResponse
-		if err := c.dec.Decode(&resp); err != nil {
-			c.conn.Close()
-			c.conn = nil
-			continue
+		conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout)) //nolint:errcheck
+		err = enc.Encode(&req)
+		if err == nil {
+			var resp wireResponse
+			if err = dec.Decode(&resp); err == nil {
+				conn.SetDeadline(time.Time{}) //nolint:errcheck
+				return resp, nil
+			}
 		}
-		return resp, nil
+		if netretry.IsTimeout(err) {
+			metrics.Net.Timeouts.Add(1)
+		}
+		c.dropConn(conn)
+		lastErr = err
+		if !idempotent {
+			return wireResponse{}, fmt.Errorf("%w: %v", ErrUnconfirmed, err)
+		}
 	}
-	return wireResponse{}, fmt.Errorf("%w: request failed after retry", ErrNoReplica)
+	return wireResponse{}, fmt.Errorf("%w: request failed after %d attempts: %v",
+		ErrNoReplica, c.cfg.MaxAttempts, lastErr)
+}
+
+// newCreateToken mints a random idempotency token for one create request.
+func newCreateToken() (string, error) {
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("kds: generating create token: %w", err)
+	}
+	return hex.EncodeToString(raw[:]), nil
 }
 
 // mapWireError converts a server-side error string back to the package's
@@ -240,9 +391,20 @@ func mapWireError(msg string) error {
 	return errors.New(msg)
 }
 
-// CreateDEK implements Service.
+// CreateDEK implements Service. Unless disabled, the request carries an
+// idempotency token so transport-level retries cannot double-issue a DEK.
 func (c *Client) CreateDEK() (KeyID, crypt.DEK, error) {
-	resp, err := c.roundTrip(wireRequest{Op: "create"})
+	req := wireRequest{Op: "create"}
+	idempotent := false
+	if !c.cfg.NoIdempotencyTokens {
+		token, err := newCreateToken()
+		if err != nil {
+			return "", crypt.DEK{}, err
+		}
+		req.Token = token
+		idempotent = true
+	}
+	resp, err := c.roundTrip(req, idempotent)
 	if err != nil {
 		return "", crypt.DEK{}, err
 	}
@@ -260,9 +422,12 @@ func (c *Client) CreateDEK() (KeyID, crypt.DEK, error) {
 	return KeyID(resp.KeyID), dek, nil
 }
 
-// FetchDEK implements Service.
+// FetchDEK implements Service. Fetches are idempotent (the one-time
+// budget is only consumed by a successful response reaching a *different*
+// server, and re-fetch by the same server is policy-checked server-side),
+// so transport failures retry freely.
 func (c *Client) FetchDEK(id KeyID) (crypt.DEK, error) {
-	resp, err := c.roundTrip(wireRequest{Op: "fetch", KeyID: string(id)})
+	resp, err := c.roundTrip(wireRequest{Op: "fetch", KeyID: string(id)}, true)
 	if err != nil {
 		return crypt.DEK{}, err
 	}
@@ -276,9 +441,9 @@ func (c *Client) FetchDEK(id KeyID) (crypt.DEK, error) {
 	return crypt.DEKFromBytes(raw)
 }
 
-// RevokeDEK implements Service.
+// RevokeDEK implements Service. Revocation is idempotent.
 func (c *Client) RevokeDEK(id KeyID) error {
-	resp, err := c.roundTrip(wireRequest{Op: "revoke", KeyID: string(id)})
+	resp, err := c.roundTrip(wireRequest{Op: "revoke", KeyID: string(id)}, true)
 	if err != nil {
 		return err
 	}

@@ -224,6 +224,21 @@ func (ps *PersistentStore) CreateDEK(serverID string) (KeyID, crypt.DEK, error) 
 	return id, dek, nil
 }
 
+// CreateDEKToken issues a key idempotently and persists the snapshot.
+// The token window itself is not persisted: a KDS restart forgets recent
+// tokens, so a retry that straddles the restart mints a fresh key — a
+// bounded leak, never a lost one.
+func (ps *PersistentStore) CreateDEKToken(serverID, token string) (KeyID, crypt.DEK, error) {
+	id, dek, err := ps.Store.CreateDEKToken(serverID, token)
+	if err != nil {
+		return id, dek, err
+	}
+	if err := ps.Save(); err != nil {
+		return "", crypt.DEK{}, fmt.Errorf("kds: persisting after issue: %w", err)
+	}
+	return id, dek, nil
+}
+
 // FetchDEK resolves a key and persists the snapshot (fetch budgets are
 // state too — one-time provisioning must survive a KDS restart).
 func (ps *PersistentStore) FetchDEK(serverID string, id KeyID) (crypt.DEK, error) {

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// NetCounters aggregates fault-tolerance events on the network paths:
+// the KDS client, the disaggregated-storage client, and the offloaded
+// compaction client all report into one counter set so the bench harness
+// can print how much retrying/failover a run needed. The zero value is
+// ready to use.
+type NetCounters struct {
+	Retries        atomic.Int64 // requests re-sent after a transport failure
+	Timeouts       atomic.Int64 // attempts that hit the per-request deadline
+	Failovers      atomic.Int64 // connections moved to a different replica
+	Redials        atomic.Int64 // pool slots re-dialed after a discarded conn
+	DegradedWrites atomic.Int64 // writes refused because the KDS is unreachable
+	DegradedReads  atomic.Int64 // reads that failed even after the secure cache
+}
+
+// Net is the process-wide counter set the network clients report into.
+var Net = &NetCounters{}
+
+// NetSnapshot is a point-in-time copy of NetCounters.
+type NetSnapshot struct {
+	Retries        int64
+	Timeouts       int64
+	Failovers      int64
+	Redials        int64
+	DegradedWrites int64
+	DegradedReads  int64
+}
+
+// Snapshot returns the current counter values.
+func (c *NetCounters) Snapshot() NetSnapshot {
+	return NetSnapshot{
+		Retries:        c.Retries.Load(),
+		Timeouts:       c.Timeouts.Load(),
+		Failovers:      c.Failovers.Load(),
+		Redials:        c.Redials.Load(),
+		DegradedWrites: c.DegradedWrites.Load(),
+		DegradedReads:  c.DegradedReads.Load(),
+	}
+}
+
+// Reset zeroes every counter (benchmarks reset between runs).
+func (c *NetCounters) Reset() {
+	c.Retries.Store(0)
+	c.Timeouts.Store(0)
+	c.Failovers.Store(0)
+	c.Redials.Store(0)
+	c.DegradedWrites.Store(0)
+	c.DegradedReads.Store(0)
+}
+
+// Any reports whether any fault-tolerance event occurred.
+func (s NetSnapshot) Any() bool {
+	return s.Retries+s.Timeouts+s.Failovers+s.Redials+s.DegradedWrites+s.DegradedReads != 0
+}
+
+// Sub returns the delta s minus prev, for reporting one run's events.
+func (s NetSnapshot) Sub(prev NetSnapshot) NetSnapshot {
+	return NetSnapshot{
+		Retries:        s.Retries - prev.Retries,
+		Timeouts:       s.Timeouts - prev.Timeouts,
+		Failovers:      s.Failovers - prev.Failovers,
+		Redials:        s.Redials - prev.Redials,
+		DegradedWrites: s.DegradedWrites - prev.DegradedWrites,
+		DegradedReads:  s.DegradedReads - prev.DegradedReads,
+	}
+}
+
+// String renders the non-zero counters.
+func (s NetSnapshot) String() string {
+	return fmt.Sprintf("retries=%d timeouts=%d failovers=%d redials=%d degraded_writes=%d degraded_reads=%d",
+		s.Retries, s.Timeouts, s.Failovers, s.Redials, s.DegradedWrites, s.DegradedReads)
+}

@@ -1,0 +1,60 @@
+// Package netretry provides the shared retry policy of the network
+// clients (kds, dstore, compactsvc): exponential backoff with full
+// jitter, interruptible sleeps, and timeout classification.
+//
+// Backoff spreads reconnection attempts after a replica failure so a
+// fleet of clients does not stampede the surviving replicas; jitter
+// de-synchronizes clients that failed at the same instant.
+package netretry
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Delay returns the sleep before retry number attempt (0-based), doubling
+// from base up to max, jittered uniformly over [d/2, d]. A non-positive
+// base disables backoff.
+func Delay(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if attempt > 20 {
+		attempt = 20 // avoid shift overflow; max caps the value anyway
+	}
+	d := base << uint(attempt)
+	if max > 0 && d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Sleep waits d or until done is closed, reporting false when interrupted.
+// A nil done channel makes it a plain bounded sleep.
+func Sleep(d time.Duration, done <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	if done == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// IsTimeout reports whether err is a network timeout (an expired
+// deadline), as opposed to a refused or reset connection.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

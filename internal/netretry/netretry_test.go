@@ -1,0 +1,83 @@
+package netretry
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDelayDoublesAndCaps(t *testing.T) {
+	base := 10 * time.Millisecond
+	max := 80 * time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		want := base << uint(attempt)
+		if want > max {
+			want = max
+		}
+		for i := 0; i < 50; i++ {
+			d := Delay(attempt, base, max)
+			if d < want/2 || d > want {
+				t.Fatalf("Delay(%d) = %v, want in [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+func TestDelayZeroBase(t *testing.T) {
+	if d := Delay(3, 0, time.Second); d != 0 {
+		t.Fatalf("Delay with zero base = %v, want 0", d)
+	}
+}
+
+func TestDelayHugeAttemptNoOverflow(t *testing.T) {
+	d := Delay(1000, time.Millisecond, time.Second)
+	if d <= 0 || d > time.Second {
+		t.Fatalf("Delay(1000) = %v, want in (0, 1s]", d)
+	}
+}
+
+func TestSleepInterrupted(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	if Sleep(10*time.Second, done) {
+		t.Fatal("Sleep returned true with closed done channel")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("interrupted Sleep took too long")
+	}
+}
+
+func TestSleepNilDone(t *testing.T) {
+	start := time.Now()
+	if !Sleep(10*time.Millisecond, nil) {
+		t.Fatal("Sleep(nil done) returned false")
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("Sleep returned early")
+	}
+}
+
+type fakeTimeout struct{ timeout bool }
+
+func (e *fakeTimeout) Error() string   { return "fake" }
+func (e *fakeTimeout) Timeout() bool   { return e.timeout }
+func (e *fakeTimeout) Temporary() bool { return false }
+
+func TestIsTimeout(t *testing.T) {
+	var _ net.Error = (*fakeTimeout)(nil)
+	if !IsTimeout(&fakeTimeout{timeout: true}) {
+		t.Fatal("timeout error not classified as timeout")
+	}
+	if IsTimeout(&fakeTimeout{timeout: false}) {
+		t.Fatal("non-timeout net.Error classified as timeout")
+	}
+	if IsTimeout(errors.New("plain")) {
+		t.Fatal("plain error classified as timeout")
+	}
+	if !IsTimeout(fmt.Errorf("wrapped: %w", &fakeTimeout{timeout: true})) {
+		t.Fatal("wrapped timeout not classified as timeout")
+	}
+}

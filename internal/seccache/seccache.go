@@ -56,6 +56,7 @@ type Cache struct {
 	entries  map[kds.KeyID]crypt.DEK
 	hits     int64
 	misses   int64
+	saveErrs int64
 	autosave bool
 }
 
@@ -173,6 +174,15 @@ func (c *Cache) Put(id kds.KeyID, dek crypt.DEK) error {
 	return nil
 }
 
+// Has reports whether id is cached, without touching the hit/miss counters
+// (used to decide whether degraded KDS-less operation is possible).
+func (c *Cache) Has(id kds.KeyID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[id]
+	return ok
+}
+
 // Delete removes a DEK — called when its file is deleted after compaction,
 // ensuring only current keys remain accessible.
 func (c *Cache) Delete(id kds.KeyID) error {
@@ -202,6 +212,15 @@ func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// SaveErrors reports how many persistence attempts have failed — the cache
+// keeps serving from memory across save failures (storage may itself be
+// degraded), and this counter is how operators notice.
+func (c *Cache) SaveErrors() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saveErrs
+}
+
 // Save persists the cache immediately.
 func (c *Cache) Save() error {
 	c.mu.Lock()
@@ -210,6 +229,14 @@ func (c *Cache) Save() error {
 }
 
 func (c *Cache) saveLocked() error {
+	err := c.saveLockedInner()
+	if err != nil {
+		c.saveErrs++
+	}
+	return err
+}
+
+func (c *Cache) saveLockedInner() error {
 	raw := make(map[string]string, len(c.entries))
 	for id, dek := range c.entries {
 		raw[string(id)] = hex.EncodeToString(dek[:])

@@ -1,0 +1,148 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestFaultFSDeterministicRule(t *testing.T) {
+	fs := NewFault(NewMem(), 1)
+	rule := fs.Inject(FaultRule{Op: FaultCreate})
+	if _, err := fs.Create("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Create err = %v, want ErrInjected", err)
+	}
+	if got := fs.Fired(rule); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	fs.RemoveRule(rule)
+	if _, err := fs.Create("a"); err != nil {
+		t.Fatalf("Create after RemoveRule: %v", err)
+	}
+}
+
+func TestFaultFSAfterAndCount(t *testing.T) {
+	fs := NewFault(NewMem(), 1)
+	fs.Inject(FaultRule{Op: FaultCreate, After: 2, Count: 1})
+	for i := 0; i < 2; i++ {
+		if _, err := fs.Create("x"); err != nil {
+			t.Fatalf("Create %d should pass (After=2): %v", i, err)
+		}
+	}
+	if _, err := fs.Create("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third Create err = %v, want ErrInjected", err)
+	}
+	if _, err := fs.Create("x"); err != nil {
+		t.Fatalf("fourth Create should pass (Count=1): %v", err)
+	}
+}
+
+func TestFaultFSPathFilter(t *testing.T) {
+	fs := NewFault(NewMem(), 1)
+	fs.Inject(FaultRule{Op: FaultCreate, Path: ".sst"})
+	if _, err := fs.Create("000001.log"); err != nil {
+		t.Fatalf("non-matching path failed: %v", err)
+	}
+	if _, err := fs.Create("000002.sst"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching path err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFaultFSCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	fs := NewFault(NewMem(), 1)
+	fs.Inject(FaultRule{Op: FaultRemove, Err: boom})
+	if err := fs.Remove("nope"); !errors.Is(err, boom) {
+		t.Fatalf("Remove err = %v, want boom", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	base := NewMem()
+	fs := NewFault(base, 1)
+	f, err := fs.Create("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Inject(FaultRule{Op: FaultWrite, TornBytes: 3, Count: 1})
+	n, err := f.Write([]byte("hello world"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write n = %d, want 3", n)
+	}
+	// The prefix must have reached the underlying file.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := base.Open("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 16)
+	nn, rerr := r.ReadAt(buf, 0)
+	if rerr != nil && rerr != io.EOF {
+		t.Fatal(rerr)
+	}
+	if string(buf[:nn]) != "hel" {
+		t.Fatalf("underlying bytes = %q, want %q", buf[:nn], "hel")
+	}
+}
+
+func TestFaultFSStallOnly(t *testing.T) {
+	fs := NewFault(NewMem(), 1)
+	fs.Inject(FaultRule{Op: FaultStat, Stall: 30 * time.Millisecond})
+	if err := WriteFile(fs, "f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := fs.Stat("f"); err != nil {
+		t.Fatalf("stall-only rule must not fail the op: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("Stat returned in %v, want >= 30ms stall", d)
+	}
+}
+
+func TestFaultFSProbabilityRoughlyHonored(t *testing.T) {
+	fs := NewFault(NewMem(), 42)
+	rule := fs.Inject(FaultRule{Op: FaultCreate, Probability: 0.5})
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		fs.Create("p") //nolint:errcheck
+	}
+	fired := fs.Fired(rule)
+	if fired < trials/4 || fired > trials*3/4 {
+		t.Fatalf("probability 0.5 fired %d/%d times", fired, trials)
+	}
+}
+
+func TestFaultFSReadAndSequential(t *testing.T) {
+	fs := NewFault(NewMem(), 1)
+	if err := WriteFile(fs, "f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Inject(FaultRule{Op: FaultRead})
+	r, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ReadAt(make([]byte, 4), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadAt err = %v, want ErrInjected", err)
+	}
+	s, err := fs.OpenSequential("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Read(make([]byte, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Read err = %v, want ErrInjected", err)
+	}
+	if fs.Injected() < 2 {
+		t.Fatalf("Injected = %d, want >= 2", fs.Injected())
+	}
+}
