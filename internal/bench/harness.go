@@ -81,6 +81,12 @@ type Result struct {
 	// counters over this run: how much retrying, failover, and degraded
 	// operation the workload needed.
 	Net metrics.NetSnapshot
+
+	// Recovery is the delta of the process-wide crash-recovery counters
+	// over this run: WAL replay work, torn-tail truncations, quarantined
+	// files, and scrub verification (non-zero when the workload reopens
+	// databases).
+	Recovery metrics.RecoverySnapshot
 }
 
 // String renders one report row.
@@ -89,6 +95,9 @@ func (r Result) String() string {
 		r.Name, r.Ops, r.OpsPerSec, r.Mean, r.P50, r.P99)
 	if r.Net.Any() {
 		s += "  [" + r.Net.String() + "]"
+	}
+	if r.Recovery.Any() {
+		s += "  [" + r.Recovery.String() + "]"
 	}
 	return s
 }
@@ -105,6 +114,7 @@ func run(w Workload, fn opFunc) Result {
 	var wg sync.WaitGroup
 
 	netBefore := metrics.Net.Snapshot()
+	recBefore := metrics.Recovery.Snapshot()
 	start := time.Now()
 	for t := 0; t < w.Threads; t++ {
 		wg.Add(1)
@@ -139,6 +149,7 @@ func run(w Workload, fn opFunc) Result {
 		P99:       hist.Quantile(0.99),
 		Errors:    errs.Load(),
 		Net:       metrics.Net.Snapshot().Sub(netBefore),
+		Recovery:  metrics.Recovery.Snapshot().Sub(recBefore),
 	}
 }
 

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"shield/internal/encfs"
+	"shield/internal/lsm"
+)
+
+// IsShieldHeader reports whether a file's raw prefix carries the plaintext
+// SHIELD per-file header (magic "SHLD").
+func IsShieldHeader(prefix []byte) bool {
+	return len(prefix) >= 4 && binary.LittleEndian.Uint32(prefix[0:4]) == shieldMagic
+}
+
+// EncryptedSniffer recognizes both of the paper's encrypted on-disk formats
+// from a raw file prefix. Scrubs use it to skip (rather than quarantine)
+// files that fail verification only because the scrubber lacks the key.
+func EncryptedSniffer(prefix []byte) bool {
+	return IsShieldHeader(prefix) || encfs.IsEncrypted(prefix)
+}
+
+// Scrub runs the offline corruption scrub on the database in dir with cfg's
+// encryption design applied: files are decrypted exactly as the engine
+// would decrypt them, per-block MACs/checksums are verified under the
+// DEKs cfg can resolve, and provably corrupt files are quarantined into
+// <dir>/lost/. Files in an encrypted format whose key cfg cannot resolve
+// (e.g. the KDS is unreachable, or scrubbing keyless with ModeNone) are
+// skipped, never quarantined. The database must not be open on dir.
+func Scrub(dir string, cfg Config, opts lsm.ScrubOptions) (*lsm.ScrubReport, error) {
+	fs, err := cfg.BuildFS()
+	if err != nil {
+		return nil, err
+	}
+	wrapper, err := cfg.BuildWrapper()
+	if err != nil {
+		return nil, err
+	}
+	opts.Wrapper = wrapper
+	if opts.Encrypted == nil {
+		opts.Encrypted = EncryptedSniffer
+	}
+	return lsm.Scrub(fs, dir, opts)
+}

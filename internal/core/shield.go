@@ -42,7 +42,10 @@ const (
 	shieldVersion = 1
 )
 
-var errBadHeader = errors.New("core: bad SHIELD file header")
+// errBadHeader wraps lsm.ErrCorruption: a malformed SHIELD header is
+// structural file damage (unlike an unresolvable DEK, which may just mean
+// the KDS is unreachable and must never classify as corruption).
+var errBadHeader = fmt.Errorf("core: bad SHIELD file header: %w", lsm.ErrCorruption)
 
 func encodeHeader(dekID kds.KeyID, iv [crypt.IVSize]byte) []byte {
 	out := make([]byte, 0, 10+len(dekID)+crypt.IVSize)

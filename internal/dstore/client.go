@@ -342,6 +342,13 @@ func (c *Client) MkdirAll(dir string) error {
 	return err
 }
 
+// SyncDir implements vfs.FS. The operation is idempotent, so roundTrip's
+// retry-on-reconnect is safe.
+func (c *Client) SyncDir(dir string) error {
+	_, err := c.roundTrip(&Request{Op: OpSyncDir, Name: dir})
+	return err
+}
+
 // Stat implements vfs.FS.
 func (c *Client) Stat(name string) (vfs.FileInfo, error) {
 	resp, err := c.roundTrip(&Request{Op: OpStat, Name: name})

@@ -39,6 +39,7 @@ const (
 	OpList
 	OpMkdir
 	OpStat
+	OpSyncDir
 )
 
 // Request is the wire request. A single struct keeps gob simple.
@@ -368,6 +369,10 @@ func (s *Server) handle(req *Request) *Response {
 			return fail(err)
 		}
 		resp.Infos = []vfs.FileInfo{info}
+	case OpSyncDir:
+		if err := s.stats.SyncDir(req.Name); err != nil {
+			return fail(err)
+		}
 	default:
 		return fail(fmt.Errorf("dstore: unknown op %d", req.Op))
 	}

@@ -32,6 +32,13 @@ const headerVersion = 1
 // HeaderLen is the plaintext header size: magic(4) + version(4) + IV(16).
 const HeaderLen = 8 + crypt.IVSize
 
+// IsEncrypted reports whether a file's raw prefix carries the EncFS header —
+// used by integrity scrubs to tell "encrypted with a key we don't hold" from
+// "corrupt" when reading below the decryption layer.
+func IsEncrypted(prefix []byte) bool {
+	return len(prefix) >= 4 && binary.LittleEndian.Uint32(prefix[0:4]) == headerMagic
+}
+
 // FS wraps a base filesystem with transparent single-DEK encryption.
 type FS struct {
 	base vfs.FS
@@ -159,6 +166,10 @@ func (e *FS) List(dir string) ([]vfs.FileInfo, error) { return e.base.List(dir) 
 
 // MkdirAll implements vfs.FS.
 func (e *FS) MkdirAll(dir string) error { return e.base.MkdirAll(dir) }
+
+// SyncDir implements vfs.FS. Directory entries are not encrypted, so this is
+// a straight passthrough.
+func (e *FS) SyncDir(dir string) error { return e.base.SyncDir(dir) }
 
 // Stat implements vfs.FS.
 func (e *FS) Stat(name string) (vfs.FileInfo, error) { return e.base.Stat(name) }

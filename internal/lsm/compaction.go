@@ -239,6 +239,13 @@ func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (Compactio
 	if err := finishOutput(); err != nil {
 		return res, err
 	}
+	// The output files' directory entries must be durable before the caller
+	// logs the manifest edit referencing them.
+	if len(res.Outputs) > 0 {
+		if err := fs.SyncDir(job.Dir); err != nil {
+			return res, err
+		}
+	}
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path"
 	"sort"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"shield/internal/lsm/manifest"
 	"shield/internal/lsm/sstable"
 	"shield/internal/lsm/wal"
+	"shield/internal/metrics"
 	"shield/internal/vfs"
 )
 
@@ -131,9 +133,11 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	d.tables = newTableCache(d.fs, dir, d.wrapper, d.blockCache)
 
+	start := time.Now()
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
+	metrics.Recovery.RecoveryNanos.Add(time.Since(start).Nanoseconds())
 
 	d.commitWG.Add(1)
 	go d.commitLoop()
@@ -168,25 +172,26 @@ func (d *DB) recover() error {
 	manifestName := strings.TrimSpace(string(data))
 	num, ok := parseManifestName(manifestName)
 	if !ok {
-		return fmt.Errorf("lsm: CURRENT points to invalid manifest %q", manifestName)
+		return &CorruptionError{
+			Path:   currentName,
+			Kind:   FileKindCurrent,
+			Detail: fmt.Sprintf("points to invalid manifest %q", manifestName),
+		}
 	}
 	d.manifestNum = num
 
-	var ver *manifest.Version
-	var logNum, nextFile uint64
-	var lastSeq base.SeqNum
-	if d.opts.ReadOnly {
-		ver, logNum, nextFile, lastSeq, err = d.loadManifest(manifestName)
-	} else {
-		ver, logNum, nextFile, lastSeq, err = d.replayManifest(manifestName)
-	}
+	st, err := loadManifestFrom(d.fs, d.wrapper, d.dir, manifestName)
 	if err != nil {
 		return err
 	}
+	ver, logNum := st.ver, st.logNum
 	d.current = ver
 	d.logNum = logNum
-	d.nextFileNum = nextFile
-	d.lastSeq.Store(uint64(lastSeq))
+	d.nextFileNum = st.nextFile
+	if d.manifestNum >= d.nextFileNum {
+		d.nextFileNum = d.manifestNum + 1
+	}
+	d.lastSeq.Store(uint64(st.lastSeq))
 	for _, lvl := range ver.Levels {
 		for _, f := range lvl {
 			if f.DEKID != "" {
@@ -195,6 +200,29 @@ func (d *DB) recover() error {
 			if f.Seq > d.fileSeq {
 				d.fileSeq = f.Seq
 			}
+		}
+	}
+
+	// Verify every SST the manifest references before trusting the version:
+	// a missing or corrupt file either fails the open with a typed error or,
+	// under BestEffortRecovery, is quarantined and dropped.
+	if err := d.verifyTables(); err != nil {
+		return err
+	}
+
+	if !d.opts.ReadOnly {
+		// Roll the verified state into a fresh MANIFEST (compacting the edit
+		// history) and only then repoint CURRENT — never before the new
+		// manifest's snapshot record is durable.
+		d.manifestNum = d.allocFileNum()
+		if err := d.createManifestFile(); err != nil {
+			return err
+		}
+		if err := d.writeSnapshotLocked(d.current, logNum); err != nil {
+			return err
+		}
+		if err := installCurrent(d.fs, d.dir, d.manifestNum); err != nil {
+			return err
 		}
 	}
 
@@ -275,7 +303,7 @@ func (d *DB) createNew() error {
 	d.current = &manifest.Version{}
 	d.nextFileNum = 1
 	d.manifestNum = d.allocFileNum()
-	if err := d.openManifest(); err != nil {
+	if err := d.createManifestFile(); err != nil {
 		return err
 	}
 	if err := d.startNewLogLocked(); err != nil {
@@ -284,7 +312,13 @@ func (d *DB) createNew() error {
 	edit := &manifest.VersionEdit{}
 	ln := d.logNum
 	edit.LogNumber = &ln
-	return d.applyEditLocked(edit)
+	if err := d.applyEditLocked(edit); err != nil {
+		return err
+	}
+	// Only after the first edit is durable in the manifest does CURRENT get
+	// installed: a CURRENT pointing at an empty manifest would read as an
+	// empty database, silently discarding anything recovered later.
+	return installCurrent(d.fs, d.dir, d.manifestNum)
 }
 
 func (d *DB) allocFileNum() uint64 {
@@ -293,7 +327,12 @@ func (d *DB) allocFileNum() uint64 {
 	return n
 }
 
-func (d *DB) openManifest() error {
+// createManifestFile creates the MANIFEST numbered d.manifestNum and points
+// d.manifestW at it. It does NOT touch CURRENT — callers must write (and
+// sync) at least one edit, then installCurrent, in that order: repointing
+// CURRENT at a manifest with no durable records is a crash window that loses
+// the whole tree.
+func (d *DB) createManifestFile() error {
 	name := manifestFileName(d.dir, d.manifestNum)
 	raw, err := d.fs.Create(name)
 	if err != nil {
@@ -305,34 +344,94 @@ func (d *DB) openManifest() error {
 		return err
 	}
 	d.manifestW = wal.NewWriter(wrapped)
-
-	// Point CURRENT at it (write tmp + rename for atomicity).
-	tmp := currentFileName(d.dir) + ".tmp"
-	if err := vfs.WriteFile(d.fs, tmp, []byte(fmt.Sprintf("MANIFEST-%06d\n", d.manifestNum))); err != nil {
-		return err
-	}
-	return d.fs.Rename(tmp, currentFileName(d.dir))
+	return nil
 }
 
-// loadManifest replays the named MANIFEST's edit log without writing
-// anything, returning the recovered version and bookkeeping.
-func (d *DB) loadManifest(name string) (*manifest.Version, uint64, uint64, base.SeqNum, error) {
-	full := d.dir + "/" + name
-	raw, err := d.fs.OpenSequential(full)
-	if err != nil {
-		return nil, 0, 0, 0, fmt.Errorf("lsm: opening manifest: %w", err)
+// installCurrent atomically repoints CURRENT at manifestNum: write a synced
+// tmp file, rename over CURRENT, and sync the directory so both the rename
+// and the manifest file's entry survive power loss.
+func installCurrent(fsys vfs.FS, dir string, manifestNum uint64) error {
+	tmp := currentFileName(dir) + ".tmp"
+	if err := vfs.WriteFile(fsys, tmp, []byte(fmt.Sprintf("MANIFEST-%06d\n", manifestNum))); err != nil {
+		return err
 	}
-	wrapped, err := d.wrapper.WrapOpenSequential(full, FileKindManifest, raw)
+	if err := fsys.Rename(tmp, currentFileName(dir)); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// writeSnapshotLocked logs v as a single snapshot edit (the full file list
+// plus bookkeeping) into the live manifest and syncs it.
+func (d *DB) writeSnapshotLocked(v *manifest.Version, logNum uint64) error {
+	snap := &manifest.VersionEdit{}
+	for lvl := range v.Levels {
+		for _, f := range v.Levels[lvl] {
+			snap.Added = append(snap.Added, manifest.AddedFile{Level: lvl, Meta: *f})
+		}
+	}
+	nf := d.nextFileNum
+	ls := d.lastSeq.Load()
+	ln := logNum
+	snap.NextFileNumber = &nf
+	snap.LastSeq = &ls
+	snap.LogNumber = &ln
+	enc, err := snap.Encode()
+	if err != nil {
+		return err
+	}
+	if err := d.manifestW.AddRecord(enc); err != nil {
+		return err
+	}
+	return d.manifestW.Sync()
+}
+
+// manifestState is the result of replaying one MANIFEST's edit log.
+type manifestState struct {
+	ver      *manifest.Version
+	logNum   uint64
+	nextFile uint64
+	lastSeq  base.SeqNum
+	torn     bool // replay stopped at a torn tail record
+	corrupt  bool // salvage mode: replay stopped at an undecodable record
+}
+
+// loadManifestFrom replays the named MANIFEST's edit log without writing
+// anything. A torn tail (crash mid-record) ends replay cleanly; a record
+// that passes its checksum but fails to decode or apply is corruption and
+// returns a *CorruptionError. Shared by DB recovery and Scrub.
+func loadManifestFrom(fsys vfs.FS, wrapper FileWrapper, dir, name string) (*manifestState, error) {
+	return loadManifestSalvage(fsys, wrapper, dir, name, false)
+}
+
+// loadManifestSalvage is loadManifestFrom with an option: when salvage is
+// true, an undecodable or inconsistent record does not fail the load but
+// ends replay with the valid prefix (st.corrupt set), the way fsck salvages
+// what it can. Scrub uses salvage mode to rebuild a manifest around the
+// damage.
+func loadManifestSalvage(fsys vfs.FS, wrapper FileWrapper, dir, name string, salvage bool) (*manifestState, error) {
+	full := path.Join(dir, name)
+	raw, err := fsys.OpenSequential(full)
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotFound) {
+			return nil, &CorruptionError{
+				Path:   full,
+				Kind:   FileKindManifest,
+				Detail: "CURRENT references a missing manifest",
+				Err:    err,
+			}
+		}
+		return nil, fmt.Errorf("lsm: opening manifest: %w", err)
+	}
+	wrapped, err := wrapper.WrapOpenSequential(full, FileKindManifest, raw)
 	if err != nil {
 		raw.Close()
-		return nil, 0, 0, 0, err
+		return nil, err
 	}
 	r := wal.NewReader(wrapped)
 	defer r.Close()
 
-	ver := &manifest.Version{}
-	var logNum, nextFile uint64
-	var lastSeq base.SeqNum
+	st := &manifestState{ver: &manifest.Version{}}
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
@@ -341,82 +440,161 @@ func (d *DB) loadManifest(name string) (*manifest.Version, uint64, uint64, base.
 		if err != nil {
 			// A torn tail on the manifest (crash during write) ends replay.
 			if errors.Is(err, wal.ErrCorrupt) {
+				st.torn = true
 				break
 			}
-			return nil, 0, 0, 0, err
+			return nil, err
 		}
 		edit, err := manifest.DecodeVersionEdit(rec)
 		if err != nil {
-			return nil, 0, 0, 0, err
+			if salvage {
+				st.corrupt = true
+				break
+			}
+			return nil, &CorruptionError{
+				Path: full, Kind: FileKindManifest,
+				Detail: "undecodable version edit", Err: err,
+			}
 		}
-		ver, err = ver.Apply(edit)
+		nv, err := st.ver.Apply(edit)
 		if err != nil {
-			return nil, 0, 0, 0, err
+			if salvage {
+				st.corrupt = true
+				break
+			}
+			return nil, &CorruptionError{
+				Path: full, Kind: FileKindManifest,
+				Detail: "inconsistent version edit", Err: err,
+			}
 		}
+		st.ver = nv
 		if edit.LogNumber != nil {
-			logNum = *edit.LogNumber
+			st.logNum = *edit.LogNumber
 		}
 		if edit.NextFileNumber != nil {
-			nextFile = *edit.NextFileNumber
+			st.nextFile = *edit.NextFileNumber
 		}
 		if edit.LastSeq != nil {
-			lastSeq = base.SeqNum(*edit.LastSeq)
+			st.lastSeq = base.SeqNum(*edit.LastSeq)
 		}
 	}
-	// nextFile must clear every referenced file and the manifest itself.
-	for _, lvl := range ver.Levels {
+	// nextFile must clear every referenced file.
+	for _, lvl := range st.ver.Levels {
 		for _, f := range lvl {
-			if f.FileNum >= nextFile {
-				nextFile = f.FileNum + 1
+			if f.FileNum >= st.nextFile {
+				st.nextFile = f.FileNum + 1
 			}
 		}
 	}
-	if logNum >= nextFile {
-		nextFile = logNum + 1
+	if st.logNum >= st.nextFile {
+		st.nextFile = st.logNum + 1
 	}
-	if d.manifestNum >= nextFile {
-		nextFile = d.manifestNum + 1
-	}
-	return ver, logNum, nextFile, lastSeq, nil
+	return st, nil
 }
 
-// replayManifest loads the manifest, then rolls the edit history into a
-// fresh MANIFEST (compacting it) and repoints CURRENT.
-func (d *DB) replayManifest(name string) (*manifest.Version, uint64, uint64, base.SeqNum, error) {
-	ver, logNum, nextFile, lastSeq, err := d.loadManifest(name)
-	if err != nil {
-		return nil, 0, 0, 0, err
-	}
-	d.manifestNum = nextFile
-	nextFile++
-	d.nextFileNum = nextFile
-	if err := d.openManifest(); err != nil {
-		return nil, 0, 0, 0, err
-	}
-	// Write a snapshot edit describing the recovered state.
-	snap := &manifest.VersionEdit{}
+// verifyTables checks every SST the current version references. Without
+// ParanoidChecks a file must exist and have a readable footer/index (opening
+// it verifies those checksums); with ParanoidChecks every data block's
+// checksum is read and verified too. Corrupt or missing files fail the open
+// with a *CorruptionError unless BestEffortRecovery, which quarantines them
+// (writable opens) and drops them from the version. Errors that do not prove
+// corruption — e.g. an unreachable KDS leaving a DEK unresolvable — always
+// fail the open: an unverifiable file is not a corrupt one.
+func (d *DB) verifyTables() error {
+	ver := d.current
+	var dropped map[uint64]bool
 	for lvl := range ver.Levels {
 		for _, f := range ver.Levels[lvl] {
-			snap.Added = append(snap.Added, manifest.AddedFile{Level: lvl, Meta: *f})
+			name := sstFileName(d.dir, f.FileNum)
+			err := d.verifyTable(f.FileNum)
+			if err == nil {
+				continue
+			}
+			if !isCorruptionErr(err) {
+				return fmt.Errorf("lsm: verifying %s: %w", name, err)
+			}
+			cerr := &CorruptionError{Path: name, Kind: FileKindSST, Detail: "failed open-time verification", Err: err}
+			if !d.opts.BestEffortRecovery {
+				return cerr
+			}
+			d.opts.Logger("lsm: best-effort recovery dropping %s: %v", name, err)
+			d.tables.evict(f.FileNum)
+			if !d.opts.ReadOnly {
+				d.quarantine(name)
+			}
+			metrics.Recovery.FilesQuarantined.Add(1)
+			if dropped == nil {
+				dropped = make(map[uint64]bool)
+			}
+			dropped[f.FileNum] = true
+			delete(d.dekIDs, f.FileNum)
 		}
 	}
-	nf := d.nextFileNum
-	ls := uint64(lastSeq)
-	ln := logNum
-	snap.NextFileNumber = &nf
-	snap.LastSeq = &ls
-	snap.LogNumber = &ln
-	enc, err := snap.Encode()
+	if dropped != nil {
+		nv := &manifest.Version{}
+		for lvl := range ver.Levels {
+			for _, f := range ver.Levels[lvl] {
+				if !dropped[f.FileNum] {
+					nv.Levels[lvl] = append(nv.Levels[lvl], f)
+				}
+			}
+		}
+		d.current = nv
+	}
+	return nil
+}
+
+// verifyTable opens one SST (footer, index, filter, and properties checksums
+// are verified as a side effect) and, under ParanoidChecks, verifies every
+// data block.
+func (d *DB) verifyTable(fileNum uint64) error {
+	r, release, err := d.tables.get(fileNum)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return err
 	}
-	if err := d.manifestW.AddRecord(enc); err != nil {
-		return nil, 0, 0, 0, err
+	defer release()
+	if !d.opts.ParanoidChecks {
+		return nil
 	}
-	if err := d.manifestW.Sync(); err != nil {
-		return nil, 0, 0, 0, err
+	n, err := r.VerifyChecksums()
+	metrics.Recovery.ScrubBlocksVerified.Add(n)
+	return err
+}
+
+// isCorruptionErr reports whether err proves the file's bytes are wrong (or
+// the file is missing entirely), as opposed to a transient failure to read
+// or decrypt it.
+func isCorruptionErr(err error) bool {
+	return errors.Is(err, ErrCorruption) ||
+		errors.Is(err, sstable.ErrCorruption) ||
+		errors.Is(err, wal.ErrCorrupt) ||
+		errors.Is(err, vfs.ErrNotFound)
+}
+
+// quarantine moves a corrupt file into <dir>/lost/ where recovery and scans
+// cannot see it, preserving the evidence instead of deleting it.
+func (d *DB) quarantine(name string) {
+	if err := quarantineFile(d.fs, d.dir, name); err != nil {
+		d.opts.Logger("lsm: quarantining %s: %v", name, err)
 	}
-	return ver, logNum, d.nextFileNum, lastSeq, nil
+}
+
+// quarantineFile moves name into <dir>/lost/, durably. The lost/ directory
+// is invisible to recovery and scans (List only returns a directory's direct
+// file entries), so quarantined files cannot resurrect.
+func quarantineFile(fsys vfs.FS, dir, name string) error {
+	lostDir := path.Join(dir, "lost")
+	if err := fsys.MkdirAll(lostDir); err != nil {
+		return err
+	}
+	dst := path.Join(lostDir, path.Base(name))
+	if err := fsys.Rename(name, dst); err != nil {
+		return err
+	}
+	if err := fsys.SyncDir(lostDir); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 func (d *DB) replayWAL(num uint64, mem *memTable) error {
@@ -448,6 +626,7 @@ func (d *DB) replayWAL(num uint64, mem *memTable) error {
 			if errors.Is(err, wal.ErrCorrupt) {
 				// Torn tail from a crash: recover everything before it.
 				d.opts.Logger("lsm: WAL %d truncated at corrupt record: %v", num, err)
+				metrics.Recovery.WALTailTruncations.Add(1)
 				return nil
 			}
 			return err
@@ -459,8 +638,11 @@ func (d *DB) replayWAL(num uint64, mem *memTable) error {
 			return nil
 		})
 		if err != nil {
-			return err
+			// The record passed its checksum but holds an undecodable batch:
+			// that is corruption, not a torn tail.
+			return &CorruptionError{Path: name, Kind: FileKindWAL, Detail: "undecodable batch", Err: err}
 		}
+		metrics.Recovery.WALRecordsReplayed.Add(1)
 		if uint64(maxSeq) > d.lastSeq.Load() {
 			d.lastSeq.Store(uint64(maxSeq))
 		}
@@ -478,6 +660,12 @@ func (d *DB) startNewLogLocked() error {
 	wrapped, dekID, err := d.wrapper.WrapCreate(name, FileKindWAL, raw)
 	if err != nil {
 		raw.Close()
+		return err
+	}
+	// Make the WAL's directory entry durable now: records synced into it
+	// later are worthless if the file itself vanishes with the power.
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		wrapped.Close()
 		return err
 	}
 	d.walWriter = wal.NewWriter(wrapped)
@@ -963,6 +1151,12 @@ func (d *DB) writeMemTable(mem *memTable) (*manifest.FileMetadata, error) {
 	if err := w.Finish(); err != nil {
 		return nil, err
 	}
+	// The SST's directory entry must be durable before the manifest edit
+	// that references it is; otherwise a crash leaves a manifest pointing at
+	// a file that never existed.
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		return nil, err
+	}
 	d.metFlushWrite.Add(int64(w.FileSize()))
 
 	meta := &manifest.FileMetadata{
@@ -1056,8 +1250,21 @@ func (d *DB) applyEditLocked(edit *manifest.VersionEdit) error {
 	// Long-running instances roll the MANIFEST once the edit history grows
 	// past the cap, replacing it with one snapshot record (the same
 	// compaction that happens at every open).
-	if d.manifestW.Size() > maxManifestSize {
-		if err := d.rotateManifestLocked(nv); err != nil {
+	if d.manifestW.Size() > d.opts.MaxManifestFileSize {
+		// The snapshot's LogNumber must not skip any WAL still holding
+		// unflushed data: immutable memtables waiting behind this edit keep
+		// their logs live, so take the minimum — or, for a flush edit, the
+		// LogNumber the edit itself establishes.
+		snapLog := d.logNum
+		for _, m := range d.imm {
+			if m.logNum < snapLog {
+				snapLog = m.logNum
+			}
+		}
+		if edit.LogNumber != nil {
+			snapLog = *edit.LogNumber
+		}
+		if err := d.rotateManifestLocked(nv, snapLog); err != nil {
 			// Rotation failure is not fatal: the old manifest is intact.
 			d.opts.Logger("lsm: manifest rotation failed: %v", err)
 		}
@@ -1077,42 +1284,34 @@ func (d *DB) applyEditLocked(edit *manifest.VersionEdit) error {
 	return nil
 }
 
-// maxManifestSize triggers a MANIFEST roll (snapshot into a fresh file).
-// A variable so tests can lower it.
-var maxManifestSize int64 = 4 << 20
-
 // rotateManifestLocked writes nv as a single snapshot edit into a fresh
-// MANIFEST, repoints CURRENT, and retires the old manifest file. d.mu held.
-func (d *DB) rotateManifestLocked(nv *manifest.Version) error {
+// MANIFEST, then — only after that snapshot is durable — repoints CURRENT
+// and retires the old manifest file. A crash anywhere before installCurrent
+// leaves the old CURRENT/manifest pair fully intact. logNum is the oldest
+// WAL recovery must still replay (NOT necessarily d.logNum: queued immutable
+// memtables keep older logs live). d.mu held.
+func (d *DB) rotateManifestLocked(nv *manifest.Version, logNum uint64) error {
 	oldNum := d.manifestNum
 	oldW := d.manifestW
+	restore := func() {
+		if d.manifestW != oldW {
+			d.manifestW.Close()
+		}
+		d.manifestNum = oldNum
+		d.manifestW = oldW
+	}
 	d.manifestNum = d.allocFileNum()
-	if err := d.openManifest(); err != nil {
-		// Restore the previous writer; openManifest may have clobbered it.
+	if err := d.createManifestFile(); err != nil {
 		d.manifestNum = oldNum
 		d.manifestW = oldW
 		return err
 	}
-	snap := &manifest.VersionEdit{}
-	for lvl := range nv.Levels {
-		for _, f := range nv.Levels[lvl] {
-			snap.Added = append(snap.Added, manifest.AddedFile{Level: lvl, Meta: *f})
-		}
-	}
-	nf := d.nextFileNum
-	ls := d.lastSeq.Load()
-	ln := d.logNum
-	snap.NextFileNumber = &nf
-	snap.LastSeq = &ls
-	snap.LogNumber = &ln
-	enc, err := snap.Encode()
-	if err != nil {
+	if err := d.writeSnapshotLocked(nv, logNum); err != nil {
+		restore()
 		return err
 	}
-	if err := d.manifestW.AddRecord(enc); err != nil {
-		return err
-	}
-	if err := d.manifestW.Sync(); err != nil {
+	if err := installCurrent(d.fs, d.dir, d.manifestNum); err != nil {
+		restore()
 		return err
 	}
 	oldW.Close()

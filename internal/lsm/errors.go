@@ -1,0 +1,41 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorruption is the sentinel all persistent-state corruption errors wrap:
+// a bad SST block checksum, an undecodable manifest record, a missing file
+// the manifest still references. Test with errors.Is. A torn WAL tail is NOT
+// corruption — it is the expected power-loss outcome and recovery truncates
+// it silently.
+var ErrCorruption = errors.New("lsm: corruption")
+
+// CorruptionError describes one corrupt (or missing-but-referenced)
+// persistent file. It wraps both ErrCorruption and the underlying cause, so
+// errors.Is works against either.
+type CorruptionError struct {
+	Path   string
+	Kind   FileKind
+	Detail string
+	Err    error // underlying cause; may be nil
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	msg := fmt.Sprintf("lsm: corruption in %s %s: %s", e.Kind, e.Path, e.Detail)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap lets errors.Is(err, ErrCorruption) and errors.Is(err, cause) both
+// succeed.
+func (e *CorruptionError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrCorruption, e.Err}
+	}
+	return []error{ErrCorruption}
+}

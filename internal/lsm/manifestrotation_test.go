@@ -12,12 +12,9 @@ import (
 // into a fresh snapshot file, CURRENT is repointed, the old manifest is
 // deleted, and the database still recovers correctly.
 func TestManifestRotation(t *testing.T) {
-	old := maxManifestSize
-	maxManifestSize = 4 << 10 // tiny cap to force rotations
-	defer func() { maxManifestSize = old }()
-
 	fs := vfs.NewMem()
 	opts := testOptions(fs)
+	opts.MaxManifestFileSize = 4 << 10 // tiny cap to force rotations
 	db, err := Open("db", opts)
 	if err != nil {
 		t.Fatal(err)

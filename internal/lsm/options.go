@@ -188,6 +188,25 @@ type Options struct {
 	// compaction). Flushes always run locally.
 	Compactor Compactor
 
+	// ParanoidChecks verifies every SST referenced by the manifest at open:
+	// each file's footer, index, and all data-block checksums are read and
+	// checked before recovery completes (RocksDB's paranoid_checks plus
+	// verify_checksums_in_compaction spirit). Without it, open only verifies
+	// that referenced files exist and have readable metadata.
+	ParanoidChecks bool
+
+	// BestEffortRecovery opens around corrupt or missing SSTs instead of
+	// failing: offending files are dropped from the recovered version (and
+	// quarantined into lost/ when the DB is writable), mirroring RocksDB's
+	// best_efforts_recovery. Data in those files becomes unreadable but the
+	// rest of the tree stays available. Without it, open fails with a
+	// *CorruptionError.
+	BestEffortRecovery bool
+
+	// MaxManifestFileSize rolls the MANIFEST into a fresh snapshot file once
+	// its edit log grows past this many bytes. Default 4 MiB.
+	MaxManifestFileSize int64
+
 	// ReadOnly opens the database as a read-only instance (the DS
 	// optimization of launching extra read replicas over shared WAL and
 	// SST files): the manifest and WALs are replayed in memory, nothing is
@@ -240,6 +259,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.UniversalMaxRuns == 0 {
 		o.UniversalMaxRuns = 8
+	}
+	if o.MaxManifestFileSize == 0 {
+		o.MaxManifestFileSize = 4 << 20
 	}
 	if o.Logger == nil {
 		o.Logger = func(string, ...any) {}

@@ -1,0 +1,293 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"shield/internal/vfs"
+)
+
+// buildScrubDB creates a small multi-SST database and closes it cleanly.
+// Compaction is disabled so each flush leaves an independent L0 file —
+// corrupting or dropping one must not take the whole key space with it.
+func buildScrubDB(t *testing.T, fs vfs.FS) {
+	t.Helper()
+	opts := testOptions(fs)
+	opts.L0CompactionTrigger = 100
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("r%d-k%03d", round, i)
+			if err := db.Put([]byte(k), make([]byte, 128)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// listNames returns the base names in dir, or empty on error.
+func listNames(t *testing.T, fs vfs.FS, dir string) []string {
+	t.Helper()
+	entries, err := fs.List(dir)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name)
+	}
+	return names
+}
+
+func firstSST(t *testing.T, fs vfs.FS) string {
+	t.Helper()
+	for _, name := range listNames(t, fs, "db") {
+		if strings.HasSuffix(name, ".sst") {
+			return "db/" + name
+		}
+	}
+	t.Fatal("no SST files")
+	return ""
+}
+
+// flipByte flips one bit in the middle of a file.
+func flipByte(t *testing.T, fs vfs.FS, name string) {
+	t.Helper()
+	data, err := vfs.ReadFile(fs, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := vfs.WriteFile(fs, name, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubCleanDB(t *testing.T) {
+	fs := vfs.NewMem()
+	buildScrubDB(t, fs)
+	rep, err := Scrub(fs, "db", ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean DB not clean:\n%s", rep)
+	}
+	if rep.SSTsChecked == 0 || rep.BlocksVerified == 0 {
+		t.Fatalf("nothing verified: %+v", rep)
+	}
+}
+
+func TestScrubQuarantinesBitFlippedSST(t *testing.T) {
+	fs := vfs.NewMem()
+	buildScrubDB(t, fs)
+	victim := firstSST(t, fs)
+	flipByte(t, fs, victim)
+
+	rep, err := Scrub(fs, "db", ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1\n%s", rep.Quarantined, rep)
+	}
+	if !rep.ManifestRepaired {
+		t.Fatalf("manifest not repaired after dropping an SST\n%s", rep)
+	}
+	// The corrupt file moved into lost/ and out of the data dir.
+	base := strings.TrimPrefix(victim, "db/")
+	lost := listNames(t, fs, "db/lost")
+	found := false
+	for _, n := range lost {
+		if n == base {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim %s not in lost/: %v", base, lost)
+	}
+	for _, n := range listNames(t, fs, "db") {
+		if n == base {
+			t.Fatalf("victim %s still in data dir", base)
+		}
+	}
+	// Recovery (strict, no best-effort) works: the repaired manifest no
+	// longer references the quarantined file.
+	opts := testOptions(fs)
+	opts.ParanoidChecks = true
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatalf("reopen after scrub: %v", err)
+	}
+	db.Close()
+}
+
+func TestScrubDryRunTouchesNothing(t *testing.T) {
+	fs := vfs.NewMem()
+	buildScrubDB(t, fs)
+	victim := firstSST(t, fs)
+	flipByte(t, fs, victim)
+	before := listNames(t, fs, "db")
+
+	rep, err := Scrub(fs, "db", ScrubOptions{DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("dry-run quarantined = %d (reported), want 1\n%s", rep.Quarantined, rep)
+	}
+	after := listNames(t, fs, "db")
+	if len(before) != len(after) {
+		t.Fatalf("dry run changed the directory: %v -> %v", before, after)
+	}
+	if names := listNames(t, fs, "db/lost"); len(names) != 0 {
+		t.Fatalf("dry run created lost/: %v", names)
+	}
+}
+
+func TestScrubRepairsTruncatedManifest(t *testing.T) {
+	fs := vfs.NewMem()
+	buildScrubDB(t, fs)
+	var manifestName string
+	for _, n := range listNames(t, fs, "db") {
+		if strings.HasPrefix(n, "MANIFEST-") {
+			manifestName = n
+		}
+	}
+	data, err := vfs.ReadFile(fs, "db/"+manifestName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "db/"+manifestName, data[:len(data)-len(data)/3]); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scrub(fs, "db", ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ManifestRepaired {
+		t.Fatalf("truncated manifest not repaired\n%s", rep)
+	}
+	db, err := Open("db", testOptions(fs))
+	if err != nil {
+		t.Fatalf("reopen after manifest repair: %v", err)
+	}
+	defer db.Close()
+	// Keys from the salvaged manifest prefix must still be readable.
+	if _, err := db.Get([]byte("r0-k050")); err != nil {
+		t.Fatalf("Get after repair: %v", err)
+	}
+}
+
+func TestScrubMovesOrphans(t *testing.T) {
+	fs := vfs.NewMem()
+	buildScrubDB(t, fs)
+	// Fabricate an unreferenced SST and an interrupted tmp+rename leftover.
+	if err := vfs.WriteFile(fs, "db/999999.sst", []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "db/CURRENT.tmp", []byte("MANIFEST-xxxxxx\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scrub(fs, "db", ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Orphans != 2 {
+		t.Fatalf("orphans = %d, want 2\n%s", rep.Orphans, rep)
+	}
+	for _, n := range listNames(t, fs, "db") {
+		if n == "999999.sst" || n == "CURRENT.tmp" {
+			t.Fatalf("orphan %s still in data dir", n)
+		}
+	}
+}
+
+func TestParanoidChecksRejectsCorruption(t *testing.T) {
+	fs := vfs.NewMem()
+	buildScrubDB(t, fs)
+	flipByte(t, fs, firstSST(t, fs))
+
+	opts := testOptions(fs)
+	opts.ParanoidChecks = true
+	if _, err := Open("db", opts); !errors.Is(err, ErrCorruption) {
+		t.Fatalf("open = %v, want ErrCorruption", err)
+	}
+	var ce *CorruptionError
+	if _, err := Open("db", opts); !errors.As(err, &ce) {
+		t.Fatalf("open error %v is not a *CorruptionError", err)
+	} else if ce.Kind != FileKindSST {
+		t.Fatalf("corruption kind = %v, want sst", ce.Kind)
+	}
+}
+
+func TestBestEffortRecoveryOpensAroundCorruption(t *testing.T) {
+	fs := vfs.NewMem()
+	buildScrubDB(t, fs)
+	victim := firstSST(t, fs)
+	flipByte(t, fs, victim)
+
+	opts := testOptions(fs)
+	opts.ParanoidChecks = true
+	opts.BestEffortRecovery = true
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatalf("best-effort open: %v", err)
+	}
+	defer db.Close()
+	// The corrupt file was quarantined and the rest of the tree serves reads.
+	base := strings.TrimPrefix(victim, "db/")
+	found := false
+	for _, n := range listNames(t, fs, "db/lost") {
+		if n == base {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim %s not quarantined into lost/", base)
+	}
+	readable := 0
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("r%d-k%03d", round, i)
+			if _, err := db.Get([]byte(k)); err == nil {
+				readable++
+			}
+		}
+	}
+	if readable == 0 || readable == 400 {
+		t.Fatalf("readable = %d, want some-but-not-all after dropping one SST", readable)
+	}
+}
+
+func TestBestEffortRecoveryMissingSST(t *testing.T) {
+	fs := vfs.NewMem()
+	buildScrubDB(t, fs)
+	if err := fs.Remove(firstSST(t, fs)); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := testOptions(fs)
+	if _, err := Open("db", opts); err == nil {
+		t.Fatal("open with a missing referenced SST succeeded without best-effort")
+	}
+	opts.BestEffortRecovery = true
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatalf("best-effort open with missing SST: %v", err)
+	}
+	db.Close()
+}

@@ -17,6 +17,11 @@ import (
 // ErrNotFound reports that a key is absent from the table.
 var ErrNotFound = fmt.Errorf("sstable: not found")
 
+// ErrCorruption is wrapped by every error that indicates the file's bytes are
+// wrong (truncated footer, bad magic, checksum mismatch) rather than an I/O
+// failure, so recovery and scrub can classify with errors.Is.
+var ErrCorruption = fmt.Errorf("sstable: corruption")
+
 // ReaderOptions configures table reads.
 type ReaderOptions struct {
 	// Cache, when non-nil, caches decoded (decrypted) data blocks keyed by
@@ -50,14 +55,14 @@ func NewReader(f vfs.RandomAccessFile, opts ReaderOptions) (*Reader, error) {
 		return nil, err
 	}
 	if size < footerLen {
-		return nil, fmt.Errorf("sstable: file too small (%d bytes)", size)
+		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorruption, size)
 	}
 	var footer [footerLen]byte
 	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil && err != io.EOF {
 		return nil, fmt.Errorf("sstable: reading footer: %w", err)
 	}
 	if got := binary.LittleEndian.Uint64(footer[48:]); got != tableMagic {
-		return nil, fmt.Errorf("sstable: bad magic %#x (wrong key or corrupt file?)", got)
+		return nil, fmt.Errorf("%w: bad magic %#x (wrong key or corrupt file?)", ErrCorruption, got)
 	}
 	getHandle := func(off int) blockHandle {
 		return blockHandle{
@@ -110,7 +115,7 @@ func (r *Reader) readRaw(h blockHandle) ([]byte, error) {
 		return nil, nil
 	}
 	if h.length < 1+blockTrailerLen {
-		return nil, fmt.Errorf("sstable: block handle too short (%d bytes)", h.length)
+		return nil, fmt.Errorf("%w: block handle too short (%d bytes)", ErrCorruption, h.length)
 	}
 	buf := make([]byte, h.length)
 	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil && err != io.EOF {
@@ -119,7 +124,7 @@ func (r *Reader) readRaw(h blockHandle) ([]byte, error) {
 	checked := buf[:h.length-blockTrailerLen] // payload + type byte
 	want := binary.LittleEndian.Uint32(buf[h.length-blockTrailerLen:])
 	if got := crc32.Checksum(checked, castagnoli); got != want {
-		return nil, fmt.Errorf("sstable: block at %d fails checksum (corruption or tampering)", h.offset)
+		return nil, fmt.Errorf("%w: block at %d fails checksum (media corruption or tampering)", ErrCorruption, h.offset)
 	}
 	data := checked[:len(checked)-1]
 	switch checked[len(checked)-1] {
@@ -129,11 +134,11 @@ func (r *Reader) readRaw(h blockHandle) ([]byte, error) {
 		fr := flate.NewReader(bytes.NewReader(data))
 		out, err := io.ReadAll(fr)
 		if err != nil {
-			return nil, fmt.Errorf("sstable: decompressing block at %d: %w", h.offset, err)
+			return nil, fmt.Errorf("%w: decompressing block at %d: %v", ErrCorruption, h.offset, err)
 		}
 		return out, fr.Close()
 	default:
-		return nil, fmt.Errorf("sstable: unknown block type %d at %d", checked[len(checked)-1], h.offset)
+		return nil, fmt.Errorf("%w: unknown block type %d at %d", ErrCorruption, checked[len(checked)-1], h.offset)
 	}
 }
 
@@ -156,6 +161,22 @@ func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
 
 // Properties returns the table's properties block.
 func (r *Reader) Properties() Properties { return r.props }
+
+// VerifyChecksums reads every data block, verifying each CRC-32C trailer
+// (which for SHIELD files checks MAC-equivalent integrity of the decrypted
+// payload). It bypasses the block cache so the bytes really come off storage,
+// and returns the number of blocks verified. The first corruption aborts the
+// walk with an ErrCorruption-wrapped error.
+func (r *Reader) VerifyChecksums() (int64, error) {
+	var n int64
+	for _, e := range r.index {
+		if _, err := r.readRaw(e.handle); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
 
 // Get returns the value and kind for the newest record of userKey visible at
 // snapshot seq. Returns ErrNotFound when the table holds no such record

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path"
 	"sync"
 
 	"shield/internal/crypt"
@@ -45,19 +46,28 @@ var (
 	ErrNotCached  = errors.New("seccache: DEK not in cache")
 )
 
+// errStructural marks damage that is provably file corruption (truncation,
+// bad magic, inconsistent lengths) rather than a possible passkey mismatch.
+// The cache is only an optimization — every DEK is recoverable from the KDS —
+// so structural damage cold-starts the cache instead of failing the open.
+// An HMAC mismatch stays ErrBadPasskey: it is indistinguishable from a wrong
+// passkey, and failing closed is the right call for a security cache.
+var errStructural = errors.New("seccache: structurally corrupt cache file")
+
 // Cache is a secure, persistent DEK cache. It is safe for concurrent use.
 type Cache struct {
-	fs       vfs.FS
-	path     string
-	aesKey   crypt.DEK
-	hmacKey  []byte
-	salt     [saltSize]byte
-	mu       sync.Mutex
-	entries  map[kds.KeyID]crypt.DEK
-	hits     int64
-	misses   int64
-	saveErrs int64
-	autosave bool
+	fs        vfs.FS
+	path      string
+	aesKey    crypt.DEK
+	hmacKey   []byte
+	salt      [saltSize]byte
+	mu        sync.Mutex
+	entries   map[kds.KeyID]crypt.DEK
+	hits      int64
+	misses    int64
+	saveErrs  int64
+	autosave  bool
+	recovered bool
 }
 
 // Open loads (or creates) the cache at path, unsealing it with passkey.
@@ -69,24 +79,55 @@ func Open(fs vfs.FS, path string, passkey []byte) (*Cache, error) {
 		entries:  make(map[kds.KeyID]crypt.DEK),
 		autosave: true,
 	}
+	// A leftover .tmp means a save crashed between WriteFile and Rename; the
+	// live cache (if any) is intact, the partial file is garbage.
+	if err := fs.Remove(path + ".tmp"); err != nil && !errors.Is(err, vfs.ErrNotFound) {
+		return nil, err
+	}
 	data, err := vfs.ReadFile(fs, path)
 	switch {
 	case errors.Is(err, vfs.ErrNotFound):
-		// Fresh cache: mint a salt now so derived keys are stable.
-		iv, err := crypt.NewIV()
-		if err != nil {
+		if err := c.coldStart(passkey); err != nil {
 			return nil, err
 		}
-		copy(c.salt[:], iv[:])
-		c.deriveKeys(passkey)
 		return c, nil
 	case err != nil:
 		return nil, err
 	}
 	if err := c.load(data, passkey); err != nil {
+		if errors.Is(err, errStructural) {
+			// Treat a structurally corrupt cache as cold: every DEK it held
+			// is re-fetchable from the KDS.
+			if err := c.coldStart(passkey); err != nil {
+				return nil, err
+			}
+			c.recovered = true
+			return c, nil
+		}
 		return nil, err
 	}
 	return c, nil
+}
+
+// coldStart resets to an empty cache with a fresh salt, so derived keys are
+// stable from here on.
+func (c *Cache) coldStart(passkey []byte) error {
+	c.entries = make(map[kds.KeyID]crypt.DEK)
+	iv, err := crypt.NewIV()
+	if err != nil {
+		return err
+	}
+	copy(c.salt[:], iv[:])
+	c.deriveKeys(passkey)
+	return nil
+}
+
+// Recovered reports whether Open found a structurally corrupt cache file and
+// cold-started instead of loading it (DEKs will re-populate from the KDS).
+func (c *Cache) Recovered() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recovered
 }
 
 func (c *Cache) deriveKeys(passkey []byte) {
@@ -98,10 +139,10 @@ func (c *Cache) deriveKeys(passkey []byte) {
 func (c *Cache) load(data []byte, passkey []byte) error {
 	const hdrLen = 4 + 4 + saltSize + crypt.IVSize + 4
 	if len(data) < hdrLen+hmacSize {
-		return fmt.Errorf("%w: truncated", ErrBadPasskey)
+		return fmt.Errorf("%w: truncated", errStructural)
 	}
 	if binary.LittleEndian.Uint32(data[0:4]) != magic {
-		return fmt.Errorf("%w: bad magic", ErrBadPasskey)
+		return fmt.Errorf("%w: bad magic", errStructural)
 	}
 	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
 		return fmt.Errorf("seccache: unsupported version %d", v)
@@ -113,7 +154,7 @@ func (c *Cache) load(data []byte, passkey []byte) error {
 	copy(iv[:], data[8+saltSize:8+saltSize+crypt.IVSize])
 	n := binary.LittleEndian.Uint32(data[8+saltSize+crypt.IVSize : hdrLen])
 	if int(n) != len(data)-hdrLen-hmacSize {
-		return fmt.Errorf("%w: length mismatch", ErrBadPasskey)
+		return fmt.Errorf("%w: length mismatch", errStructural)
 	}
 	body := data[hdrLen : hdrLen+int(n)]
 	tag := data[hdrLen+int(n):]
@@ -264,10 +305,14 @@ func (c *Cache) saveLockedInner() error {
 	out = append(out, body...)
 	out = append(out, crypt.HMACSHA256(c.hmacKey, out)...)
 
-	// Write-then-rename so a crash mid-save never corrupts the live cache.
+	// Write-then-rename so a crash mid-save never corrupts the live cache,
+	// then sync the directory so the rename itself survives power loss.
 	tmp := c.path + ".tmp"
 	if err := vfs.WriteFile(c.fs, tmp, out); err != nil {
 		return err
 	}
-	return c.fs.Rename(tmp, c.path)
+	if err := c.fs.Rename(tmp, c.path); err != nil {
+		return err
+	}
+	return c.fs.SyncDir(path.Dir(c.path))
 }

@@ -233,11 +233,137 @@ func TestStatsAndConcurrency(t *testing.T) {
 }
 
 func TestCorruptedTruncatedFile(t *testing.T) {
+	// Structural damage is provably corruption, not a passkey mismatch. The
+	// cache is only an optimization (DEKs re-fetch from the KDS), so a
+	// truncated file cold-starts instead of failing the open.
 	fs := vfs.NewMem()
 	if err := vfs.WriteFile(fs, "cache.bin", []byte("short")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(fs, "cache.bin", []byte("pw")); !errors.Is(err, ErrBadPasskey) {
-		t.Fatalf("truncated cache accepted: %v", err)
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatalf("truncated cache should cold-start: %v", err)
+	}
+	if !c.Recovered() {
+		t.Fatal("Recovered() = false after cold-starting a corrupt cache")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cold-started cache has %d entries", c.Len())
+	}
+	// The cold cache is fully functional and persists over the wreck.
+	if err := c.Put("dek-1", mustDEK(t)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Recovered() || c2.Len() != 1 {
+		t.Fatalf("reopen after cold-start save: recovered=%v len=%d", c2.Recovered(), c2.Len())
+	}
+}
+
+func TestBadMagicColdStarts(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("dek-1", mustDEK(t))
+	data, err := vfs.ReadFile(fs, "cache.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF
+	if err := vfs.WriteFile(fs, "cache.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatalf("bad-magic cache should cold-start: %v", err)
+	}
+	if !c2.Recovered() || c2.Len() != 0 {
+		t.Fatalf("recovered=%v len=%d", c2.Recovered(), c2.Len())
+	}
+}
+
+func TestLeftoverTmpRemovedOnOpen(t *testing.T) {
+	// A crash between WriteFile(cache.tmp) and Rename leaves a stale .tmp
+	// next to an intact live cache; Open must discard it and load the live
+	// file untouched.
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dek := mustDEK(t)
+	c.Put("dek-1", dek)
+	if err := vfs.WriteFile(fs, "cache.bin.tmp", []byte("partial save wreckage")); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c2.Get("dek-1"); err != nil || got != dek {
+		t.Fatalf("live cache damaged by tmp cleanup: %v", err)
+	}
+	if _, err := fs.Stat("cache.bin.tmp"); !errors.Is(err, vfs.ErrNotFound) {
+		t.Fatalf("stale tmp survived open: %v", err)
+	}
+}
+
+func TestCrashDuringSave(t *testing.T) {
+	// Power-loss simulation around Save: at every sync boundary the durable
+	// image must either hold the previous sealed cache or the new one —
+	// never an unreadable hybrid — and reopening must always succeed.
+	cfs := vfs.NewCrash(7)
+	var images []*vfs.CrashImage
+	cfs.AfterSync(func(event string, img *vfs.CrashImage) {
+		images = append(images, img)
+	})
+
+	c, err := Open(cfs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deks := make(map[kds.KeyID]crypt.DEK)
+	for i := 0; i < 5; i++ {
+		id := kds.KeyID(fmt.Sprintf("dek-%d", i))
+		deks[id] = mustDEK(t)
+		if err := c.Put(id, deks[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(images) == 0 {
+		t.Fatal("no sync boundaries during saves")
+	}
+	for i, img := range images {
+		for _, mode := range []string{"strict", "torn"} {
+			var fs *vfs.MemFS
+			if mode == "strict" {
+				fs = img.Strict()
+			} else {
+				fs = img.Torn(0)
+			}
+			c2, err := Open(fs, "cache.bin", []byte("pw"))
+			if err != nil {
+				t.Fatalf("%s point %d: reopen: %v", mode, i, err)
+			}
+			// Every entry present is one we actually stored.
+			for id, want := range deks {
+				got, err := c2.Get(id)
+				if errors.Is(err, ErrNotCached) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s point %d: Get(%s): %v", mode, i, id, err)
+				}
+				if got != want {
+					t.Fatalf("%s point %d: DEK %s mangled", mode, i, id)
+				}
+			}
+		}
 	}
 }

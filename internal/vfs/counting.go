@@ -113,6 +113,12 @@ func (c *CountingFS) List(dir string) ([]FileInfo, error) { return c.base.List(d
 // MkdirAll implements FS.
 func (c *CountingFS) MkdirAll(dir string) error { return c.base.MkdirAll(dir) }
 
+// SyncDir implements FS.
+func (c *CountingFS) SyncDir(dir string) error {
+	c.Stats.Syncs.Add(1)
+	return c.base.SyncDir(dir)
+}
+
 // Stat implements FS.
 func (c *CountingFS) Stat(name string) (FileInfo, error) { return c.base.Stat(name) }
 

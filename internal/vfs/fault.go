@@ -30,6 +30,7 @@ const (
 	FaultSync
 	FaultRead
 	FaultClose
+	FaultSyncDir
 )
 
 // FaultRule describes one injectable failure. A rule fires on operations
@@ -235,6 +236,14 @@ func (f *FaultFS) MkdirAll(dir string) error {
 		return err
 	}
 	return f.base.MkdirAll(dir)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if _, err := f.eval(FaultSyncDir, dir); err != nil {
+		return err
+	}
+	return f.base.SyncDir(dir)
 }
 
 // Stat implements FS.

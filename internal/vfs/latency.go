@@ -143,6 +143,12 @@ func (l *LatencyFS) List(dir string) ([]FileInfo, error) {
 // MkdirAll implements FS.
 func (l *LatencyFS) MkdirAll(dir string) error { return l.base.MkdirAll(dir) }
 
+// SyncDir implements FS.
+func (l *LatencyFS) SyncDir(dir string) error {
+	l.charge(0)
+	return l.base.SyncDir(dir)
+}
+
 // Stat implements FS.
 func (l *LatencyFS) Stat(name string) (FileInfo, error) {
 	l.charge(0)

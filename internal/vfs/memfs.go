@@ -12,9 +12,10 @@ import (
 // MemFS is an in-memory FS used by tests and benchmarks that want to factor
 // out disk latency. It is safe for concurrent use.
 type MemFS struct {
-	mu    sync.Mutex
-	files map[string]*memFile
-	dirs  map[string]bool
+	mu       sync.Mutex
+	files    map[string]*memFile
+	dirs     map[string]bool
+	dirSyncs int64
 }
 
 // NewMem returns an empty in-memory filesystem.
@@ -123,6 +124,24 @@ func (m *MemFS) MkdirAll(dir string) error {
 		dir = path.Dir(dir)
 	}
 	return nil
+}
+
+// SyncDir implements FS. MemFS keeps directory entries durable as soon as
+// they are created (it has no namespace-volatility model — CrashFS does), so
+// this only counts the call.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirSyncs++
+	return nil
+}
+
+// DirSyncs reports how many SyncDir calls the filesystem has seen (used by
+// tests asserting that durability barriers are issued).
+func (m *MemFS) DirSyncs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dirSyncs
 }
 
 // Stat implements FS.

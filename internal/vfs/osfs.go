@@ -94,6 +94,17 @@ func (*OSFS) List(dir string) ([]FileInfo, error) {
 // MkdirAll implements FS.
 func (*OSFS) MkdirAll(dir string) error { return mapOSError(os.MkdirAll(dir, 0o755)) }
 
+// SyncDir implements FS: it fsyncs the directory so entries created or
+// renamed into it survive power loss.
+func (*OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return mapOSError(err)
+	}
+	defer d.Close()
+	return mapOSError(d.Sync())
+}
+
 // Stat implements FS.
 func (*OSFS) Stat(name string) (FileInfo, error) {
 	st, err := os.Stat(name)

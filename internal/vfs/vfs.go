@@ -79,6 +79,13 @@ type FS interface {
 	// MkdirAll creates a directory and all missing parents.
 	MkdirAll(dir string) error
 
+	// SyncDir flushes a directory's entries to durable storage. A file
+	// created or renamed into a directory is not guaranteed to survive a
+	// power loss until the directory itself has been synced — fsyncing the
+	// file alone persists its contents, not its name. Callers must SyncDir
+	// the parent after every durability-relevant create/rename.
+	SyncDir(dir string) error
+
 	// Stat returns metadata for one file.
 	Stat(name string) (FileInfo, error)
 }

@@ -23,6 +23,8 @@ func fsFactories(t *testing.T) map[string]func() FS {
 		},
 		"counting": func() FS { return NewCounting(NewMem()) },
 		"latency":  func() FS { return NewLatency(NewMem(), 0, 0) },
+		"fault":    func() FS { return NewFault(NewMem(), 1) },
+		"crash":    func() FS { return NewCrash(1) },
 	}
 }
 
@@ -47,6 +49,7 @@ func (p *prefixFS) List(dir string) ([]FileInfo, error) {
 	return p.base.List(p.abs(dir))
 }
 func (p *prefixFS) MkdirAll(dir string) error { return p.base.MkdirAll(p.abs(dir)) }
+func (p *prefixFS) SyncDir(dir string) error  { return p.base.SyncDir(p.abs(dir)) }
 func (p *prefixFS) Stat(name string) (FileInfo, error) {
 	return p.base.Stat(p.abs(name))
 }
@@ -119,8 +122,16 @@ func TestFSConformance(t *testing.T) {
 				t.Fatalf("list %v", infos)
 			}
 
+			// Directory sync is available after create/rename.
+			if err := fs.SyncDir("d"); err != nil {
+				t.Fatal(err)
+			}
+
 			// Rename replaces.
 			if err := fs.Rename("d/b.txt", "d/a.txt"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.SyncDir("d"); err != nil {
 				t.Fatal(err)
 			}
 			data, _ = ReadFile(fs, "d/a.txt")
