@@ -1,0 +1,42 @@
+# Developer entry points. The only hard dependency is the Go toolchain;
+# third-party linters are version-pinned below and fetched on demand by
+# `go run`, so local runs and CI execute identical tool versions.
+
+# Pinned linter versions. Bump deliberately, in this file only.
+STATICCHECK_VERSION := 2024.1.1
+GOVULNCHECK_VERSION := v1.1.3
+
+.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt
+
+all: build vet shield-vet test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+fmt:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+vet:
+	go vet ./...
+
+# The repo's own analysis suite (cmd/shield-vet): nofs, syncdir, keyhygiene,
+# lockio, errclass. Stdlib-only — no downloads, works offline.
+shield-vet:
+	go run ./cmd/shield-vet ./...
+
+# Third-party linters. These reach the network to fetch the pinned tool the
+# first time; they are deliberately NOT part of `make all` so an offline
+# checkout can still run the full local gate.
+staticcheck:
+	go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+govulncheck:
+	go run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+lint-extra: staticcheck govulncheck

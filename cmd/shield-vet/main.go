@@ -1,0 +1,130 @@
+// Command shield-vet statically enforces SHIELD's durability,
+// encryption-boundary, and key-hygiene invariants across this repository.
+//
+// Usage:
+//
+//	go run ./cmd/shield-vet ./...          # whole module (CI gate)
+//	go run ./cmd/shield-vet ./internal/kds # one package
+//	go run ./cmd/shield-vet -only syncdir,keyhygiene ./...
+//	go run ./cmd/shield-vet -list          # describe the suite
+//
+// Exit status is 1 if any analyzer reports a finding, 2 on usage or load
+// errors. Findings are printed as file:line:col: [analyzer] message.
+//
+// Suppressions: a finding is silenced by //shield:no<analyzer> <reason> on
+// its line, the line above, or in the enclosing function's doc comment. The
+// justification is mandatory — a bare directive does not suppress.
+//
+// The tool is self-contained (stdlib go/ast + go/types with the source
+// importer); it needs no network, no GOPATH, and no pre-built export data,
+// so it runs identically in CI and on laptops. See DESIGN.md §9 for each
+// analyzer's invariant and origin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"shield/internal/vet/analysis"
+	"shield/internal/vet/analyzers/all"
+	"shield/internal/vet/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		only  = flag.String("only", "", "comma-separated subset of analyzers to run")
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		quiet = flag.Bool("q", false, "suppress the summary line")
+	)
+	flag.Parse()
+
+	suite := all.Analyzers
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "shield-vet: unknown analyzer %q\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+	if *list {
+		for _, a := range all.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shield-vet:", err)
+		return 2
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shield-vet:", err)
+		return 2
+	}
+
+	var findings []string
+	for _, dir := range dirs {
+		p, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shield-vet:", err)
+			return 2
+		}
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "shield-vet: %s: type error: %v\n", p.Path, terr)
+		}
+		for _, a := range suite {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := p.Fset.Position(d.Pos)
+				findings = append(findings, fmt.Sprintf("%s: [%s] %s", pos, name, d.Message))
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "shield-vet: %s on %s: %v\n", a.Name, p.Path, err)
+				return 2
+			}
+		}
+	}
+
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "shield-vet: %d finding(s) across %d package(s)\n", len(findings), len(dirs))
+		}
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "shield-vet: clean (%d packages, %d analyzers)\n", len(dirs), len(suite))
+	}
+	return 0
+}

@@ -16,11 +16,11 @@ import (
 )
 
 func main() {
-	dir, err := os.MkdirTemp("", "shield-quickstart-*")
+	dir, err := os.MkdirTemp("", "shield-quickstart-*") //shield:nofs scratch directory created before any vfs.FS is mounted over it
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //shield:nofs cleanup of the same pre-FS scratch directory
 	fs := vfs.NewOS()
 
 	// A monolithic deployment uses an in-process KDS; DS deployments point

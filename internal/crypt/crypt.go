@@ -166,6 +166,11 @@ func PBKDF2SHA256(password, salt []byte, iter, keyLen int) []byte {
 		}
 		dk = append(dk, t...)
 	}
+	// Wipe the intermediate HMAC states and the derived tail beyond keyLen;
+	// the caller owns (and must eventually Zeroize) the returned prefix.
+	Zeroize(u)
+	Zeroize(t)
+	Zeroize(dk[keyLen:])
 	return dk[:keyLen]
 }
 
@@ -191,6 +196,11 @@ func HKDFSHA256(secret, salt, info []byte, n int) []byte {
 		out = append(out, prev...)
 		ctr++
 	}
+	// Wipe the pseudorandom key and the expand tail beyond n; the caller
+	// owns (and must eventually Zeroize) the returned prefix.
+	Zeroize(prk)
+	Zeroize(prev)
+	Zeroize(out[n:])
 	return out[:n]
 }
 

@@ -262,7 +262,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		c.discard(cc)
 		lastErr = err
 		if !retryable(req) {
-			return nil, fmt.Errorf("dstore: %v (not retried: non-idempotent)", err)
+			return nil, fmt.Errorf("dstore: %w (not retried: non-idempotent)", err)
 		}
 	}
 	return nil, fmt.Errorf("dstore: request failed after %d attempts: %w",

@@ -226,11 +226,11 @@ func newBenchKDS() kds.Service {
 // tempDir makes a scratch directory on the host filesystem for experiments
 // that need real file-write costs (Figure 4a).
 func tempDir() (string, func(), error) {
-	dir, err := os.MkdirTemp("", "shield-bench-*")
+	dir, err := os.MkdirTemp("", "shield-bench-*") //shield:nofs scratch directory created before any vfs.FS is mounted over it
 	if err != nil {
 		return "", nil, err
 	}
-	return dir, func() { os.RemoveAll(dir) }, nil
+	return dir, func() { os.RemoveAll(dir) }, nil //shield:nofs cleanup of the same pre-FS scratch directory
 }
 
 // report prints one result row with an overhead percentage vs a baseline

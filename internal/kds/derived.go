@@ -85,6 +85,7 @@ func (d *Derived) check(serverID string) error {
 // derive computes the DEK for an ID.
 func (d *Derived) derive(id KeyID) (crypt.DEK, error) {
 	raw := crypt.HKDFSHA256(d.master, []byte("shield-kds-derived-v1"), []byte(id), crypt.KeySize)
+	defer crypt.Zeroize(raw)
 	return crypt.DEKFromBytes(raw)
 }
 
@@ -114,6 +115,7 @@ func (d *Derived) CreateDEKToken(serverID, token string) (KeyID, crypt.DEK, erro
 		return "", crypt.DEK{}, err
 	}
 	raw := crypt.HKDFSHA256(d.master, []byte("shield-kds-derived-id-v1"), []byte(token), 12)
+	defer crypt.Zeroize(raw)
 	id := KeyID("dekh-" + hex.EncodeToString(raw))
 	dek, err := d.derive(id)
 	return id, dek, err

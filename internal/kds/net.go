@@ -143,13 +143,13 @@ func (s *Server) handle(req wireRequest) wireResponse {
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
-		return wireResponse{OK: true, KeyID: string(id), DEKHex: hex.EncodeToString(dek[:])}
+		return wireResponse{OK: true, KeyID: string(id), DEKHex: hex.EncodeToString(dek[:])} //shield:nokeyhygiene threat model (Section 3.1) assumes the KDS channel is secured by infrastructure
 	case "fetch":
 		dek, err := s.store.FetchDEK(req.ServerID, KeyID(req.KeyID))
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
-		return wireResponse{OK: true, KeyID: req.KeyID, DEKHex: hex.EncodeToString(dek[:])}
+		return wireResponse{OK: true, KeyID: req.KeyID, DEKHex: hex.EncodeToString(dek[:])} //shield:nokeyhygiene threat model (Section 3.1) assumes the KDS channel is secured by infrastructure
 	case "revoke":
 		if err := s.store.RevokeDEK(KeyID(req.KeyID)); err != nil {
 			return wireResponse{Err: err.Error()}
@@ -255,7 +255,7 @@ func (c *Client) Close() error {
 	c.closed = true
 	close(c.done)
 	if c.conn != nil {
-		err := c.conn.Close()
+		err := c.conn.Close() //shield:nolockio teardown must hold the state lock so a racing connect cannot resurrect the conn; Close does not block
 		c.conn = nil
 		return err
 	}
@@ -326,6 +326,8 @@ func (c *Client) dropConn(conn net.Conn) {
 // roundTrip sends one request with deadlines, backoff, and failover.
 // idempotent requests are re-sent on transport errors; others fail with
 // ErrUnconfirmed once the request may have been delivered.
+//
+//shield:nolockio reqMu is the request queue: serializing I/O over the shared connection is its whole job
 func (c *Client) roundTrip(req wireRequest, idempotent bool) (wireResponse, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
@@ -416,6 +418,7 @@ func (c *Client) CreateDEK() (KeyID, crypt.DEK, error) {
 		return "", crypt.DEK{}, fmt.Errorf("kds: bad DEK encoding: %w", err)
 	}
 	dek, err := crypt.DEKFromBytes(raw)
+	crypt.Zeroize(raw)
 	if err != nil {
 		return "", crypt.DEK{}, err
 	}
@@ -438,7 +441,9 @@ func (c *Client) FetchDEK(id KeyID) (crypt.DEK, error) {
 	if err != nil {
 		return crypt.DEK{}, fmt.Errorf("kds: bad DEK encoding: %w", err)
 	}
-	return crypt.DEKFromBytes(raw)
+	dek, err := crypt.DEKFromBytes(raw)
+	crypt.Zeroize(raw)
+	return dek, err
 }
 
 // RevokeDEK implements Service. Revocation is idempotent.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path"
 
 	"shield/internal/crypt"
 	"shield/internal/vfs"
@@ -67,6 +68,7 @@ type PersistentStore struct {
 func OpenPersistentStore(fs vfs.FS, path string, masterKey []byte, policy Policy) (*PersistentStore, error) {
 	ps := &PersistentStore{Store: NewStore(policy), fs: fs, path: path}
 	aesRaw := crypt.HKDFSHA256(masterKey, []byte("kds-persist-v1"), []byte("aes"), crypt.KeySize)
+	defer crypt.Zeroize(aesRaw)
 	var err error
 	ps.aesKey, err = crypt.DEKFromBytes(aesRaw)
 	if err != nil {
@@ -113,6 +115,8 @@ func (ps *PersistentStore) load(data []byte) error {
 	if err := crypt.EncryptAt(ps.aesKey, iv, plain, body, 0); err != nil {
 		return err
 	}
+	// The decrypted snapshot holds every DEK in hex; wipe it once decoded.
+	defer crypt.Zeroize(plain)
 	var st persistedState
 	if err := json.Unmarshal(plain, &st); err != nil {
 		return fmt.Errorf("%w: payload decode: %v", ErrBadMasterKey, err)
@@ -127,6 +131,7 @@ func (ps *PersistentStore) load(data []byte) error {
 			return fmt.Errorf("kds: bad key encoding for %s: %w", id, err)
 		}
 		dek, err := crypt.DEKFromBytes(raw)
+		crypt.Zeroize(raw)
 		if err != nil {
 			return err
 		}
@@ -157,7 +162,7 @@ func (ps *PersistentStore) Save() error {
 	}
 	for id, e := range s.keys {
 		st.Keys[string(id)] = persistedEntry{
-			DEKHex:  hex.EncodeToString(e.dek[:]),
+			DEKHex:  hex.EncodeToString(e.dek[:]), //shield:nokeyhygiene snapshot is AES-CTR encrypted and HMAC-tagged before it reaches disk
 			Creator: e.creator,
 			Fetches: e.fetches,
 			Revoked: e.revoked,
@@ -175,6 +180,8 @@ func (ps *PersistentStore) Save() error {
 	if err != nil {
 		return err
 	}
+	// The marshaled snapshot holds every DEK in hex; wipe it once encrypted.
+	defer crypt.Zeroize(plain)
 	iv, err := crypt.NewIV()
 	if err != nil {
 		return err
@@ -196,7 +203,14 @@ func (ps *PersistentStore) Save() error {
 	if err := vfs.WriteFile(ps.fs, tmp, out); err != nil {
 		return err
 	}
-	return ps.fs.Rename(tmp, ps.path)
+	if err := ps.fs.Rename(tmp, ps.path); err != nil {
+		return err
+	}
+	// The rename is not durable until the parent directory is synced: a
+	// crash here could resurrect the previous snapshot — or, on a fresh
+	// store, no snapshot at all — losing issued keys the caller already
+	// acted on.
+	return ps.fs.SyncDir(path.Dir(ps.path))
 }
 
 // Authorize enrolls a server and persists the snapshot (best effort: an

@@ -332,6 +332,8 @@ func (d *DB) allocFileNum() uint64 {
 // sync) at least one edit, then installCurrent, in that order: repointing
 // CURRENT at a manifest with no durable records is a crash window that loses
 // the whole tree.
+//
+//shield:nosyncdir durability is deliberately sequenced by the caller: a synced edit first, then installCurrent syncs the directory
 func (d *DB) createManifestFile() error {
 	name := manifestFileName(d.dir, d.manifestNum)
 	raw, err := d.fs.Create(name)
@@ -650,6 +652,8 @@ func (d *DB) replayWAL(num uint64, mem *memTable) error {
 }
 
 // startNewLogLocked creates a fresh WAL file and active memtable.
+//
+//shield:nolockio WAL rotation must swap the log file and memtable atomically under d.mu — commit order depends on it — and runs once per flush, not per write
 func (d *DB) startNewLogLocked() error {
 	num := d.allocFileNum()
 	name := walFileName(d.dir, num)
@@ -1316,6 +1320,7 @@ func (d *DB) rotateManifestLocked(nv *manifest.Version, logNum uint64) error {
 	}
 	oldW.Close()
 	oldName := manifestFileName(d.dir, oldNum)
+	//shield:nolockio one unlink on the rare manifest-rollover path; retiring the old manifest atomically with the switch keeps recovery from ever seeing two
 	if err := d.fs.Remove(oldName); err == nil {
 		d.wrapper.FileDeleted(oldName, "")
 	}
@@ -1324,6 +1329,8 @@ func (d *DB) rotateManifestLocked(nv *manifest.Version, logNum uint64) error {
 
 // deleteObsoleteLocked removes zombie SSTs (unless iterators pin them) and
 // WALs older than the live log. d.mu must be held.
+//
+//shield:nolockio iterCount and the zombie list must be checked atomically with the removals (an iterator opened mid-delete would read a vanished SST); runs on the background flush/compaction goroutine, not the commit path
 func (d *DB) deleteObsoleteLocked() {
 	if d.iterCount == 0 {
 		for _, z := range d.zombies {

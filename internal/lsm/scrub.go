@@ -400,6 +400,8 @@ func (s *scrubber) checkWAL(num uint64) {
 // repairManifest writes the salvaged (and possibly thinned) version as a
 // fresh compacted MANIFEST, installs CURRENT over it, and quarantines the
 // damaged manifest.
+//
+//shield:nosyncdir installCurrent syncs the directory once the snapshot is durable; syncing earlier would be wasted — CURRENT still points at the old manifest
 func (s *scrubber) repairManifest(st *manifestState, oldName string, oldNum uint64, dropped map[uint64]bool) error {
 	thinned := &manifest.Version{}
 	for lvl := range st.ver.Levels {

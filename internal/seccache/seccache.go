@@ -55,6 +55,12 @@ var (
 var errStructural = errors.New("seccache: structurally corrupt cache file")
 
 // Cache is a secure, persistent DEK cache. It is safe for concurrent use.
+//
+// Locking: mu guards the entry map and counters and is never held across
+// I/O — Get/Put/Has on other goroutines must not stall behind a disk (or,
+// disaggregated, a network) write. Persistence encodes a sealed snapshot
+// under mu, then writes it under saveMu; snapSeq orders snapshots by the
+// state they observed so a slow older write can never clobber a newer one.
 type Cache struct {
 	fs        vfs.FS
 	path      string
@@ -63,11 +69,15 @@ type Cache struct {
 	salt      [saltSize]byte
 	mu        sync.Mutex
 	entries   map[kds.KeyID]crypt.DEK
+	snapSeq   uint64
 	hits      int64
 	misses    int64
 	saveErrs  int64
 	autosave  bool
 	recovered bool
+
+	saveMu   sync.Mutex // serializes snapshot writes; never nested with mu
+	savedSeq uint64     // guarded by saveMu: newest snapshot on disk
 }
 
 // Open loads (or creates) the cache at path, unsealing it with passkey.
@@ -132,8 +142,11 @@ func (c *Cache) Recovered() bool {
 
 func (c *Cache) deriveKeys(passkey []byte) {
 	dk := crypt.PBKDF2SHA256(passkey, c.salt[:], pbkdf2Iter, crypt.KeySize+hmacSize)
+	defer crypt.Zeroize(dk)
 	copy(c.aesKey[:], dk[:crypt.KeySize])
-	c.hmacKey = dk[crypt.KeySize:]
+	// Copy rather than alias: retaining a sub-slice would keep the whole
+	// derived buffer (AES half included) alive and un-wipeable.
+	c.hmacKey = append(c.hmacKey[:0], dk[crypt.KeySize:]...)
 }
 
 func (c *Cache) load(data []byte, passkey []byte) error {
@@ -165,6 +178,8 @@ func (c *Cache) load(data []byte, passkey []byte) error {
 	if err := crypt.EncryptAt(c.aesKey, iv, plain, body, 0); err != nil {
 		return err
 	}
+	// The decrypted payload holds every DEK in hex; wipe it once decoded.
+	defer crypt.Zeroize(plain)
 	var raw map[string]string
 	if err := json.Unmarshal(plain, &raw); err != nil {
 		return fmt.Errorf("%w: payload decode: %v", ErrBadPasskey, err)
@@ -175,6 +190,7 @@ func (c *Cache) load(data []byte, passkey []byte) error {
 			return fmt.Errorf("seccache: bad key encoding for %s: %w", id, err)
 		}
 		dek, err := crypt.DEKFromBytes(kb)
+		crypt.Zeroize(kb)
 		if err != nil {
 			return err
 		}
@@ -207,10 +223,11 @@ func (c *Cache) Get(id kds.KeyID) (crypt.DEK, error) {
 // Put stores a DEK and persists the cache (unless autosave is off).
 func (c *Cache) Put(id kds.KeyID, dek crypt.DEK) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.entries[id] = dek
-	if c.autosave {
-		return c.saveLocked()
+	autosave := c.autosave
+	c.mu.Unlock()
+	if autosave {
+		return c.save()
 	}
 	return nil
 }
@@ -228,13 +245,15 @@ func (c *Cache) Has(id kds.KeyID) bool {
 // ensuring only current keys remain accessible.
 func (c *Cache) Delete(id kds.KeyID) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.entries[id]; !ok {
+		c.mu.Unlock()
 		return nil
 	}
 	delete(c.entries, id)
-	if c.autosave {
-		return c.saveLocked()
+	autosave := c.autosave
+	c.mu.Unlock()
+	if autosave {
+		return c.save()
 	}
 	return nil
 }
@@ -264,35 +283,49 @@ func (c *Cache) SaveErrors() int64 {
 
 // Save persists the cache immediately.
 func (c *Cache) Save() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.saveLocked()
+	return c.save()
 }
 
-func (c *Cache) saveLocked() error {
-	err := c.saveLockedInner()
+// save encodes a sealed snapshot of the current state under mu (CPU only),
+// releases it, and hands the bytes to writeSnapshot. Concurrent mutators
+// therefore never queue behind storage latency — the failure mode the PR 3
+// degraded-mode work measured when the cache directory is slow or remote.
+func (c *Cache) save() error {
+	c.mu.Lock()
+	c.snapSeq++
+	seq := c.snapSeq
+	out, err := c.encodeLocked()
+	c.mu.Unlock()
+	if err == nil {
+		err = c.writeSnapshot(seq, out)
+	}
 	if err != nil {
+		c.mu.Lock()
 		c.saveErrs++
+		c.mu.Unlock()
 	}
 	return err
 }
 
-func (c *Cache) saveLockedInner() error {
+// encodeLocked serializes and seals the entry map. Caller holds mu.
+func (c *Cache) encodeLocked() ([]byte, error) {
 	raw := make(map[string]string, len(c.entries))
 	for id, dek := range c.entries {
 		raw[string(id)] = hex.EncodeToString(dek[:])
 	}
 	plain, err := json.Marshal(raw)
 	if err != nil {
-		return fmt.Errorf("seccache: encode: %w", err)
+		return nil, fmt.Errorf("seccache: encode: %w", err)
 	}
+	// The marshaled payload holds every DEK in hex; wipe it once encrypted.
+	defer crypt.Zeroize(plain)
 	iv, err := crypt.NewIV()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	body := make([]byte, len(plain))
 	if err := crypt.EncryptAt(c.aesKey, iv, body, plain, 0); err != nil {
-		return err
+		return nil, err
 	}
 
 	const hdrLen = 4 + 4 + saltSize + crypt.IVSize + 4
@@ -304,9 +337,23 @@ func (c *Cache) saveLockedInner() error {
 	binary.LittleEndian.PutUint32(out[8+saltSize+crypt.IVSize:hdrLen], uint32(len(body)))
 	out = append(out, body...)
 	out = append(out, crypt.HMACSHA256(c.hmacKey, out)...)
+	return out, nil
+}
 
-	// Write-then-rename so a crash mid-save never corrupts the live cache,
-	// then sync the directory so the rename itself survives power loss.
+// writeSnapshot persists one encoded snapshot: write-then-rename so a crash
+// mid-save never corrupts the live cache, then sync the directory so the
+// rename itself survives power loss. A snapshot whose seq is not newer than
+// the last one written is dropped — seq is assigned under mu at encode
+// time, so it orders snapshots by the state they observed, and a slow older
+// writer cannot overwrite a newer cache file.
+//
+//shield:nolockio saveMu only orders snapshot writes; no read or mutate path takes it
+func (c *Cache) writeSnapshot(seq uint64, out []byte) error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+	if seq <= c.savedSeq {
+		return nil
+	}
 	tmp := c.path + ".tmp"
 	if err := vfs.WriteFile(c.fs, tmp, out); err != nil {
 		return err
@@ -314,5 +361,9 @@ func (c *Cache) saveLockedInner() error {
 	if err := c.fs.Rename(tmp, c.path); err != nil {
 		return err
 	}
-	return c.fs.SyncDir(path.Dir(c.path))
+	if err := c.fs.SyncDir(path.Dir(c.path)); err != nil {
+		return err
+	}
+	c.savedSeq = seq
+	return nil
 }

@@ -1,0 +1,22 @@
+// Package all registers the full shield-vet analyzer suite in the order the
+// invariants were learned: encryption boundary, crash durability, key
+// hygiene, tail latency, error routing.
+package all
+
+import (
+	"shield/internal/vet/analysis"
+	"shield/internal/vet/analyzers/errclass"
+	"shield/internal/vet/analyzers/keyhygiene"
+	"shield/internal/vet/analyzers/lockio"
+	"shield/internal/vet/analyzers/nofs"
+	"shield/internal/vet/analyzers/syncdir"
+)
+
+// Analyzers is the complete suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	nofs.Analyzer,
+	syncdir.Analyzer,
+	keyhygiene.Analyzer,
+	lockio.Analyzer,
+	errclass.Analyzer,
+}

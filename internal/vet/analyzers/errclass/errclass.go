@@ -1,0 +1,155 @@
+// Package errclass keeps error classification alive across wrapping.
+//
+// The engine routes on error classes: lsm.ErrCorruption decides whether
+// scrub/quarantine machinery engages, core.ErrDegraded tells callers to
+// retry later, kds/dstore sentinels drive retry-vs-fail-fast. A
+// fmt.Errorf("context: %v", err) flattens the class to text — errors.Is
+// stops matching, and a corruption error quietly becomes a generic failure
+// that nothing quarantines.
+//
+// Rule: in a fmt.Errorf call, an argument whose static type implements
+// error must be matched to the %w verb — unless some other argument in the
+// same call is wrapped with %w, which is the deliberate reclassification
+// idiom this repo uses (fmt.Errorf("%w: resolving DEK: %v", ErrDegraded,
+// err) intentionally demotes the cause to text while installing the class
+// that matters). errors.New(err.Error()) is flagged for the same reason.
+//
+// Suppress with //shield:noerrclass <reason> where discarding the class is
+// the point (e.g. an error deliberately reduced to a log string at the top
+// of a binary).
+package errclass
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"shield/internal/vet/analysis"
+	"shield/internal/vet/vetutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc:  "errors must be wrapped with %w (or deliberately reclassified alongside a %w sentinel), not flattened with %v/%s",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return false
+			}
+			fn := vetutil.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case vetutil.PkgPath(fn) == "fmt" && fn.Name() == "Errorf":
+				checkErrorf(pass, call)
+			case vetutil.PkgPath(fn) == "errors" && fn.Name() == "New":
+				checkErrorsNew(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	hasW := false
+	for _, v := range verbs {
+		if v == 'w' {
+			hasW = true
+		}
+	}
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !vetutil.IsErrorType(tv.Type) {
+			continue
+		}
+		if verbs[i] == 'w' {
+			continue
+		}
+		if hasW {
+			continue // reclassification idiom: a sentinel carries the class
+		}
+		pass.Reportf(arg.Pos(),
+			"error formatted with %%%c loses its class (errors.Is/As stop matching): wrap with %%w, or reclassify alongside a %%w sentinel, or annotate //shield:noerrclass <reason>",
+			verbs[i])
+	}
+}
+
+func checkErrorsNew(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	found := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		inner, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && vetutil.IsErrorType(tv.Type) {
+			found = true
+		}
+		return true
+	})
+	if found {
+		pass.Reportf(call.Pos(),
+			"errors.New(err.Error()) flattens an error to text: wrap the original with %%w instead, or annotate //shield:noerrclass <reason>")
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order. Width/precision stars consume arguments too, and are returned as
+// '*' entries so indices line up.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if (c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' || c == '#' || c == ' ' {
+				i++
+				continue
+			}
+			if c == '[' { // explicit argument index: bail, too rare to model
+				return nil
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}

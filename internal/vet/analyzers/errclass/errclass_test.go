@@ -1,0 +1,12 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/errclass"
+	"shield/internal/vet/vettest"
+)
+
+func TestErrClass(t *testing.T) {
+	vettest.Run(t, "testdata", errclass.Analyzer, "a")
+}

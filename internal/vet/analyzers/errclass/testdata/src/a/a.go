@@ -1,0 +1,50 @@
+// Package a exercises the errclass analyzer: errors flattened with %v/%s or
+// errors.New(err.Error()) are flagged; %w wrapping and the reclassification
+// idiom (a %w sentinel plus a demoted %v cause) are not.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDegraded is a routing sentinel.
+var ErrDegraded = errors.New("degraded")
+
+func flattensWithV(err error) error {
+	return fmt.Errorf("open store: %v", err) // want `error formatted with %v loses its class`
+}
+
+func flattensWithS(err error) error {
+	return fmt.Errorf("open store: %s", err) // want `error formatted with %s loses its class`
+}
+
+func wrapsProperly(err error) error {
+	return fmt.Errorf("open store: %w", err)
+}
+
+func reclassifies(err error) error {
+	return fmt.Errorf("%w: resolving DEK: %v", ErrDegraded, err)
+}
+
+func newFromError(err error) error {
+	return errors.New(err.Error()) // want `errors\.New\(err\.Error\(\)\) flattens an error to text`
+}
+
+func plainStringsAreFine(path string) error {
+	return fmt.Errorf("open %s: not found", path)
+}
+
+func starWidthKeepsIndicesAligned(err error, w int) error {
+	return fmt.Errorf("%*d attempts: %v", w, 3, err) // want `error formatted with %v loses its class`
+}
+
+func suppressedWithReason(err error) string {
+	//shield:noerrclass reduced to a log line at the binary's top level
+	return fmt.Errorf("fatal: %v", err).Error()
+}
+
+func bareDirectiveDoesNotSuppress(err error) error {
+	//shield:noerrclass
+	return fmt.Errorf("fatal: %v", err) // want `error formatted with %v loses its class`
+}

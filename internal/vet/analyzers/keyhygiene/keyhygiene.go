@@ -1,0 +1,286 @@
+// Package keyhygiene keeps key material out of logs, error strings, and
+// serialized structures, and requires derived key bytes to be zeroized.
+//
+// BigFoot's analysis of encrypted-WAL leakage and the host-side encryption
+// literature agree on the boring failure mode: keys don't leak through the
+// cipher, they leak through a debug print, an error annotation, or a struct
+// that gets marshaled somewhere unexpected. Three rules:
+//
+//  1. Sinks: an expression that is key material — a value of a DEK-named
+//     type, a slice of one (dek[:]), a DEK.Hex() call, or a []byte/[N]byte
+//     whose identifier smells like a key (dek/key/passkey/secret/master) —
+//     must not appear as an argument to fmt print/format functions or to
+//     anything in package log. A bare DEK value is flagged too, even though
+//     crypt.DEK.String() redacts itself: relying on the String method is one
+//     refactor away from a leak.
+//
+//  2. Serialization: key material (or hex/base64 encodings of it) must not
+//     be assigned to struct fields carrying a `json:` tag in a composite
+//     literal. Wire messages and snapshot records are exactly where a key
+//     escapes the process; the two legitimate sites in this repo (the KDS
+//     wire response, whose channel the paper's threat model assumes secure,
+//     and the KDS snapshot record, which is encrypted before it reaches
+//     disk) carry //shield:nokeyhygiene annotations saying so.
+//
+//  3. Zeroization: a local variable holding the result of a key-derivation
+//     call (PBKDF2SHA256, HKDFSHA256), or a local []byte passed to
+//     DEKFromBytes, must be wiped with a Zeroize call (usually deferred) in
+//     the same function, unless the function returns it (ownership moves to
+//     the caller). Go cannot promise the GC never copied the bytes, but
+//     bounding the window beats leaving derived keys live on the heap
+//     indefinitely.
+package keyhygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"shield/internal/vet/analysis"
+	"shield/internal/vet/vetutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "keyhygiene",
+	Doc:  "key material must not reach fmt/log/serialized fields, and derived key bytes must be zeroized",
+	Run:  run,
+}
+
+// fmtSinks are the fmt functions whose arguments end up in human-readable
+// output. Every function in package log is a sink.
+var fmtSinks = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Errorf": true,
+}
+
+// derivers return freshly materialized key bytes.
+var derivers = map[string]bool{"PBKDF2SHA256": true, "HKDFSHA256": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if pass.InTestFile(f.Pos()) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkSinkCall(pass, n)
+			case *ast.CompositeLit:
+				checkSerializedFields(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkZeroization(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyExpr reports whether e is key material, with a short description for
+// the diagnostic.
+func isKeyExpr(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return "", false
+	}
+	if vetutil.IsNamed(tv.Type, "DEK") {
+		return "DEK value", true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Hex" {
+			if recv := vetutil.ReceiverType(pass.TypesInfo, call); vetutil.IsNamed(recv, "DEK") {
+				return "DEK.Hex()", true
+			}
+		}
+		return "", false
+	}
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		if xt, ok := pass.TypesInfo.Types[sl.X]; ok && vetutil.IsNamed(xt.Type, "DEK") {
+			return "DEK bytes", true
+		}
+	}
+	if vetutil.IsByteSlice(tv.Type) && vetutil.KeyName(vetutil.RootName(e)) {
+		return "key bytes " + vetutil.RootName(e), true
+	}
+	return "", false
+}
+
+// keyEncoding reports whether e encodes key material to a string
+// (hex.EncodeToString(key), base64 encodings).
+func keyEncoding(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	switch {
+	case vetutil.PkgPath(fn) == "encoding/hex" && fn.Name() == "EncodeToString",
+		vetutil.PkgPath(fn) == "encoding/base64" && fn.Name() == "EncodeToString":
+		for _, arg := range call.Args {
+			if what, ok := isKeyExpr(pass, arg); ok {
+				return "hex/base64 of " + what, true
+			}
+		}
+	}
+	return "", false
+}
+
+func checkSinkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	pkg := vetutil.PkgPath(fn)
+	isSink := (pkg == "fmt" && fmtSinks[fn.Name()]) || pkg == "log" || pkg == "log/slog"
+	if !isSink {
+		return
+	}
+	for _, arg := range call.Args {
+		what, ok := isKeyExpr(pass, arg)
+		if !ok {
+			what, ok = keyEncoding(pass, arg)
+		}
+		if !ok {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"%s flows into %s.%s: key material must never reach logs or error strings (//shield:nokeyhygiene <reason> if provably not a key)",
+			what, pkg, fn.Name())
+	}
+}
+
+func checkSerializedFields(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if !fieldSerialized(st, key.Name) {
+			continue
+		}
+		what, isKey := isKeyExpr(pass, kv.Value)
+		if !isKey {
+			what, isKey = keyEncoding(pass, kv.Value)
+		}
+		if !isKey {
+			continue
+		}
+		pass.Reportf(kv.Pos(),
+			"%s assigned to serialized field %s (json-tagged): key material must not be marshaled (//shield:nokeyhygiene <reason> if the encoding is protected)",
+			what, key.Name)
+	}
+}
+
+func fieldSerialized(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return strings.Contains(st.Tag(i), "json:")
+		}
+	}
+	return false
+}
+
+// checkZeroization flags locals that receive derived key bytes and are
+// neither zeroized nor returned.
+func checkZeroization(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Locals that must be wiped: name -> position of materialization.
+	need := map[string]token.Pos{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := vetutil.Callee(pass.TypesInfo, call)
+				if fn == nil || !derivers[fn.Name()] {
+					continue
+				}
+				if i >= len(n.Lhs) && len(n.Lhs) != 1 {
+					continue
+				}
+				lhs := n.Lhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					lhs = n.Lhs[i]
+				}
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && isLocalVar(pass, id) {
+					need[id.Name] = call.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			fn := vetutil.Callee(pass.TypesInfo, n)
+			if fn != nil && fn.Name() == "DEKFromBytes" && len(n.Args) >= 1 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok && isLocalVar(pass, id) {
+					if _, seen := need[id.Name]; !seen {
+						need[id.Name] = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(need) == 0 {
+		return
+	}
+
+	// A local is satisfied if Zeroize(x) / x.Zeroize() appears anywhere in
+	// the function (defers included), or if x is returned.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := vetutil.Callee(pass.TypesInfo, n)
+			if fn == nil || fn.Name() != "Zeroize" {
+				return true
+			}
+			for _, arg := range n.Args {
+				delete(need, vetutil.RootName(arg))
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				delete(need, vetutil.RootName(sel.X))
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				delete(need, vetutil.RootName(res))
+			}
+		}
+		return true
+	})
+	for name, pos := range need {
+		pass.Reportf(pos,
+			"derived key bytes in %q are never zeroized: add `defer crypt.Zeroize(%s)` (or return the buffer to transfer ownership); //shield:nokeyhygiene <reason> if retention is intended",
+			name, name)
+	}
+}
+
+func isLocalVar(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Parent() != v.Pkg().Scope()
+}

@@ -1,0 +1,12 @@
+package keyhygiene_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/keyhygiene"
+	"shield/internal/vet/vettest"
+)
+
+func TestKeyHygiene(t *testing.T) {
+	vettest.Run(t, "testdata", keyhygiene.Analyzer, "a")
+}

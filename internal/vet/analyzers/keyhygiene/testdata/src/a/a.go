@@ -1,0 +1,137 @@
+// Package a exercises the keyhygiene analyzer: key material must not reach
+// fmt/log sinks or json-tagged fields, and derived key bytes must be
+// zeroized or returned.
+package a
+
+import (
+	"encoding/hex"
+	"fmt"
+	"log"
+)
+
+// DEK models crypt.DEK.
+type DEK [16]byte
+
+// Hex leaks the raw key on purpose; only sinks of it are flagged.
+func (d DEK) Hex() string { return hex.EncodeToString(d[:]) }
+
+// PBKDF2SHA256 models the crypt deriver.
+func PBKDF2SHA256(passkey, salt []byte, iters, keyLen int) []byte { return make([]byte, keyLen) }
+
+// HKDFSHA256 models the crypt deriver.
+func HKDFSHA256(ikm, salt, info []byte, n int) []byte { return make([]byte, n) }
+
+// DEKFromBytes models crypt.DEKFromBytes.
+func DEKFromBytes(b []byte) (DEK, error) {
+	var d DEK
+	copy(d[:], b)
+	return d, nil
+}
+
+// Zeroize models crypt.Zeroize.
+func Zeroize(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func use(b []byte) {}
+
+// --- rule 1: sinks ---
+
+func logsKey(d DEK) {
+	fmt.Printf("dek=%v\n", d)        // want `DEK value flows into fmt\.Printf`
+	fmt.Println(d.Hex())             // want `DEK\.Hex\(\) flows into fmt\.Println`
+	log.Printf("key bytes %x", d[:]) // want `DEK bytes flows into log\.Printf`
+}
+
+func logsKeyNamedBytes(masterKey []byte) {
+	fmt.Sprintf("%x", masterKey) // want `key bytes masterKey flows into fmt\.Sprintf`
+}
+
+func logsEncodedKey(d DEK) {
+	log.Println(hex.EncodeToString(d[:])) // want `hex/base64 of DEK bytes flows into log\.Println`
+}
+
+func benignLogging(id string, refs int) {
+	fmt.Printf("dek id=%s refs=%d\n", id, refs) // identifiers about keys are fine; bytes are not
+}
+
+func suppressedSink(d DEK) {
+	//shield:nokeyhygiene test vector printed by the KAT harness, key is public
+	fmt.Println(d.Hex())
+}
+
+// --- rule 2: serialization ---
+
+type wireMsg struct {
+	ID     string `json:"id"`
+	DEKHex string `json:"dek_hex"`
+}
+
+type record struct {
+	Payload []byte // unserialized: no json tag
+}
+
+func marshalsKey(d DEK) wireMsg {
+	return wireMsg{
+		ID:     "k1",
+		DEKHex: hex.EncodeToString(d[:]), // want `hex/base64 of DEK bytes assigned to serialized field DEKHex`
+	}
+}
+
+func marshalAnnotated(d DEK) wireMsg {
+	return wireMsg{
+		ID:     "k1",
+		DEKHex: hex.EncodeToString(d[:]), //shield:nokeyhygiene channel is authenticated and encrypted per threat model
+	}
+}
+
+func untaggedFieldOK(d DEK) record {
+	return record{Payload: d[:]}
+}
+
+// --- rule 3: zeroization ---
+
+func derivesAndLeaks(passphrase []byte) {
+	dk := PBKDF2SHA256(passphrase, nil, 1000, 32) // want `derived key bytes in "dk" are never zeroized`
+	use(dk)
+}
+
+func derivesAndZeroizes(passphrase []byte) DEK {
+	dk := PBKDF2SHA256(passphrase, nil, 1000, 32)
+	defer Zeroize(dk)
+	d, _ := DEKFromBytes(dk)
+	return d
+}
+
+func derivesAndReturns(passphrase []byte) []byte {
+	dk := HKDFSHA256(passphrase, nil, nil, 32)
+	return dk // ownership moves to the caller
+}
+
+func decodesWireKeyAndLeaks(h string) (DEK, error) {
+	raw, err := hex.DecodeString(h)
+	if err != nil {
+		return DEK{}, err
+	}
+	d, err := DEKFromBytes(raw) // want `derived key bytes in "raw" are never zeroized`
+	return d, err
+}
+
+func decodesWireKeyClean(h string) (DEK, error) {
+	raw, err := hex.DecodeString(h)
+	if err != nil {
+		return DEK{}, err
+	}
+	defer Zeroize(raw)
+	return DEKFromBytes(raw)
+}
+
+// retainsByDesign keeps the derived buffer alive for the session.
+//
+//shield:nokeyhygiene long-lived session key retained by design
+func retainsByDesign(passphrase []byte) {
+	dk := HKDFSHA256(passphrase, nil, nil, 32)
+	use(dk)
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/lockio"
+	"shield/internal/vet/vettest"
+)
+
+func TestLockIO(t *testing.T) {
+	vettest.Run(t, "testdata", lockio.Analyzer, "a")
+}

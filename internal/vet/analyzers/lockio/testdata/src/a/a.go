@@ -1,0 +1,126 @@
+// Package a exercises the lockio analyzer: blocking I/O (FS-shaped, KDS,
+// file handles, sleeps) between Lock and Unlock is flagged, I/O outside the
+// critical section is not, *Locked functions are treated as lock-held, and
+// both annotation forms suppress only with a justification.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+// File is the file-handle shape (Sync+Write / ReadAt+Size).
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	ReadAt(p []byte, off int64) (int, error)
+	Size() int64
+	Close() error
+}
+
+// FS is the FS shape (method set includes SyncDir).
+type FS interface {
+	Create(name string) (File, error)
+	Rename(o, n string) error
+	SyncDir(dir string) error
+	Remove(name string) error
+}
+
+// KDS is the key-service shape (method set includes FetchDEK).
+type KDS interface {
+	FetchDEK(id string) ([]byte, error)
+}
+
+type cache struct {
+	mu  sync.Mutex
+	fs  FS
+	kds KDS
+	n   int
+}
+
+func (c *cache) deferredUnlockHoldsToEnd() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fs.Rename("a", "b")        // want `FS\.Rename while holding a mutex`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding a mutex`
+}
+
+func (c *cache) kdsUnderLock(id string) {
+	c.mu.Lock()
+	c.kds.FetchDEK(id) // want `KDS\.FetchDEK while holding a mutex`
+	c.mu.Unlock()
+}
+
+func (c *cache) fileUnderLock(f File) {
+	c.mu.Lock()
+	f.Sync() // want `file\.Sync while holding a mutex`
+	c.mu.Unlock()
+}
+
+func (c *cache) ioAfterUnlockIsFine() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.fs.Rename("a", "b")
+	c.fs.SyncDir(".")
+}
+
+// saveLocked runs with the caller's lock held (naming convention), so its
+// whole body is a critical section.
+func (c *cache) saveLocked() {
+	c.fs.Create("snapshot") // want `FS\.Create while holding a mutex`
+}
+
+// flushLocked appends under the WAL mutex on purpose.
+//
+//shield:nolockio the WAL append mutex defines commit order; I/O under it is the design
+func (c *cache) flushLocked(f File) {
+	f.Sync()
+}
+
+func (c *cache) inlineAnnotation() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fs.Remove("x") //shield:nolockio removal is rare and bounded; the lock prevents a double-delete race
+}
+
+func (c *cache) bareDirectiveDoesNotSuppress() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//shield:nolockio
+	c.fs.Remove("x") // want `FS\.Remove while holding a mutex`
+}
+
+// svc is itself KDS-shaped, so shape classification would otherwise treat
+// every method call on it as a remote round trip.
+type svc struct {
+	mu sync.Mutex
+}
+
+func (s *svc) FetchDEK(id string) ([]byte, error) { return nil, nil }
+
+func (s *svc) check() error { return nil }
+
+func (s *svc) selfCallUnderLockIsFine(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.check()
+}
+
+func (s *svc) peerCallStillFlagged(peer *svc, id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peer.FetchDEK(id) // want `KDS\.FetchDEK while holding a mutex`
+}
+
+type rcache struct {
+	mu sync.RWMutex
+	fs FS
+}
+
+func (r *rcache) readLockCountsToo() {
+	r.mu.RLock()
+	r.fs.Remove("x") // want `FS\.Remove while holding a mutex`
+	r.mu.RUnlock()
+	r.fs.Remove("y")
+}

@@ -1,0 +1,12 @@
+package nofs_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/nofs"
+	"shield/internal/vet/vettest"
+)
+
+func TestNoFS(t *testing.T) {
+	vettest.Run(t, "testdata", nofs.Analyzer, "a", "vfs")
+}

@@ -1,0 +1,31 @@
+// Package a exercises the nofs analyzer: direct os and io/ioutil file calls
+// are flagged, process-level os APIs are not, an annotated site with a
+// justification is suppressed, and a bare annotation is not.
+package a
+
+import (
+	"io/ioutil"
+	"os"
+)
+
+func violations() {
+	os.Create("x")          // want `direct os\.Create bypasses the vfs seam`
+	os.ReadFile("x")        // want `direct os\.ReadFile bypasses the vfs seam`
+	os.MkdirAll("d", 0o755) // want `direct os\.MkdirAll bypasses the vfs seam`
+	os.Rename("a", "b")     // want `direct os\.Rename bypasses the vfs seam`
+	ioutil.ReadFile("x")    // want `io/ioutil\.ReadFile bypasses the vfs seam`
+}
+
+func processLevelAllowed() {
+	os.Getenv("HOME")
+	os.Exit(0)
+}
+
+func suppressedWithReason() {
+	os.Remove("x") //shield:nofs scratch path created before any FS is mounted
+}
+
+func bareDirectiveDoesNotSuppress() {
+	//shield:nofs
+	os.Remove("x") // want `direct os\.Remove bypasses the vfs seam`
+}

@@ -1,0 +1,12 @@
+package syncdir_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/syncdir"
+	"shield/internal/vet/vettest"
+)
+
+func TestSyncDir(t *testing.T) {
+	vettest.Run(t, "testdata", syncdir.Analyzer, "a")
+}

@@ -1,0 +1,76 @@
+// Package a exercises the syncdir analyzer: Rename/Create on an FS-shaped
+// value (method set includes SyncDir) must be followed by a SyncDir later in
+// the same function, be annotated with a justification, or live in a method
+// of an FS-shaped wrapper.
+package a
+
+// File is the write handle shape.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the local model of the vfs.FS durability surface.
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldPath, newPath string) error
+	SyncDir(dir string) error
+	Remove(name string) error
+}
+
+func renameWithoutSync(fs FS) error {
+	return fs.Rename("a.tmp", "a") // want `FS\.Rename with no later SyncDir`
+}
+
+func createWithoutSync(fs FS) {
+	fs.Create("wal.log") // want `FS\.Create with no later SyncDir`
+}
+
+func renameThenSync(fs FS) error {
+	if err := fs.Rename("a.tmp", "a"); err != nil {
+		return err
+	}
+	return fs.SyncDir(".")
+}
+
+func syncBeforeDoesNotCount(fs FS) error {
+	if err := fs.SyncDir("."); err != nil {
+		return err
+	}
+	return fs.Rename("a.tmp", "a") // want `FS\.Rename with no later SyncDir`
+}
+
+func syncInLaterClosureCounts(fs FS) func() error {
+	fs.Rename("a.tmp", "a")
+	return func() error { return fs.SyncDir(".") }
+}
+
+func suppressedWithReason(fs FS) error {
+	//shield:nosyncdir caller renames the tmp file into place and syncs the dir
+	return fs.Rename("a.tmp", "a")
+}
+
+func bareDirectiveDoesNotSuppress(fs FS) error {
+	//shield:nosyncdir
+	return fs.Rename("a.tmp", "a") // want `FS\.Rename with no later SyncDir`
+}
+
+// notFS has a Rename but no SyncDir in its method set, so calls on it are
+// not durability-relevant.
+type notFS struct{}
+
+func (notFS) Rename(a, b string) error { return nil }
+
+func renameOnNonFS(n notFS) error {
+	return n.Rename("a", "b")
+}
+
+// wrapper is FS-shaped, so its forwarding methods are exempt: durability
+// policy belongs to the wrapper's callers.
+type wrapper struct{ inner FS }
+
+func (w wrapper) Create(name string) (File, error) { return w.inner.Create(name) }
+func (w wrapper) Rename(o, n string) error         { return w.inner.Rename(o, n) }
+func (w wrapper) SyncDir(dir string) error         { return w.inner.SyncDir(dir) }
+func (w wrapper) Remove(name string) error         { return w.inner.Remove(name) }

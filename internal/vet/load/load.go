@@ -1,0 +1,306 @@
+// Package load parses and type-checks packages of this module (and analyzer
+// test fixtures) for shield-vet, without golang.org/x/tools.
+//
+// Resolution is deliberately simple because the module has no external
+// dependencies: an import path inside the module maps to a directory under
+// the module root; fixture roots (testdata/src) are consulted next; anything
+// else is assumed to be standard library and delegated to the stdlib's
+// "source" importer, which type-checks GOROOT packages from source and
+// needs no pre-built export data or network access.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only; see Loader doc
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects type-checker complaints. Analysis proceeds
+	// best-effort on a partially checked package.
+	TypeErrors []error
+}
+
+// Loader loads packages for analysis. Test files (_test.go) are not loaded:
+// every shield-vet analyzer exempts test code, so skipping them avoids
+// type-checking external test packages entirely.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	// FixtureRoots are extra GOPATH-style src roots (testdata/src) checked
+	// before the standard library, so analyzer fixtures can model packages
+	// like "vfs" or "dstore" with short import paths.
+	FixtureRoots []string
+
+	pkgs map[string]*Package
+	std  types.ImporterFrom
+}
+
+// NewLoader creates a loader rooted at the module containing dir (found by
+// walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  root,
+		pkgs:       make(map[string]*Package),
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}, nil
+}
+
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod")) //shield:nofs the vet tool reads Go sources directly; there is no vfs seam beneath the toolchain
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer, so a Loader can be handed straight to
+// types.Config. Module-internal paths and fixture paths recurse into this
+// loader; everything else goes to the source importer (stdlib).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("load: import cycle through %s", path)
+		}
+		return p.Types, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// dirFor resolves an import path to a directory, if it is module-internal or
+// under a fixture root.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	for _, root := range l.FixtureRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir) //shield:nofs source-tree walk, same as findModule above
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in dir, deriving its import path from the module
+// root or fixture roots.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathOf(abs)
+	if p, ok := l.pkgs[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("load %s: previous load failed", path)
+		}
+		return p, nil
+	}
+	return l.load(path, abs)
+}
+
+func (l *Loader) importPathOf(abs string) string {
+	for _, root := range l.FixtureRoots {
+		if rel, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	if rel, err := filepath.Rel(l.ModuleDir, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.ModulePath
+		}
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(abs)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	l.pkgs[path] = p // reserve before type-checking to detect cycles
+
+	ents, err := os.ReadDir(dir) //shield:nofs source-tree walk, same as findModule above
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		file := filepath.Join(dir, n)
+		f, err := parser.ParseFile(l.Fset, file, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		if ignored(f) {
+			continue
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("load %s: no buildable Go files in %s", path, dir)
+	}
+
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, p.Files, p.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	p.Types = tpkg
+	return p, nil
+}
+
+// ignored reports whether a file opts out of the build with a constraint the
+// loader does not evaluate (e.g. //go:build ignore or tools). The module has
+// no platform-specific files, so anything constrained is skipped wholesale.
+func ignored(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build") || strings.HasPrefix(c.Text, "// +build") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Expand resolves command-line patterns ("./...", "dir/...", plain dirs,
+// module-relative import paths) into package directories, skipping testdata,
+// vendor, and hidden directories.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if abs, err := filepath.Abs(d); err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := walkPackages(l.ModuleDir, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			if d, ok := l.dirFor(root); ok {
+				root = d
+			}
+			if err := walkPackages(root, add); err != nil {
+				return nil, err
+			}
+		default:
+			if d, ok := l.dirFor(pat); ok {
+				add(d)
+			} else {
+				add(pat)
+			}
+		}
+	}
+	return dirs, nil
+}
+
+func walkPackages(root string, add func(string)) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "node_modules") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			add(p)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,171 @@
+// Package vetutil holds the small amount of go/types plumbing the shield-vet
+// analyzers share: resolving callees, classifying receiver types by method
+// set, and recognizing key-material expressions by name and type.
+package vetutil
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Callee resolves the *types.Func a call invokes (package function or
+// method), or nil for calls through function values, conversions, and
+// built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: os.Open, fmt.Errorf, ...
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// ReceiverType returns the static type of a method call's receiver
+// expression, or nil for non-method calls.
+func ReceiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if _, ok := info.Selections[sel]; !ok {
+		return nil // package-qualified, not a method
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// HasMethod reports whether t (or *t) has a method with the given name,
+// either directly or via an interface's method set. This is how analyzers
+// recognize "an FS-shaped thing" (has SyncDir) without importing
+// shield/internal/vfs — which also lets self-contained test fixtures model
+// the interfaces.
+func HasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ms := types.NewMethodSet(t); lookup(ms, name) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return false
+	}
+	return lookup(types.NewMethodSet(types.NewPointer(t)), name)
+}
+
+func lookup(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgPath returns f's package path, or "" for builtins.
+func PkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// PathIs reports whether pkgPath equals suffix or ends in "/"+suffix, so
+// both "shield/internal/vfs" and a fixture's "vfs" match suffix "vfs".
+func PathIs(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}
+
+// IsNamed reports whether t's core named type (through pointers) has the
+// given name.
+func IsNamed(t types.Type, name string) bool {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Named:
+			return tt.Obj().Name() == name
+		case *types.Alias:
+			t = types.Unalias(tt)
+			continue
+		default:
+			return false
+		}
+	}
+}
+
+// keyNameRE matches identifiers that, by this repo's conventions, hold key
+// material: DEKs, derived AES/HMAC keys, passkeys, master secrets.
+var keyNameRE = regexp.MustCompile(`(?i)(dek|key|passkey|secret|master)`)
+
+// KeyName reports whether an identifier name smells like key material.
+// KeyIDs are excluded by callers via the type check (KeyID is a string and
+// deliberately public; key *bytes* are what must not leak).
+func KeyName(name string) bool {
+	return keyNameRE.MatchString(name)
+}
+
+// RootName digs the base identifier out of an expression: aesKey,
+// c.hmacKey, dk[:16], (k) all resolve to their underlying name.
+func RootName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.SliceExpr:
+		return RootName(e.X)
+	case *ast.IndexExpr:
+		return RootName(e.X)
+	case *ast.CallExpr: // conversions like []byte(x)
+		if len(e.Args) == 1 {
+			return RootName(e.Args[0])
+		}
+	case *ast.UnaryExpr:
+		return RootName(e.X)
+	case *ast.StarExpr:
+		return RootName(e.X)
+	}
+	return ""
+}
+
+// IsByteSlice reports whether t is []byte or a fixed-size byte array
+// (through named types) — the shapes key material takes.
+func IsByteSlice(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	case *types.Array:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return false
+}
+
+// IsErrorType reports whether t implements the error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

@@ -109,7 +109,11 @@ func ReadFile(fsys FS, name string) ([]byte, error) {
 }
 
 // WriteFile writes data to the named file through fs, replacing any existing
-// contents, and syncs it.
+// contents, and syncs it. It does not sync the directory: every caller in
+// this repo writes a .tmp and then renames it into place, and the rename
+// site owns the SyncDir.
+//
+//shield:nosyncdir helper writes tmp files; the rename site owns directory durability
 func WriteFile(fsys FS, name string, data []byte) error {
 	f, err := fsys.Create(name)
 	if err != nil {
