@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt
+.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long
 
 all: build vet shield-vet test
 
@@ -29,6 +29,20 @@ vet:
 # lockio, errclass. Stdlib-only — no downloads, works offline.
 shield-vet:
 	go run ./cmd/shield-vet ./...
+
+# Seeded whole-stack fault simulation (cmd/shield-sim, DESIGN.md §10).
+# `sim` is the quick local gate; `sim-long` widens the fault matrix with the
+# disaggregated data path and bit-rot. Replay a failure with the exact
+# command the reducer prints. SIM_SEEDS overrides the sweep width.
+SIM_SEEDS ?= 50
+sim:
+	go run ./cmd/shield-sim -seeds $(SIM_SEEDS)
+
+sim-long:
+	go run ./cmd/shield-sim -seeds $(SIM_SEEDS)
+	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -dstore
+	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -bitrot
+	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -dstore -bitrot
 
 # Third-party linters. These reach the network to fetch the pinned tool the
 # first time; they are deliberately NOT part of `make all` so an offline

@@ -1,0 +1,124 @@
+// Command shield-sim runs the seeded whole-stack fault simulation
+// (internal/sim): a concurrent checked workload against the full SHIELD
+// stack while a nemesis injects disk-full, network faults, KDS and
+// storage-node kills, bit-rot, and power-loss crashes.
+//
+// Usage:
+//
+//	shield-sim -seeds 50                 # sweep seeds 1..50
+//	shield-sim -seed 1337 -v             # replay one seed, verbose
+//	shield-sim -seed 1337 -events 3      # replay a reduced schedule prefix
+//	shield-sim -seeds 20 -dstore -bitrot # widen the fault matrix
+//
+// Every run prints its schedule hash; the same seed and flags produce the
+// same hash (the reproducibility witness). On failure the reducer shrinks
+// the schedule to the shortest still-failing prefix and prints the exact
+// replay command; the exit code is nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"shield/internal/sim"
+)
+
+func main() {
+	var (
+		seeds   = flag.Int("seeds", 0, "sweep seeds 1..N (mutually exclusive with -seed)")
+		seed    = flag.Uint64("seed", 0, "run exactly this seed")
+		ops     = flag.Int("ops", 600, "workload operations per run")
+		workers = flag.Int("workers", 4, "concurrent workload goroutines")
+		events  = flag.Int("events", -1, "cap the nemesis schedule to its first N events (-1 = full)")
+		dstore  = flag.Bool("dstore", false, "route the data path through a disaggregated storage node")
+		bitrot  = flag.Bool("bitrot", false, "enable bit-rot (tamper) events")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-run watchdog")
+		verbose = flag.Bool("v", false, "verbose event and engine logging")
+		reduce  = flag.Bool("reduce", true, "on failure, shrink to the shortest failing schedule prefix")
+	)
+	flag.Parse()
+	if (*seeds == 0) == (*seed == 0) {
+		fmt.Fprintln(os.Stderr, "shield-sim: pass exactly one of -seeds N or -seed S")
+		os.Exit(2)
+	}
+
+	cfgFor := func(s uint64) sim.Config {
+		cfg := sim.Config{
+			Seed:      s,
+			Ops:       *ops,
+			Workers:   *workers,
+			MaxEvents: *events,
+			Dstore:    *dstore,
+			BitRot:    *bitrot,
+			Timeout:   *timeout,
+		}
+		if *verbose {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		return cfg
+	}
+
+	run := func(s uint64) bool {
+		start := time.Now()
+		r := sim.Run(cfgFor(s))
+		status := "ok"
+		if r.Failed() {
+			status = "FAIL"
+		}
+		fmt.Printf("seed %-6d %-4s hash=%s events=%d acked=%d failed-writes=%d reads=%d scans=%d crashes=%d reopens=%d tainted=%v (%v)\n",
+			s, status, r.Hash, len(r.Plan), r.Acked, r.FailedWrites, r.Reads, r.Scans,
+			r.Crashes, r.Reopens, r.Tainted, time.Since(start).Round(time.Millisecond))
+		if !r.Failed() {
+			return true
+		}
+		fmt.Printf("\nschedule (hash %s):\n  %s\n", r.Hash, strings.Join(r.Plan, "\n  "))
+		fmt.Println("\nviolations:")
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		fmt.Println("\nnotes:")
+		for _, n := range r.Notes {
+			fmt.Printf("  %s\n", n)
+		}
+		if *reduce {
+			fmt.Println("\nreducing to the shortest failing schedule prefix...")
+			if k, min := sim.Reduce(cfgFor(s), 2); k >= 0 {
+				fmt.Printf("minimal failing prefix: %d event(s):\n  %s\n", k, strings.Join(min.Plan, "\n  "))
+				fmt.Printf("\nreplay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d -events=%d%s%s\n",
+					s, *ops, *workers, k, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot))
+			} else {
+				fmt.Println("failure did not reproduce during reduction (interleaving-dependent); replay the full seed:")
+				fmt.Printf("replay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d%s%s\n",
+					s, *ops, *workers, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot))
+			}
+		}
+		return false
+	}
+
+	ok := true
+	if *seed != 0 {
+		ok = run(*seed)
+	} else {
+		for s := uint64(1); s <= uint64(*seeds); s++ {
+			if !run(s) {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func boolFlag(s string, on bool) string {
+	if on {
+		return s
+	}
+	return ""
+}

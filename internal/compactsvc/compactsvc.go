@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -219,6 +220,12 @@ func (c *Client) Compact(job lsm.CompactionJob) (lsm.CompactionResult, error) {
 			if err = c.dec.Decode(&out); err == nil {
 				c.conn.SetDeadline(time.Time{}) //nolint:errcheck
 				if out.Err != "" {
+					if strings.Contains(out.Err, vfs.ErrNoSpace.Error()) {
+						// Restore the sentinel: the engine halts compactions
+						// (inputs were retained remotely) instead of
+						// poisoning itself.
+						return lsm.CompactionResult{}, fmt.Errorf("compactsvc: remote: %w: %s", vfs.ErrNoSpace, out.Err)
+					}
 					return lsm.CompactionResult{}, fmt.Errorf("compactsvc: remote: %s", out.Err)
 				}
 				return out.Result, nil

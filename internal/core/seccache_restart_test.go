@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"shield/internal/kds"
+	"shield/internal/vfs"
+)
+
+// TestSecCacheRestartLoop restarts a SHIELD instance twenty times against a
+// persistent secure cache, with injected write faults on the cache's storage.
+// Warm restarts must be served from the sealed snapshot — no KDS round-trip
+// storm: the KDS fetch count may grow only by the DEKs lost to the injected
+// save failures, never in proportion to restarts × files. A structurally
+// corrupted cache must cold-start with Recovered() = true and refill from the
+// KDS (the creator re-fetch path), not fail the open.
+func TestSecCacheRestartLoop(t *testing.T) {
+	store := kds.NewStore(kds.DefaultPolicy())
+	store.Authorize("server-1")
+	srv, err := kds.NewServer(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dataFS := vfs.NewMem()
+	// The cache disk misbehaves: two snapshot writes fail mid-run. The cache
+	// must absorb them (stale-but-valid snapshot on disk, serving continues
+	// from memory).
+	cacheBase := vfs.NewMem()
+	cacheFS := vfs.NewFault(cacheBase, 1)
+	cacheFS.Inject(vfs.FaultRule{Op: vfs.FaultWrite, Path: "seccache", After: 6, Count: 2})
+
+	const rounds = 20
+	var fetchedAfterCold int64
+	for round := 0; round < rounds; round++ {
+		cache := openTestCache(t, cacheFS)
+		if cache.Recovered() {
+			t.Fatalf("round %d: cache claims recovery from corruption; none was injected", round)
+		}
+		client := kds.NewClientConfig("server-1", fastKDSClientConfig(), srv.Addr())
+		cfg := Config{Mode: ModeSHIELD, FS: dataFS, KDS: client, Cache: cache, WALBufferSize: 512}
+		db, err := Open("db", cfg, smallOpts())
+		if err != nil {
+			t.Fatalf("round %d: open: %v", round, err)
+		}
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("r%02d-k%03d", round, i)
+			if err := db.Put([]byte(key), []byte("v-"+key)); err != nil {
+				t.Fatalf("round %d: put: %v", round, err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatalf("round %d: flush: %v", round, err)
+		}
+		// Every earlier round's data must still read back through DEKs that
+		// came from the cache, not fresh KDS fetches.
+		for r := 0; r <= round; r++ {
+			key := fmt.Sprintf("r%02d-k%03d", r, 7)
+			if v, err := db.Get([]byte(key)); err != nil || string(v) != "v-"+key {
+				t.Fatalf("round %d: read of round-%d key: %q %v", round, r, v, err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+		client.Close()
+
+		if round == 0 {
+			_, fetchedAfterCold, _ = store.Stats()
+		}
+	}
+
+	// Bounded fetches: each of the two injected save failures can lose the
+	// DEKs added between the previous good snapshot and the next one (a
+	// handful per round), which the next restart re-fetches. Twenty warm
+	// restarts over a growing file set would otherwise be hundreds of
+	// fetches.
+	_, fetchedAfterWarm, _ := store.Stats()
+	if growth := fetchedAfterWarm - fetchedAfterCold; growth > 8 {
+		t.Fatalf("KDS fetch storm across warm restarts: %d extra fetches", growth)
+	}
+
+	if cacheFS.Injected() != 2 {
+		t.Fatalf("expected both cache-save faults to fire, got %d", cacheFS.Injected())
+	}
+
+	// The failed saves must not have left a corrupt cache behind: the next
+	// open loads the last good snapshot without claiming recovery.
+	cache := openTestCache(t, cacheFS)
+	if cache.Recovered() {
+		t.Fatal("cache claims recovery; none was injected yet")
+	}
+
+	// Structural corruption: truncate the cache file. The next open must
+	// cold-start, flag Recovered, and the instance must refill from the KDS.
+	if err := vfs.WriteFile(cacheBase, "seccache", []byte("xx")); err != nil {
+		t.Fatal(err)
+	}
+	cache = openTestCache(t, cacheFS)
+	if !cache.Recovered() {
+		t.Fatal("Recovered() = false after structural cache corruption")
+	}
+	client := kds.NewClientConfig("server-1", fastKDSClientConfig(), srv.Addr())
+	defer client.Close()
+	cfg := Config{Mode: ModeSHIELD, FS: dataFS, KDS: client, Cache: cache, WALBufferSize: 512}
+	db, err := Open("db", cfg, smallOpts())
+	if err != nil {
+		t.Fatalf("open after cache corruption: %v", err)
+	}
+	defer db.Close()
+	key := "r00-k007"
+	if v, err := db.Get([]byte(key)); err != nil || string(v) != "v-"+key {
+		t.Fatalf("read after cold cache: %q %v", v, err)
+	}
+	if _, fetchedCold, _ := store.Stats(); fetchedCold == fetchedAfterWarm {
+		t.Fatal("cold-started cache served reads without any KDS fetch — cache was not actually cold")
+	}
+}

@@ -179,7 +179,7 @@ func (s *shieldWrapper) WrapCreate(name string, kind lsm.FileKind, f vfs.Writabl
 	if err != nil {
 		return nil, "", err
 	}
-	if _, err := f.Write(encodeHeader(id, iv)); err != nil {
+	if err := vfs.WriteFull(f, encodeHeader(id, iv)); err != nil {
 		return nil, "", fmt.Errorf("core: writing header for %s: %w", name, err)
 	}
 

@@ -59,7 +59,7 @@ func (w *BufferedWriter) flush() error {
 	if err := EncryptAt(w.key, w.iv, ct, w.buf, w.off); err != nil {
 		return err
 	}
-	if _, err := w.f.Write(ct); err != nil {
+	if err := vfs.WriteFull(w.f, ct); err != nil {
 		return err
 	}
 	w.off += int64(len(w.buf))
@@ -182,8 +182,7 @@ func (w *ChunkedWriter) dispatch() error {
 		if err := EncryptAt(w.key, w.iv, ct, plain, off); err != nil {
 			return err
 		}
-		_, err := w.f.Write(ct)
-		return err
+		return vfs.WriteFull(w.f, ct)
 	}
 
 	if !w.started {
@@ -209,8 +208,7 @@ func (w *ChunkedWriter) retireOne() error {
 	if job.err != nil {
 		return job.err
 	}
-	_, err := w.f.Write(ct)
-	return err
+	return vfs.WriteFull(w.f, ct)
 }
 
 // drain flushes the partial chunk and retires every in-flight chunk.

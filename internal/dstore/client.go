@@ -261,6 +261,9 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		}
 		c.discard(cc)
 		lastErr = err
+		if netretry.Permanent(err) {
+			return nil, fmt.Errorf("dstore: %w (not retried: permanent)", err)
+		}
 		if !retryable(req) {
 			return nil, fmt.Errorf("dstore: %w (not retried: non-idempotent)", err)
 		}
@@ -276,6 +279,15 @@ func mapRemoteError(msg string) error {
 		return fmt.Errorf("%w (remote: %s)", vfs.ErrNotFound, msg)
 	case strings.Contains(msg, vfs.ErrExist.Error()):
 		return fmt.Errorf("%w (remote: %s)", vfs.ErrExist, msg)
+	case strings.Contains(msg, vfs.ErrNoSpace.Error()):
+		// The storage node is full. Restoring the sentinel lets the engine's
+		// degraded-mode handling fire, and marks the error permanent so no
+		// retry layer wastes attempts on it.
+		return fmt.Errorf("%w (remote: %s)", vfs.ErrNoSpace, msg)
+	case strings.Contains(msg, vfs.ErrInjected.Error()):
+		// Injected faults model transient media errors on the node; restore
+		// the sentinel so fault harnesses can classify them as retryable.
+		return fmt.Errorf("%w (remote: %s)", vfs.ErrInjected, msg)
 	default:
 		return errors.New(msg)
 	}

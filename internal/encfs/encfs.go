@@ -80,7 +80,7 @@ func (e *FS) Create(name string) (vfs.WritableFile, error) {
 	binary.LittleEndian.PutUint32(hdr[0:4], headerMagic)
 	binary.LittleEndian.PutUint32(hdr[4:8], headerVersion)
 	copy(hdr[8:], iv[:])
-	if _, err := f.Write(hdr[:]); err != nil {
+	if err := vfs.WriteFull(f, hdr[:]); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("encfs: writing header: %w", err)
 	}

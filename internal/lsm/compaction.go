@@ -2,11 +2,13 @@ package lsm
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"shield/internal/lsm/base"
 	"shield/internal/lsm/manifest"
 	"shield/internal/lsm/sstable"
+	"shield/internal/metrics"
 	"shield/internal/vfs"
 )
 
@@ -88,11 +90,16 @@ func newTableWriter(f vfs.WritableFile, opts Options) *sstable.Writer {
 // RunCompaction merges the job's inputs into output tables on fs. It is the
 // single compaction implementation shared by the in-process path and the
 // offloaded-compaction worker.
-func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (CompactionResult, error) {
+//
+// Failure is abort-and-retain-inputs: no manifest state changes until the
+// caller installs the returned edit, so on any error (ENOSPC on an output
+// being the expected one) every output file created so far is closed and
+// removed — releasing its quota and its DEK registration — and the inputs
+// remain the authoritative data. The caller can simply retry later.
+func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (res CompactionResult, retErr error) {
 	if wrapper == nil {
 		wrapper = NopWrapper{}
 	}
-	var res CompactionResult
 
 	// Open every input and build the merged iterator.
 	var iters []internalIterator
@@ -141,6 +148,27 @@ func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (Compactio
 		writerOpts    = Options{BlockSize: job.BlockSize, BloomBitsPerKey: job.BloomBitsPerKey, Compression: job.Compression}
 	)
 
+	type createdOutput struct{ name, dekID string }
+	var created []createdOutput
+	defer func() {
+		if retErr == nil {
+			return
+		}
+		// Abort: close the in-flight writer, then remove every output file
+		// created so far so the failed compaction releases its disk space and
+		// DEK registrations. The inputs were never touched.
+		if w != nil {
+			w.Abort()
+			w = nil
+		}
+		for _, c := range created {
+			fs.Remove(c.name)
+			wrapper.FileDeleted(c.name, c.dekID)
+		}
+		res = CompactionResult{BytesRead: res.BytesRead}
+		metrics.Storage.CompactionAborts.Add(1)
+	}()
+
 	openOutput := func() error {
 		if nextOutNum >= lastOutNum {
 			return fmt.Errorf("lsm: compaction exhausted reserved file numbers")
@@ -158,6 +186,7 @@ func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (Compactio
 			return err
 		}
 		outDEKID = dekID
+		created = append(created, createdOutput{name: outName, dekID: dekID})
 		w = newTableWriter(wrapped, writerOpts)
 		return nil
 	}
@@ -171,6 +200,7 @@ func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (Compactio
 				}
 				fs.Remove(outName)
 				wrapper.FileDeleted(outName, outDEKID)
+				created = created[:len(created)-1]
 				w = nil
 			}
 			return nil
@@ -451,7 +481,7 @@ func (d *DB) maybeScheduleCompactionLocked() {
 	if d.opts.ReadOnly {
 		return
 	}
-	if d.closed || d.bgErr != nil || d.manualActive {
+	if d.closed || d.bgErr != nil || d.manualActive || d.compactionsHalted {
 		return
 	}
 	maxWorkers := d.opts.MaxBackgroundJobs - 1
@@ -479,14 +509,36 @@ func (d *DB) compactionWorker(plan *compactionPlan) {
 		delete(d.busyFiles, num)
 	}
 	d.compactions--
-	if err != nil && d.bgErr == nil {
-		d.bgErr = err
-		d.opts.Logger("lsm: compaction error: %v", err)
+	var aborted *compactionAbortedError
+	switch {
+	case err == nil:
+	case errors.As(err, &aborted):
+		// The compaction aborted cleanly before touching the manifest: its
+		// partial outputs were removed and the inputs retained, so the DB is
+		// fully consistent. Out of space is not a reason to poison the write
+		// path — halt background compactions until space reappears (a
+		// successful flush clears the halt) instead of entering degraded mode.
+		d.compactionsHalted = true
+		d.opts.Logger("lsm: compactions halted (aborted, inputs retained): %v", aborted.err)
+	case d.bgErr == nil:
+		d.setBGErrLocked(fmt.Errorf("compaction: %w", err))
 	}
 	d.maybeScheduleCompactionLocked()
 	d.bgCond.Broadcast()
 	d.mu.Unlock()
 }
+
+// compactionAbortedError marks a compaction failure that left no partial
+// state behind: outputs removed, inputs retained, manifest untouched. It is
+// recoverable by retrying once the cause (out of space) clears, so it must
+// not poison the DB.
+type compactionAbortedError struct{ err error }
+
+func (e *compactionAbortedError) Error() string {
+	return fmt.Sprintf("lsm: compaction aborted, inputs retained: %v", e.err)
+}
+
+func (e *compactionAbortedError) Unwrap() error { return e.err }
 
 // runCompactionPlan executes one plan (local or offloaded) and installs the
 // resulting version edit.
@@ -532,6 +584,11 @@ func (d *DB) runCompactionPlan(plan *compactionPlan) error {
 		}
 		res, err := compactor.Compact(job)
 		if err != nil {
+			if errors.Is(err, vfs.ErrNoSpace) {
+				// RunCompaction (local or remote) aborted and cleaned up its
+				// outputs; nothing was installed, so this is retryable.
+				return &compactionAbortedError{err: err}
+			}
 			return err
 		}
 		d.metCompRead.Add(res.BytesRead)
@@ -571,9 +628,12 @@ func (d *DB) CompactRange() error {
 		return err
 	}
 
-	// Block automatic scheduling while the manual compaction runs.
+	// Block automatic scheduling while the manual compaction runs, and
+	// serialize against other manual callers: two concurrent CompactRanges
+	// would pick overlapping inputs from the same version and the loser's
+	// edit would try to delete already-deleted files.
 	d.mu.Lock()
-	for d.compactions > 0 {
+	for d.compactions > 0 || d.manualActive {
 		d.bgCond.Wait()
 	}
 	if d.bgErr != nil {
@@ -587,6 +647,7 @@ func (d *DB) CompactRange() error {
 		d.mu.Lock()
 		d.manualActive = false
 		d.maybeScheduleCompactionLocked()
+		d.bgCond.Broadcast()
 		d.mu.Unlock()
 	}()
 

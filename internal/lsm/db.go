@@ -71,28 +71,39 @@ type DB struct {
 	walDEKID    string
 	manifestW   *wal.Writer
 	manifestNum uint64
+	// manifestBad is set when an append to the live MANIFEST fails partway
+	// (e.g. a torn write under ENOSPC). Recovery stops replaying at a torn
+	// record, so any edit appended after one would be silently invisible —
+	// the next edit must rotate to a fresh manifest instead of appending.
+	manifestBad bool
 
-	flushing      bool
-	compactions   int // active compaction workers
-	manualActive  bool
-	busyFiles     map[uint64]bool
-	bgErr         error
-	bgCond        *sync.Cond
-	closed        bool
-	iterCount     int
-	zombies       []zombieFile
-	snapshots     []base.SeqNum
-	dekIDs        map[uint64]string // fileNum -> DEK-ID for SSTs
-	flushWaiters  []chan error
-	metFlushes    atomic.Int64
-	metCompact    atomic.Int64
-	metCompRead   atomic.Int64
-	metCompWrite  atomic.Int64
-	metFlushWrite atomic.Int64
-	metWAL        atomic.Int64
-	metStallNanos atomic.Int64
-	metGets       atomic.Int64
-	metWrites     atomic.Int64
+	flushing     bool
+	compactions  int // active compaction workers
+	manualActive bool
+	// compactionsHalted stops background compaction scheduling after a
+	// compaction aborted on ENOSPC. Unlike bgErr it does not poison writes:
+	// the aborted compaction retained its inputs, so the DB is consistent.
+	// The next successful flush (proof that space is available again)
+	// clears it.
+	compactionsHalted bool
+	busyFiles         map[uint64]bool
+	bgErr             error
+	bgCond            *sync.Cond
+	closed            bool
+	iterCount         int
+	zombies           []zombieFile
+	snapshots         []base.SeqNum
+	dekIDs            map[uint64]string // fileNum -> DEK-ID for SSTs
+	flushWaiters      []chan error
+	metFlushes        atomic.Int64
+	metCompact        atomic.Int64
+	metCompRead       atomic.Int64
+	metCompWrite      atomic.Int64
+	metFlushWrite     atomic.Int64
+	metWAL            atomic.Int64
+	metStallNanos     atomic.Int64
+	metGets           atomic.Int64
+	metWrites         atomic.Int64
 }
 
 type zombieFile struct {
@@ -712,7 +723,7 @@ func (d *DB) Write(b *Batch, sync bool) error {
 	if d.bgErr != nil {
 		err := d.bgErr
 		d.mu.Unlock()
-		return err
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
 	}
 	d.mu.Unlock()
 	req := &commitRequest{batch: b, sync: sync, done: make(chan error, 1)}
@@ -801,14 +812,14 @@ func (d *DB) commitGroup(group []*commitRequest) error {
 		for _, r := range group {
 			if err := w.AddRecord(r.batch.data); err != nil {
 				d.setBGErr(err)
-				return err
+				return fmt.Errorf("%w: %w", ErrDegraded, err)
 			}
 			d.metWAL.Add(int64(len(r.batch.data)))
 		}
 		if needSync {
 			if err := w.Sync(); err != nil {
 				d.setBGErr(err)
-				return err
+				return fmt.Errorf("%w: %w", ErrDegraded, err)
 			}
 		}
 	}
@@ -820,7 +831,7 @@ func (d *DB) commitGroup(group []*commitRequest) error {
 		})
 		if err != nil {
 			d.setBGErr(err)
-			return err
+			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
 	}
 	d.lastSeq.Store(uint64(next - 1))
@@ -837,7 +848,7 @@ func (d *DB) makeRoomForWrite() error {
 		case d.bgErr != nil:
 			err := d.bgErr
 			d.mu.Unlock()
-			return err
+			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		case d.mem.approximateSize() < d.opts.MemtableSize:
 			d.mu.Unlock()
 			if !stallStart.IsZero() {
@@ -867,16 +878,16 @@ func (d *DB) makeRoomForWrite() error {
 			old := d.walWriter
 			d.imm = append(d.imm, d.mem)
 			if err := d.startNewLogLocked(); err != nil {
-				d.bgErr = err
+				d.setBGErrLocked(err)
 				d.mu.Unlock()
-				return err
+				return fmt.Errorf("%w: %w", ErrDegraded, err)
 			}
 			d.maybeScheduleFlushLocked()
 			d.mu.Unlock()
 			if old != nil {
 				if err := old.Close(); err != nil {
 					d.setBGErr(err)
-					return err
+					return fmt.Errorf("%w: %w", ErrDegraded, err)
 				}
 			}
 		}
@@ -885,12 +896,41 @@ func (d *DB) makeRoomForWrite() error {
 
 func (d *DB) setBGErr(err error) {
 	d.mu.Lock()
+	d.setBGErrLocked(err)
+	d.mu.Unlock()
+}
+
+// setBGErrLocked poisons the DB into read-only degraded mode. d.mu held.
+func (d *DB) setBGErrLocked(err error) {
 	if d.bgErr == nil {
 		d.bgErr = err
-		d.opts.Logger("lsm: background error: %v", err)
+		metrics.Storage.DegradedEntries.Add(1)
+		d.opts.Logger("lsm: entering degraded (read-only) mode: %v", err)
 	}
 	d.bgCond.Broadcast()
-	d.mu.Unlock()
+}
+
+// CompactionsHalted reports whether background compactions are paused after
+// an ENOSPC abort. The halt clears on the next successful flush or on reopen;
+// it does not affect reads or writes.
+func (d *DB) CompactionsHalted() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactionsHalted
+}
+
+// Degraded reports whether the DB is in read-only degraded mode: a prior
+// write-path failure (WAL append, flush, manifest write) poisoned it, writes
+// fail fast with ErrDegraded, and reads are still served. It returns nil when
+// healthy, else the ErrDegraded-wrapped cause. Reopening the DB exits
+// degraded mode.
+func (d *DB) Degraded() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.bgErr == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrDegraded, d.bgErr)
 }
 
 // ---- Read path ----
@@ -1116,6 +1156,9 @@ func (d *DB) flushWorker() {
 		}
 		d.imm = d.imm[1:]
 		d.metFlushes.Add(1)
+		// A flush wrote a full SST: space is available again, so resume any
+		// compactions halted by an earlier ENOSPC abort.
+		d.compactionsHalted = false
 		d.deleteObsoleteLocked()
 		d.maybeScheduleCompactionLocked()
 		d.bgCond.Broadcast()
@@ -1146,20 +1189,29 @@ func (d *DB) writeMemTable(mem *memTable) (*manifest.FileMetadata, error) {
 		return nil, err
 	}
 	w := newTableWriter(wrapped, d.opts)
+	// On any failure below, remove the partial SST so it releases its disk
+	// space and DEK registration; the memtable it was built from is retained
+	// and the caller poisons the DB, so no data is lost.
+	abortFlush := func(err error) (*manifest.FileMetadata, error) {
+		w.Abort()
+		d.fs.Remove(name)
+		d.wrapper.FileDeleted(name, dekID)
+		return nil, err
+	}
 	it := mem.iter()
 	for ok := it.First(); ok; ok = it.Next() {
 		if err := w.Add(it.Key(), it.Value()); err != nil {
-			return nil, err
+			return abortFlush(err)
 		}
 	}
 	if err := w.Finish(); err != nil {
-		return nil, err
+		return abortFlush(err)
 	}
 	// The SST's directory entry must be durable before the manifest edit
 	// that references it is; otherwise a crash leaves a manifest pointing at
 	// a file that never existed.
 	if err := d.fs.SyncDir(d.dir); err != nil {
-		return nil, err
+		return abortFlush(err)
 	}
 	d.metFlushWrite.Add(int64(w.FileSize()))
 
@@ -1190,9 +1242,9 @@ func (d *DB) rotateMemtable() error {
 	old := d.walWriter
 	d.imm = append(d.imm, d.mem)
 	if err := d.startNewLogLocked(); err != nil {
-		d.bgErr = err
+		d.setBGErrLocked(err)
 		d.mu.Unlock()
-		return err
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
 	}
 	d.maybeScheduleFlushLocked()
 	d.mu.Unlock()
@@ -1216,6 +1268,17 @@ func (d *DB) Flush() error {
 		return err
 	}
 	d.mu.Lock()
+	// Degraded check while holding d.mu, not before: a background flush
+	// can poison the engine between the rotate above and this point, after
+	// which no flush worker will ever run again — a waiter registered now
+	// would block forever. Under d.mu the cases are exhaustive: bgErr set
+	// (fail fast here), a live worker (it drains waiters on exit), or no
+	// worker and a clean engine (maybeScheduleFlushLocked starts one).
+	if d.bgErr != nil {
+		err := d.bgErr
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
 	if len(d.imm) == 0 {
 		d.mu.Unlock()
 		return nil
@@ -1241,36 +1304,50 @@ func (d *DB) applyEditLocked(edit *manifest.VersionEdit) error {
 	if err != nil {
 		return err
 	}
-	enc, err := edit.Encode()
-	if err != nil {
-		return err
-	}
-	if err := d.manifestW.AddRecord(enc); err != nil {
-		return err
-	}
-	if err := d.manifestW.Sync(); err != nil {
-		return err
-	}
-	// Long-running instances roll the MANIFEST once the edit history grows
-	// past the cap, replacing it with one snapshot record (the same
-	// compaction that happens at every open).
-	if d.manifestW.Size() > d.opts.MaxManifestFileSize {
-		// The snapshot's LogNumber must not skip any WAL still holding
-		// unflushed data: immutable memtables waiting behind this edit keep
-		// their logs live, so take the minimum — or, for a flush edit, the
-		// LogNumber the edit itself establishes.
-		snapLog := d.logNum
-		for _, m := range d.imm {
-			if m.logNum < snapLog {
-				snapLog = m.logNum
-			}
+	// The snapshot's LogNumber must not skip any WAL still holding
+	// unflushed data: immutable memtables waiting behind this edit keep
+	// their logs live, so take the minimum — or, for a flush edit, the
+	// LogNumber the edit itself establishes.
+	snapLog := d.logNum
+	for _, m := range d.imm {
+		if m.logNum < snapLog {
+			snapLog = m.logNum
 		}
-		if edit.LogNumber != nil {
-			snapLog = *edit.LogNumber
-		}
+	}
+	if edit.LogNumber != nil {
+		snapLog = *edit.LogNumber
+	}
+	if d.manifestBad {
+		// An earlier append tore the live manifest's tail; replay would stop
+		// there, so an appended record could never be recovered. Install the
+		// edit by rotating: nv (which already includes it) becomes the
+		// snapshot of a fresh manifest. Failure keeps manifestBad set — the
+		// old CURRENT/manifest pair is intact and the edit is not durable.
 		if err := d.rotateManifestLocked(nv, snapLog); err != nil {
-			// Rotation failure is not fatal: the old manifest is intact.
-			d.opts.Logger("lsm: manifest rotation failed: %v", err)
+			return err
+		}
+		d.manifestBad = false
+	} else {
+		enc, err := edit.Encode()
+		if err != nil {
+			return err
+		}
+		if err := d.manifestW.AddRecord(enc); err != nil {
+			d.manifestBad = true
+			return err
+		}
+		if err := d.manifestW.Sync(); err != nil {
+			d.manifestBad = true
+			return err
+		}
+		// Long-running instances roll the MANIFEST once the edit history
+		// grows past the cap, replacing it with one snapshot record (the
+		// same compaction that happens at every open).
+		if d.manifestW.Size() > d.opts.MaxManifestFileSize {
+			if err := d.rotateManifestLocked(nv, snapLog); err != nil {
+				// Rotation failure is not fatal: the old manifest is intact.
+				d.opts.Logger("lsm: manifest rotation failed: %v", err)
+			}
 		}
 	}
 	// Files removed by this edit become deletion candidates.

@@ -12,6 +12,16 @@ import (
 // it silently.
 var ErrCorruption = errors.New("lsm: corruption")
 
+// ErrDegraded is the sentinel wrapped by every write rejected because the DB
+// has poisoned itself into read-only degraded mode: a WAL append, flush, or
+// manifest write failed (ENOSPC, I/O error), so accepting further writes
+// could silently lose them. Reads keep being served from the state that was
+// durable before the failure. The underlying cause is wrapped alongside, so
+// errors.Is(err, ErrDegraded) and errors.Is(err, vfs.ErrNoSpace) can both
+// hold. Reopening the DB after the cause is cleared exits degraded mode and
+// recovers every previously-acked write from the WAL and manifest.
+var ErrDegraded = errors.New("lsm: degraded (read-only) mode")
+
 // CorruptionError describes one corrupt (or missing-but-referenced)
 // persistent file. It wraps both ErrCorruption and the underlying cause, so
 // errors.Is works against either.

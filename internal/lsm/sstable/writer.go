@@ -198,14 +198,26 @@ func (w *Writer) writeBlock(data []byte, blockType byte) (blockHandle, error) {
 	crc := crc32.Checksum(data, castagnoli)
 	crc = crc32.Update(crc, castagnoli, tail[:1])
 	binary.LittleEndian.PutUint32(tail[1:], crc)
-	if _, err := w.f.Write(data); err != nil {
+	if err := vfs.WriteFull(w.f, data); err != nil {
 		return blockHandle{}, err
 	}
-	if _, err := w.f.Write(tail[:]); err != nil {
+	if err := vfs.WriteFull(w.f, tail[:]); err != nil {
 		return blockHandle{}, err
 	}
 	w.offset += h.length
 	return h, nil
+}
+
+// Abort discards an unfinished table: it closes the underlying file without
+// writing index or footer, so a caller recovering from a mid-build failure
+// (ENOSPC on an output, a failed compaction) can release the handle and then
+// remove the partial file. Safe to call after Finish, where it is a no-op.
+func (w *Writer) Abort() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
 }
 
 // EstimatedSize returns the bytes written so far plus the pending block.
@@ -271,7 +283,7 @@ func (w *Writer) Finish() error {
 	putHandle(16, filterHandle)
 	putHandle(32, propsHandle)
 	binary.LittleEndian.PutUint64(footer[48:], tableMagic)
-	if _, err := w.f.Write(footer[:]); err != nil {
+	if err := vfs.WriteFull(w.f, footer[:]); err != nil {
 		w.f.Close()
 		return err
 	}

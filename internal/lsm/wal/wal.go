@@ -60,7 +60,7 @@ func (w *Writer) AddRecord(data []byte) error {
 			// Pad the block tail with zeros; readers skip it.
 			if leftover > 0 {
 				var pad [headerSize]byte
-				if _, err := w.f.Write(pad[:leftover]); err != nil {
+				if err := vfs.WriteFull(w.f, pad[:leftover]); err != nil {
 					return err
 				}
 				w.written += int64(leftover)
@@ -105,10 +105,10 @@ func (w *Writer) emit(typ byte, frag []byte) error {
 	crc = crc32.Update(crc, castagnoli, frag)
 	binary.LittleEndian.PutUint32(hdr[0:4], crc)
 
-	if _, err := w.f.Write(hdr[:]); err != nil {
+	if err := vfs.WriteFull(w.f, hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.f.Write(frag); err != nil {
+	if err := vfs.WriteFull(w.f, frag); err != nil {
 		return err
 	}
 	w.blockOff += headerSize + len(frag)

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// StorageCounters aggregates resource-exhaustion events on the persistence
+// paths: out-of-space errors surfaced by the filesystem layer, entries into
+// the engine's read-only degraded mode, compactions aborted to retain their
+// inputs, and secure-cache snapshot saves dropped for lack of space. The zero
+// value is ready to use.
+type StorageCounters struct {
+	NoSpaceErrors     atomic.Int64 // writes refused with vfs.ErrNoSpace
+	DegradedEntries   atomic.Int64 // times a DB poisoned itself into read-only mode
+	CompactionAborts  atomic.Int64 // compactions aborted with inputs retained
+	CacheSavesDropped atomic.Int64 // seccache snapshot saves skipped (non-fatal)
+}
+
+// Storage is the process-wide counter set the persistence layers report into.
+var Storage = &StorageCounters{}
+
+// StorageSnapshot is a point-in-time copy of StorageCounters.
+type StorageSnapshot struct {
+	NoSpaceErrors     int64
+	DegradedEntries   int64
+	CompactionAborts  int64
+	CacheSavesDropped int64
+}
+
+// Snapshot returns the current counter values.
+func (c *StorageCounters) Snapshot() StorageSnapshot {
+	return StorageSnapshot{
+		NoSpaceErrors:     c.NoSpaceErrors.Load(),
+		DegradedEntries:   c.DegradedEntries.Load(),
+		CompactionAborts:  c.CompactionAborts.Load(),
+		CacheSavesDropped: c.CacheSavesDropped.Load(),
+	}
+}
+
+// Reset zeroes every counter (benchmarks reset between runs).
+func (c *StorageCounters) Reset() {
+	c.NoSpaceErrors.Store(0)
+	c.DegradedEntries.Store(0)
+	c.CompactionAborts.Store(0)
+	c.CacheSavesDropped.Store(0)
+}
+
+// Any reports whether any resource-exhaustion event occurred.
+func (s StorageSnapshot) Any() bool {
+	return s.NoSpaceErrors+s.DegradedEntries+s.CompactionAborts+s.CacheSavesDropped != 0
+}
+
+// Sub returns the delta s minus prev, for reporting one run's events.
+func (s StorageSnapshot) Sub(prev StorageSnapshot) StorageSnapshot {
+	return StorageSnapshot{
+		NoSpaceErrors:     s.NoSpaceErrors - prev.NoSpaceErrors,
+		DegradedEntries:   s.DegradedEntries - prev.DegradedEntries,
+		CompactionAborts:  s.CompactionAborts - prev.CompactionAborts,
+		CacheSavesDropped: s.CacheSavesDropped - prev.CacheSavesDropped,
+	}
+}
+
+// String renders the counters.
+func (s StorageSnapshot) String() string {
+	return fmt.Sprintf("no_space=%d degraded_entries=%d compaction_aborts=%d cache_saves_dropped=%d",
+		s.NoSpaceErrors, s.DegradedEntries, s.CompactionAborts, s.CacheSavesDropped)
+}

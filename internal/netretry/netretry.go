@@ -11,8 +11,27 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
+
+	"shield/internal/vfs"
 )
+
+// jitterMu guards jitterRNG; Delay is called concurrently by every network
+// client in the process.
+var (
+	jitterMu  sync.Mutex
+	jitterRNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// Seed re-seeds the jitter source so backoff delays replay deterministically.
+// The simulation harness calls it once per run with the run's master seed;
+// production code never needs it.
+func Seed(seed int64) {
+	jitterMu.Lock()
+	jitterRNG = rand.New(rand.NewSource(seed))
+	jitterMu.Unlock()
+}
 
 // Delay returns the sleep before retry number attempt (0-based), doubling
 // from base up to max, jittered uniformly over [d/2, d]. A non-positive
@@ -29,7 +48,10 @@ func Delay(attempt int, base, max time.Duration) time.Duration {
 		d = max
 	}
 	half := d / 2
-	return half + time.Duration(rand.Int63n(int64(half)+1))
+	jitterMu.Lock()
+	j := jitterRNG.Int63n(int64(half) + 1)
+	jitterMu.Unlock()
+	return half + time.Duration(j)
 }
 
 // Sleep waits d or until done is closed, reporting false when interrupted.
@@ -57,4 +79,13 @@ func Sleep(d time.Duration, done <-chan struct{}) bool {
 func IsTimeout(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Permanent reports whether err is a permanent condition that retrying the
+// same request cannot fix, so retry loops must surface it immediately
+// instead of burning their attempt budget. Out-of-space is the canonical
+// case: the bytes will not fit on the next attempt either, and the caller
+// (the LSM write path) has its own degraded-mode handling for it.
+func Permanent(err error) bool {
+	return errors.Is(err, vfs.ErrNoSpace)
 }

@@ -6,6 +6,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"shield/internal/vfs"
 )
 
 func TestDelayDoublesAndCaps(t *testing.T) {
@@ -79,5 +81,34 @@ func TestIsTimeout(t *testing.T) {
 	}
 	if !IsTimeout(fmt.Errorf("wrapped: %w", &fakeTimeout{timeout: true})) {
 		t.Fatal("wrapped timeout not classified as timeout")
+	}
+}
+
+func TestPermanent(t *testing.T) {
+	if !Permanent(fmt.Errorf("append: %w", vfs.ErrNoSpace)) {
+		t.Fatal("wrapped ErrNoSpace not classified as permanent")
+	}
+	if Permanent(errors.New("connection reset")) {
+		t.Fatal("transient error classified as permanent")
+	}
+	if Permanent(nil) {
+		t.Fatal("nil error classified as permanent")
+	}
+}
+
+func TestSeedMakesDelayDeterministic(t *testing.T) {
+	sample := func() []time.Duration {
+		Seed(42)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = Delay(i, time.Millisecond, time.Second)
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs across identically seeded runs: %v vs %v", i, a[i], b[i])
+		}
 	}
 }

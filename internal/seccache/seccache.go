@@ -29,6 +29,7 @@ import (
 
 	"shield/internal/crypt"
 	"shield/internal/kds"
+	"shield/internal/metrics"
 	"shield/internal/vfs"
 )
 
@@ -303,6 +304,14 @@ func (c *Cache) save() error {
 		c.mu.Lock()
 		c.saveErrs++
 		c.mu.Unlock()
+		if errors.Is(err, vfs.ErrNoSpace) {
+			// A full cache disk must not fail the write path: the cache is an
+			// optimization (every DEK is re-fetchable from the KDS) and the
+			// entry is already live in memory. Count the drop and keep
+			// serving; a later save retries once mutations continue.
+			metrics.Storage.CacheSavesDropped.Add(1)
+			return nil
+		}
 	}
 	return err
 }

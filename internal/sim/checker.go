@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"shield/internal/lsm"
+)
+
+// checker is the run's oracle. Keys are single-writer (each key belongs to
+// exactly one workload goroutine), which keeps the per-key model exact
+// without a full linearizability search:
+//
+//   - an acknowledged synced write collapses the key's durable state to
+//     exactly that value (SyncWrites is on, so the ack implies the WAL
+//     record is durable and no crash can lose it);
+//   - a failed write leaves the key uncertain between its previous
+//     candidates and the attempted value (the bytes may or may not have
+//     reached the WAL before the error);
+//   - reads by the owner must return the exact latest value while the key
+//     is certain, and one of the candidates while it is not;
+//   - reads by other workers are checked against the set of values ever
+//     attempted for the key — a looser bound that still catches the fatal
+//     class: values that were never written anywhere (decryption garbage,
+//     cross-key leaks, resurrected deletes of other keys).
+//
+// After a bit-rot event the model degrades on purpose: quarantine-based
+// recovery may legitimately drop tampered files, so absence and typed
+// corruption errors become acceptable everywhere — but a read returning a
+// never-written value stays a violation forever. Tampering must never
+// produce silent wrong data.
+type checker struct {
+	keys    map[string]*keyState
+	tainted atomic.Bool
+
+	mu         sync.Mutex
+	violations []string
+}
+
+type keyState struct {
+	mu sync.Mutex
+
+	// ever holds every value any write op ever attempted for this key.
+	ever map[string]bool
+
+	// possible holds the durable candidates; "" means absent.
+	possible map[string]bool
+
+	// latest is the unique durable value while strict is true.
+	latest string
+	strict bool
+}
+
+func newChecker(universe []string) *checker {
+	c := &checker{keys: make(map[string]*keyState, len(universe))}
+	for _, k := range universe {
+		c.keys[k] = &keyState{
+			ever:     map[string]bool{},
+			possible: map[string]bool{"": true},
+			strict:   true,
+		}
+	}
+	return c
+}
+
+func (c *checker) violate(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.violations) < 64 { // keep failure output bounded
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// taint relaxes the model after bit-rot: quarantine may drop data.
+func (c *checker) taint() { c.tainted.Store(true) }
+
+// beginWrite registers v as attempted-for-key before the bytes can reach
+// the store, so a concurrent reader that observes it mid-flight is not
+// falsely flagged as seeing a never-written value.
+func (c *checker) beginWrite(key, v string) {
+	ks := c.keys[key]
+	ks.mu.Lock()
+	ks.ever[v] = true
+	ks.mu.Unlock()
+}
+
+// ackWrite records a synced-acknowledged write: v is now the one durable
+// value for key ("" for a delete).
+func (c *checker) ackWrite(key, v string) {
+	ks := c.keys[key]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if v != "" {
+		ks.ever[v] = true
+	}
+	ks.possible = map[string]bool{v: true}
+	ks.latest = v
+	ks.strict = true
+}
+
+// failWrite records a write that errored: v may or may not have landed.
+func (c *checker) failWrite(key, v string) {
+	ks := c.keys[key]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if v != "" {
+		ks.ever[v] = true
+	}
+	ks.possible[v] = true
+	ks.strict = false
+}
+
+// checkOwnerRead validates a Get by the key's owning worker. found=false
+// means ErrNotFound.
+func (c *checker) checkOwnerRead(key, got string, found bool, err error) {
+	if err != nil {
+		c.checkReadError(key, err)
+		return
+	}
+	ks := c.keys[key]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	v := ""
+	if found {
+		v = got
+	}
+	if found && !ks.ever[v] {
+		// Garbage is fatal regardless of taint: no history wrote this.
+		c.violate("owner read of %s returned never-written value %.40q", key, v)
+		return
+	}
+	if c.tainted.Load() {
+		// Quarantine may have dropped any file; absence and stale values
+		// (the pre-quarantine durable candidates) are both permitted.
+		if !found || ks.ever[v] {
+			return
+		}
+	}
+	if ks.strict {
+		if v != ks.latest {
+			c.violate("owner read of %s: got %.40q, want exactly %.40q (synced-acked)", key, v, ks.latest)
+		}
+		return
+	}
+	if !ks.possible[v] {
+		c.violate("owner read of %s: got %.40q, not among %d durable candidates", key, v, len(ks.possible))
+	}
+}
+
+// checkCrossRead validates a Get by a non-owner (racing the owner's
+// writes): any value ever attempted for the key is permitted, as is
+// absence; a never-written value is a violation.
+func (c *checker) checkCrossRead(key, got string, found bool, err error) {
+	if err != nil {
+		c.checkReadError(key, err)
+		return
+	}
+	if !found {
+		return
+	}
+	ks := c.keys[key]
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if !ks.ever[got] {
+		c.violate("cross read of %s returned never-written value %.40q", key, got)
+	}
+}
+
+// checkScanEntry validates one (key, value) produced by an iterator.
+func (c *checker) checkScanEntry(key, v string) {
+	ks, ok := c.keys[key]
+	if !ok {
+		c.violate("scan surfaced unknown key %.40q", key)
+		return
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if !ks.ever[v] {
+		c.violate("scan of %s returned never-written value %.40q", key, v)
+	}
+}
+
+// checkReadError classifies a read-path error. Typed corruption is
+// acceptable only after tampering was injected; transient I/O errors are
+// always acceptable (they do not assert anything false about the data).
+func (c *checker) checkReadError(key string, err error) {
+	var ce *lsm.CorruptionError
+	if errors.As(err, &ce) && !c.tainted.Load() {
+		c.violate("read of %s reported corruption with no tampering injected: %v", key, err)
+	}
+}
+
+func (c *checker) report() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.violations...)
+}

@@ -1,0 +1,52 @@
+// Package sim is the whole-stack fault simulator: a seeded, reproducible
+// harness that drives the full SHIELD stack (LSM engine, per-file
+// encryption, KDS replicas, secure DEK cache, optionally a disaggregated
+// storage node) through a composed nemesis schedule — disk-full, network
+// faults, KDS and storage-node kills, bit-rot, and power-loss crashes —
+// while a concurrent workload records what was acknowledged and a checker
+// holds the run to the durability contract:
+//
+//   - every synced-acknowledged write survives everything the nemesis does;
+//   - every read returns a value some linear history permits;
+//   - tampering surfaces as a typed corruption error, never as silent
+//     wrong data.
+//
+// A run is parameterized by a single uint64 seed. The nemesis schedule is
+// derived entirely from the seed before the workload starts, so the
+// schedule (and its hash) replays byte-identically; the thread
+// interleaving of the workload is genuinely concurrent and is checked, not
+// replayed. When a seed fails, Reduce shrinks the schedule to the shortest
+// still-failing prefix and the CLI prints the replay command.
+package sim
+
+import "sync/atomic"
+
+// clock is the simulation's virtual time base: a monotonic step counter
+// advanced once per workload operation. Nemesis events trigger on step
+// thresholds, so fault timing is phrased in workload progress — the same
+// schedule stresses the same phases of a run regardless of host speed.
+type clock struct {
+	step atomic.Uint64
+}
+
+// tick advances virtual time by one operation and returns the new step.
+func (c *clock) tick() uint64 { return c.step.Add(1) }
+
+// now returns the current step without advancing.
+func (c *clock) now() uint64 { return c.step.Load() }
+
+// splitmix64 is the seed-derivation PRNG step (Vigna's SplitMix64). Every
+// independent random stream in a run — per-worker op streams, fault-rule
+// probabilities, torn-write shuffles — gets its own sub-seed derived from
+// the master seed and a stream index, so streams never alias.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// subSeed derives the stream-th independent seed from master.
+func subSeed(master uint64, stream uint64) int64 {
+	return int64(splitmix64(master ^ splitmix64(stream)))
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// eventKind enumerates the nemesis's moves. Each paired fault (full/free,
+// fault/heal, kill/restart) is planned as a matched pair so no run ends
+// wedged behind a fault that never lifts.
+type eventKind int
+
+const (
+	evDiskFull     eventKind = iota // shrink the data quota to Used()+arg bytes
+	evDiskFree                      // lift the quota; heal-reopen if degraded
+	evNetFault                      // probabilistic I/O faults on the data path
+	evNetHeal                       // clear fault rules; heal-reopen if degraded
+	evCacheFault                    // fail the next arg secure-cache saves
+	evKDSKill                       // stop KDS replica arg
+	evKDSRestart                    // restart every stopped KDS replica
+	evStoreKill                     // stop the dstore node (dstore runs only)
+	evStoreRestart                  // restart the dstore node; heal if degraded
+	evBitRot                        // flip a bit in one cold SST (taints the run)
+	evCrash                         // power loss: snapshot, restore, reopen (arg=1: torn)
+)
+
+var eventNames = map[eventKind]string{
+	evDiskFull:     "disk-full",
+	evDiskFree:     "disk-free",
+	evNetFault:     "net-fault",
+	evNetHeal:      "net-heal",
+	evCacheFault:   "cache-fault",
+	evKDSKill:      "kds-kill",
+	evKDSRestart:   "kds-restart",
+	evStoreKill:    "store-kill",
+	evStoreRestart: "store-restart",
+	evBitRot:       "bit-rot",
+	evCrash:        "crash",
+}
+
+// event is one planned nemesis action, firing when the virtual clock
+// reaches step. Everything in it derives from the seed, so the plan —
+// and therefore its hash — replays byte-identically for a given seed.
+type event struct {
+	step uint64
+	kind eventKind
+	arg  int64
+}
+
+func (e event) String() string {
+	return fmt.Sprintf("step=%d event=%s arg=%d", e.step, eventNames[e.kind], e.arg)
+}
+
+// planNemesis derives the full fault schedule from the seed. Pairing
+// discipline: at most one disk-full, one net-fault window, and one
+// store-kill outstanding at a time, and at least one KDS replica stays up
+// outside kill windows. Crashes and bit-rot can land anywhere.
+func planNemesis(cfg Config, rng *rand.Rand) []event {
+	n := cfg.Events
+	if n <= 0 {
+		return nil
+	}
+	// Draw distinct steps across the run, then walk them assigning kinds
+	// under the pairing discipline.
+	steps := make(map[uint64]bool, n)
+	for len(steps) < n {
+		steps[1+uint64(rng.Int63n(int64(cfg.Ops)))] = true
+	}
+	ordered := make([]uint64, 0, n)
+	for s := range steps {
+		ordered = append(ordered, s)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	var (
+		plan      []event
+		diskFull  bool
+		netFault  bool
+		kdsDown   bool
+		storeDown bool
+	)
+	for _, step := range ordered {
+		// Close any open window first with some probability, so paired
+		// faults actually overlap the workload instead of lasting one op.
+		switch {
+		case diskFull && rng.Float64() < 0.6:
+			plan = append(plan, event{step, evDiskFree, 0})
+			diskFull = false
+			continue
+		case netFault && rng.Float64() < 0.6:
+			plan = append(plan, event{step, evNetHeal, 0})
+			netFault = false
+			continue
+		case kdsDown && rng.Float64() < 0.7:
+			plan = append(plan, event{step, evKDSRestart, 0})
+			kdsDown = false
+			continue
+		case storeDown && rng.Float64() < 0.8:
+			plan = append(plan, event{step, evStoreRestart, 0})
+			storeDown = false
+			continue
+		}
+		roll := rng.Float64()
+		switch {
+		case roll < 0.18 && !diskFull:
+			plan = append(plan, event{step, evDiskFull, 512 + rng.Int63n(4096)})
+			diskFull = true
+		case roll < 0.33 && !netFault:
+			plan = append(plan, event{step, evNetFault, 2 + rng.Int63n(6)})
+			netFault = true
+		case roll < 0.43:
+			plan = append(plan, event{step, evCacheFault, 1 + rng.Int63n(3)})
+		case roll < 0.55 && !kdsDown:
+			plan = append(plan, event{step, evKDSKill, rng.Int63n(2)})
+			kdsDown = true
+		case roll < 0.63 && cfg.Dstore && !storeDown:
+			plan = append(plan, event{step, evStoreKill, 0})
+			storeDown = true
+		case roll < 0.72 && cfg.BitRot:
+			plan = append(plan, event{step, evBitRot, rng.Int63()})
+		default:
+			torn := int64(0)
+			if rng.Float64() < 0.5 {
+				torn = 1
+			}
+			plan = append(plan, event{step, evCrash, torn})
+		}
+	}
+	// Lift anything still open so the run can finish and verify cleanly.
+	end := uint64(cfg.Ops) + 1
+	if diskFull {
+		plan = append(plan, event{end, evDiskFree, 0})
+	}
+	if netFault {
+		plan = append(plan, event{end, evNetHeal, 0})
+	}
+	if kdsDown {
+		plan = append(plan, event{end, evKDSRestart, 0})
+	}
+	if storeDown {
+		plan = append(plan, event{end, evStoreRestart, 0})
+	}
+	return plan
+}
+
+// hashPlan is the run's reproducibility witness: a digest over the
+// seed-derived schedule (and only over it — runtime measurements would
+// vary with thread interleaving). Two runs of the same seed and config
+// must produce the same hash.
+func hashPlan(seed uint64, plan []event) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "seed=%d\n", seed)
+	for _, e := range plan {
+		fmt.Fprintf(h, "%s\n", e)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,46 @@
+package sim
+
+// Reduce shrinks a failing run to the shortest still-failing prefix of its
+// nemesis schedule. The workload is concurrent, so a failure may not
+// reproduce on every attempt; each candidate prefix gets `attempts` tries
+// before it is considered passing. Returns the minimal failing event count
+// and the last failing Result, or (-1, nil) if the failure never
+// reproduced (a scheduling-dependent bug — rerun the full seed).
+func Reduce(cfg Config, attempts int) (int, *Result) {
+	cfg = cfg.withDefaults()
+	if attempts <= 0 {
+		attempts = 2
+	}
+	fails := func(maxEvents int) *Result {
+		c := cfg
+		c.MaxEvents = maxEvents
+		for i := 0; i < attempts; i++ {
+			if r := Run(c); r.Failed() {
+				return r
+			}
+		}
+		return nil
+	}
+
+	// Confirm the full schedule still fails before spending time shrinking.
+	full := fails(-1)
+	if full == nil {
+		return -1, nil
+	}
+	best, bestRes := len(full.Plan), full
+
+	// Bisect on the prefix length: find the smallest K whose first K
+	// events still reproduce the failure. Monotonicity is heuristic (more
+	// faults usually fail more), which is all a reducer needs.
+	lo, hi := 0, best
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r := fails(mid); r != nil {
+			best, bestRes = mid, r
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, bestRes
+}

@@ -1,0 +1,766 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shield/internal/core"
+	"shield/internal/dstore"
+	"shield/internal/kds"
+	"shield/internal/lsm"
+	"shield/internal/netretry"
+	"shield/internal/seccache"
+	"shield/internal/vfs"
+)
+
+const (
+	simDir      = "db"
+	simServerID = "sim-server"
+	cachePath   = "seccache"
+)
+
+// Config parameterizes one simulation run. Zero values select defaults
+// sized so a run finishes in well under a second on an in-memory stack.
+type Config struct {
+	// Seed is the single source of randomness: it derives the nemesis
+	// schedule, every worker's op stream, fault probabilities, torn-write
+	// shuffles, and the retry-jitter stream.
+	Seed uint64
+
+	// Ops is the total workload operation budget across workers
+	// (default 600).
+	Ops int
+
+	// Workers is the number of concurrent workload goroutines (default 4).
+	Workers int
+
+	// KeysPerWorker sizes each worker's private key range (default 24).
+	KeysPerWorker int
+
+	// Events is the nemesis schedule length (default Ops/60, min 4).
+	Events int
+
+	// MaxEvents, when >= 0, truncates the schedule to its first MaxEvents
+	// entries — the reducer's lever. -1 (the default) applies no cap.
+	MaxEvents int
+
+	// Dstore routes the data path through a disaggregated storage node
+	// (a dstore server + client pair), adding node-kill events and real
+	// network framing to the mix.
+	Dstore bool
+
+	// BitRot enables tamper events. A tampered run relaxes the checker to
+	// quarantine semantics, so leave it off when hunting strict-durability
+	// bugs.
+	BitRot bool
+
+	// Timeout aborts a wedged run (default 2 minutes); a trip is reported
+	// as a violation, since nothing in the stack should deadlock.
+	Timeout time.Duration
+
+	// Logf, when set, receives verbose progress (the CLI's -v).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops <= 0 {
+		c.Ops = 600
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.KeysPerWorker <= 0 {
+		c.KeysPerWorker = 24
+	}
+	if c.Events == 0 {
+		c.Events = c.Ops / 60
+		if c.Events < 4 {
+			c.Events = 4
+		}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Result is one run's verdict and reproduction record.
+type Result struct {
+	Seed uint64
+
+	// Hash digests the seed-derived schedule; two runs of the same seed
+	// and config produce the same hash (the reproducibility witness).
+	Hash string
+
+	// Plan is the hashed schedule, one line per nemesis event.
+	Plan []string
+
+	// Notes are unhashed runtime observations (engine logs, retry notes).
+	Notes []string
+
+	// Violations are checker findings; empty means the run passed.
+	Violations []string
+
+	Acked, FailedWrites, Reads, Scans int64
+	Crashes, Reopens                  int64
+	Tainted                           bool
+}
+
+// Failed reports whether the run violated the durability contract.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+type simulation struct {
+	cfg     Config
+	clock   clock
+	checker *checker
+	keys    []string // full key universe; worker w owns [w*K, (w+1)*K)
+
+	// stackMu serializes nemesis events against workload ops: workers
+	// hold it shared per op, event execution holds it exclusive. This is
+	// the crash barrier — a snapshot is only taken with no op in flight,
+	// so every acknowledgment the checker recorded precedes the image.
+	stackMu sync.RWMutex
+	db      *lsm.DB
+	crash   *vfs.CrashFS
+	quota   *vfs.QuotaFS
+	fault   *vfs.FaultFS
+	cache   *seccache.Cache
+
+	quotaLimit  int64
+	activeRules []vfs.FaultRule // re-installed after a crash rebuild
+	tainted     bool
+	faultStream uint64 // sub-seed counter for rebuilt RNG streams
+
+	cacheBase *vfs.MemFS
+	cacheFS   *vfs.FaultFS
+
+	kdsStore  *kds.Store
+	kdsSrv    [2]*kds.Server
+	kdsAddr   [2]string
+	kdsUp     [2]bool
+	kdsClient *kds.Client
+
+	storeSrv    *dstore.Server
+	storeAddr   string
+	storeClient *dstore.Client
+	storeUp     bool
+
+	plan   []event
+	nextEv int
+	evMu   sync.Mutex
+
+	dead atomic.Bool // harness gave up (unrecoverable reopen); workers drain
+
+	notesMu sync.Mutex
+	notes   []string
+
+	acked, failedW, reads, scans atomic.Int64
+	crashes, reopens             atomic.Int64
+}
+
+// Run executes one seeded simulation and reports the verdict.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	planRNG := rand.New(rand.NewSource(subSeed(cfg.Seed, 0)))
+	plan := planNemesis(cfg, planRNG)
+	if cfg.MaxEvents >= 0 && len(plan) > cfg.MaxEvents {
+		plan = plan[:cfg.MaxEvents]
+	}
+	netretry.Seed(subSeed(cfg.Seed, 1))
+
+	s := &simulation{cfg: cfg, plan: plan}
+	for w := 0; w < cfg.Workers; w++ {
+		for k := 0; k < cfg.KeysPerWorker; k++ {
+			s.keys = append(s.keys, fmt.Sprintf("w%02d-k%03d", w, k))
+		}
+	}
+	s.checker = newChecker(s.keys)
+
+	if err := s.bootstrap(); err != nil {
+		s.checker.violate("bootstrap: %v", err)
+		return s.result()
+	}
+	defer s.teardown()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go s.worker(w, &wg)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.Timeout):
+		s.dead.Store(true)
+		s.checker.violate("watchdog: run wedged after %v at step %d", cfg.Timeout, s.clock.now())
+		return s.result()
+	}
+
+	s.finalVerify()
+	return s.result()
+}
+
+func (s *simulation) result() *Result {
+	r := &Result{
+		Seed:         s.cfg.Seed,
+		Hash:         hashPlan(s.cfg.Seed, s.plan),
+		Violations:   s.checker.report(),
+		Acked:        s.acked.Load(),
+		FailedWrites: s.failedW.Load(),
+		Reads:        s.reads.Load(),
+		Scans:        s.scans.Load(),
+		Crashes:      s.crashes.Load(),
+		Reopens:      s.reopens.Load(),
+		Tainted:      s.tainted,
+	}
+	for _, e := range s.plan {
+		r.Plan = append(r.Plan, e.String())
+	}
+	s.notesMu.Lock()
+	r.Notes = append([]string(nil), s.notes...)
+	s.notesMu.Unlock()
+	return r
+}
+
+func (s *simulation) note(format string, args ...any) {
+	s.notesMu.Lock()
+	defer s.notesMu.Unlock()
+	if len(s.notes) < 256 {
+		s.notes = append(s.notes, fmt.Sprintf(format, args...))
+	}
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("seed %d: "+format, append([]any{s.cfg.Seed}, args...)...)
+	}
+}
+
+func (s *simulation) nextStream() int64 {
+	s.faultStream++
+	return subSeed(s.cfg.Seed, 1000+s.faultStream)
+}
+
+// ---- Stack construction ----
+
+func (s *simulation) bootstrap() error {
+	s.kdsStore = kds.NewStore(kds.DefaultPolicy())
+	s.kdsStore.Authorize(simServerID)
+	for i := range s.kdsSrv {
+		srv, err := kds.NewServer(s.kdsStore, "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("kds replica %d: %w", i, err)
+		}
+		s.kdsSrv[i] = srv
+		s.kdsAddr[i] = srv.Addr()
+		s.kdsUp[i] = true
+	}
+	s.kdsClient = kds.NewClientConfig(simServerID, kds.ClientConfig{
+		DialTimeout:    200 * time.Millisecond,
+		RequestTimeout: 500 * time.Millisecond,
+		MaxAttempts:    4,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+	}, s.kdsAddr[0], s.kdsAddr[1])
+
+	s.cacheBase = vfs.NewMem()
+	s.cacheFS = vfs.NewFault(s.cacheBase, s.nextStream())
+	s.reopenCacheLocked()
+
+	s.crash = vfs.NewCrash(s.nextStream())
+	s.quota = vfs.NewQuota(s.crash, 0)
+	s.fault = vfs.NewFault(s.quota, s.nextStream())
+
+	if s.cfg.Dstore {
+		if err := s.startStoreLocked("127.0.0.1:0"); err != nil {
+			return err
+		}
+	}
+	s.openDBLocked()
+	if s.dead.Load() {
+		return errors.New("initial open failed")
+	}
+	return nil
+}
+
+func (s *simulation) dataFSLocked() vfs.FS {
+	if s.cfg.Dstore {
+		return s.storeClient
+	}
+	return s.fault
+}
+
+func (s *simulation) startStoreLocked(addr string) error {
+	srv, err := dstore.NewServer(s.fault, addr, 0, 0)
+	if err != nil {
+		return fmt.Errorf("dstore node: %w", err)
+	}
+	s.storeSrv = srv
+	s.storeAddr = srv.Addr()
+	client, err := dstore.DialConfig(s.storeAddr, dstore.Config{
+		Conns:          2,
+		DialTimeout:    200 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+		MaxAttempts:    3,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+	})
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("dstore dial: %w", err)
+	}
+	s.storeClient = client
+	s.storeUp = true
+	return nil
+}
+
+func (s *simulation) reopenCacheLocked() {
+	cache, err := seccache.Open(s.cacheFS, cachePath, []byte("sim-passkey"))
+	if err != nil {
+		s.note("seccache open failed, running cacheless: %v", err)
+		s.cache = nil
+		return
+	}
+	if cache.Recovered() {
+		s.note("seccache cold-started after corruption")
+	}
+	s.cache = cache
+}
+
+func (s *simulation) lsmOptsLocked() lsm.Options {
+	return lsm.Options{
+		MemtableSize:        8 << 10, // flush constantly
+		BaseLevelSize:       64 << 10,
+		TargetFileSize:      16 << 10,
+		L0CompactionTrigger: 3,
+		MaxManifestFileSize: 8 << 10, // exercise manifest rotation
+		SyncWrites:          true,    // acked == durable, the checker's axiom
+		BestEffortRecovery:  s.tainted,
+		Logger: func(format string, args ...any) {
+			s.note("engine: "+format, args...)
+		},
+	}
+}
+
+// openDBLocked opens the database on the current stack, absorbing the two
+// recoverable open-failure classes the nemesis can cause (disk still full,
+// every KDS replica down) the way an operator would. Anything else is a
+// genuine recovery failure and is reported as a violation.
+//
+//shield:nolockio stackMu is the simulation's crash barrier: rebuilding the stack must exclude every workload op, and all I/O here is against in-memory fakes
+func (s *simulation) openDBLocked() {
+	// Every recoverable failure class below strictly drains: ENOSPC is lifted
+	// on the first retry, KDS replicas restart, and injected fault rules are
+	// count-limited — so a generous attempt budget terminates. It must cover
+	// the worst-case fault budget a net-fault event can install (~15 firings).
+	for attempt := 0; attempt < 25; attempt++ {
+		cfg := core.Config{
+			Mode:          core.ModeSHIELD,
+			FS:            s.dataFSLocked(),
+			KDS:           s.kdsClient,
+			Cache:         s.cache,
+			WALBufferSize: 512,
+		}
+		db, err := core.Open(simDir, cfg, s.lsmOptsLocked())
+		if err == nil {
+			s.db = db
+			s.reopens.Add(1)
+			return
+		}
+		switch {
+		case errors.Is(err, vfs.ErrNoSpace):
+			s.note("open hit ENOSPC; freeing space and retrying")
+			s.quota.SetLimit(0)
+			s.quotaLimit = 0
+		case errors.Is(err, kds.ErrNoReplica) || errors.Is(err, kds.ErrUnconfirmed):
+			s.note("open with all KDS replicas down; restarting them")
+			s.restartKDSLocked()
+		case errors.Is(err, vfs.ErrInjected):
+			// A transient injected fault (flaky remote storage) hit the
+			// recovery path. The rules are count-limited, so retrying the
+			// open drains them — the operator model for a flaky mount.
+			s.note("open hit an injected transient fault; retrying")
+		default:
+			s.checker.violate("reopen failed irrecoverably: %v", err)
+			s.db = nil
+			s.dead.Store(true)
+			return
+		}
+	}
+	s.checker.violate("reopen retries exhausted")
+	s.db = nil
+	s.dead.Store(true)
+}
+
+func (s *simulation) restartKDSLocked() {
+	for i := range s.kdsSrv {
+		if s.kdsUp[i] {
+			continue
+		}
+		srv, err := kds.NewServer(s.kdsStore, s.kdsAddr[i])
+		if err != nil {
+			s.note("kds replica %d failed to restart: %v", i, err)
+			continue
+		}
+		s.kdsSrv[i] = srv
+		s.kdsUp[i] = true
+	}
+}
+
+// ---- Nemesis execution ----
+
+// fireDue runs every planned event whose step has arrived. Workers call it
+// once per op; each event is claimed exactly once, in plan order.
+func (s *simulation) fireDue(step uint64) {
+	for {
+		s.evMu.Lock()
+		if s.nextEv >= len(s.plan) || s.plan[s.nextEv].step > step {
+			s.evMu.Unlock()
+			return
+		}
+		ev := s.plan[s.nextEv]
+		s.nextEv++
+		s.evMu.Unlock()
+		s.fire(ev)
+	}
+}
+
+//shield:nolockio the exclusive lock IS the nemesis barrier: events must run with no workload op in flight, so blocking I/O under stackMu is the design, not an accident
+func (s *simulation) fire(ev event) {
+	s.stackMu.Lock()
+	defer s.stackMu.Unlock()
+	if s.dead.Load() {
+		return
+	}
+	s.note("firing %s", ev)
+	switch ev.kind {
+	case evDiskFull:
+		s.quotaLimit = s.quota.Used() + ev.arg
+		s.quota.SetLimit(s.quotaLimit)
+	case evDiskFree:
+		s.quotaLimit = 0
+		s.quota.SetLimit(0)
+		s.healLocked()
+	case evNetFault:
+		rules := []vfs.FaultRule{
+			{Op: vfs.FaultWrite, Probability: 0.2, Count: int(ev.arg)},
+			{Op: vfs.FaultRead, Probability: 0.1, Count: int(ev.arg)},
+			{Op: vfs.FaultWrite, Probability: 0.05, Count: 1, TornBytes: 7},
+		}
+		s.activeRules = rules
+		for _, r := range rules {
+			s.fault.Inject(r)
+		}
+	case evNetHeal:
+		s.fault.ClearRules()
+		s.activeRules = nil
+		s.healLocked()
+	case evCacheFault:
+		s.cacheFS.Inject(vfs.FaultRule{Op: vfs.FaultWrite, Path: cachePath, Count: int(ev.arg)})
+	case evKDSKill:
+		i := int(ev.arg) % len(s.kdsSrv)
+		other := (i + 1) % len(s.kdsSrv)
+		if s.kdsUp[i] && s.kdsUp[other] { // never kill the last replica
+			s.kdsSrv[i].Close()
+			s.kdsUp[i] = false
+		}
+	case evKDSRestart:
+		s.restartKDSLocked()
+		s.healLocked()
+	case evStoreKill:
+		if s.storeUp {
+			s.storeClient.Close()
+			s.storeSrv.Close()
+			s.storeUp = false
+		}
+	case evStoreRestart:
+		if s.cfg.Dstore && !s.storeUp {
+			if err := s.startStoreLocked(s.storeAddr); err != nil {
+				s.note("store restart failed: %v", err)
+				return
+			}
+			s.healLocked()
+		}
+	case evBitRot:
+		s.bitRotLocked(ev.arg)
+	case evCrash:
+		s.crashLocked(ev.arg == 1, subSeed(s.cfg.Seed, 5000+uint64(s.nextEv)))
+	}
+}
+
+// healLocked performs the operator's move after a fault window lifts: if
+// the engine poisoned itself into degraded mode, close it gracefully and
+// reopen on the same (healed) stack. Recovery replays the synced WAL, so
+// nothing acknowledged is lost — the enospc/degraded tests assert the same
+// transition deterministically.
+func (s *simulation) healLocked() {
+	if s.db == nil || s.db.Degraded() == nil {
+		return
+	}
+	if s.cfg.Dstore && !s.storeUp {
+		// No reopen can succeed while the storage node is down; stay in
+		// degraded mode (reads still work) until store-restart heals us.
+		s.note("degraded with the storage node down; deferring heal")
+		return
+	}
+	s.note("degraded after heal: controlled reopen")
+	if err := s.db.Close(); err != nil {
+		s.note("close while degraded: %v", err)
+	}
+	s.db = nil
+	s.openDBLocked()
+}
+
+// bitRotLocked flips one bit in a cold SST, writing through the crash
+// layer directly (below quota accounting — media corruption does not
+// allocate space). The checker is tainted first, so any read observing the
+// damage is judged under quarantine semantics.
+//
+//shield:nolockio stackMu is the simulation's crash barrier (tampering must not race a workload op), and the "device" is an in-memory fake
+//shield:nosyncdir the tampered SST already exists; media corruption rewrites bytes in place and owes its directory entry no durability
+func (s *simulation) bitRotLocked(arg int64) {
+	entries, err := s.crash.List(simDir)
+	if err != nil {
+		s.note("bit-rot: list: %v", err)
+		return
+	}
+	var ssts []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name, ".sst") {
+			ssts = append(ssts, e.Name)
+		}
+	}
+	if len(ssts) == 0 {
+		s.note("bit-rot: no SSTs yet; skipped")
+		return
+	}
+	// Prefer the older half of the tree: cold files, likely not open for
+	// writing and overdue for a scrub to catch.
+	name := ssts[int(uint64(arg)%uint64((len(ssts)+1)/2))]
+	data, err := vfs.ReadFile(s.crash, name)
+	if err != nil || len(data) == 0 {
+		s.note("bit-rot: read %s: %v", name, err)
+		return
+	}
+	s.tainted = true
+	s.checker.taint()
+	off := int(uint64(arg) % uint64(len(data)))
+	data[off] ^= 1 << (uint64(arg) % 8)
+	f, err := s.crash.Create(name)
+	if err != nil {
+		s.note("bit-rot: rewrite %s: %v", name, err)
+		return
+	}
+	if _, err := f.Write(data); err == nil {
+		f.Sync() //nolint:errcheck
+	}
+	f.Close()
+	s.note("bit-rot: flipped bit %d of %s (%d bytes)", off, name, len(data))
+}
+
+// crashLocked is power loss: abandon the running engine (its goroutines
+// wind down against the dead store), restore the filesystem to exactly the
+// durable image — optionally with torn unsynced tails — rebuild the
+// wrapper stack, and recover.
+//
+//shield:nolockio stackMu is the simulation's crash barrier: the whole point is that no workload op may overlap the power cycle; every device is an in-memory fake
+func (s *simulation) crashLocked(torn bool, tornSeed int64) {
+	s.crashes.Add(1)
+	if s.db != nil {
+		old := s.db
+		s.db = nil
+		go old.Close() //nolint:errcheck // the "process" died; this just reaps goroutines
+	}
+	if s.cfg.Dstore && s.storeUp {
+		s.storeClient.Close()
+		s.storeSrv.Close()
+		s.storeUp = false
+	}
+
+	img := s.crash.Snapshot()
+	s.crash = vfs.NewCrashFrom(img, torn, tornSeed)
+	s.quota = vfs.NewQuota(s.crash, s.quotaLimit)
+	if err := s.quota.ChargeDir(simDir); err != nil {
+		s.note("quota recharge: %v", err)
+	}
+	s.fault = vfs.NewFault(s.quota, s.nextStream())
+	for _, r := range s.activeRules {
+		s.fault.Inject(r)
+	}
+	// The process took the in-memory DEK cache with it; reopen from disk.
+	s.reopenCacheLocked()
+	if s.cfg.Dstore {
+		if err := s.startStoreLocked(s.storeAddr); err != nil {
+			s.checker.violate("storage node failed to restart after crash: %v", err)
+			s.dead.Store(true)
+			return
+		}
+	}
+	s.openDBLocked()
+}
+
+// ---- Workload ----
+
+func (s *simulation) worker(id int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(subSeed(s.cfg.Seed, 100+uint64(id))))
+	own := s.keys[id*s.cfg.KeysPerWorker : (id+1)*s.cfg.KeysPerWorker]
+	ops := s.cfg.Ops / s.cfg.Workers
+	for i := 0; i < ops && !s.dead.Load(); i++ {
+		step := s.clock.tick()
+		s.fireDue(step)
+		s.doOp(id, i, own, rng)
+	}
+}
+
+func (s *simulation) doOp(id, op int, own []string, rng *rand.Rand) {
+	s.stackMu.RLock()
+	defer s.stackMu.RUnlock()
+	db := s.db
+	if db == nil {
+		return
+	}
+	key := own[rng.Intn(len(own))]
+	switch r := rng.Float64(); {
+	case r < 0.40: // put own key
+		val := fmt.Sprintf("%s=%02d.%04d:%0*d", key, id, op, 10+rng.Intn(90), rng.Int63n(1<<40))
+		s.checker.beginWrite(key, val)
+		if err := db.Put([]byte(key), []byte(val)); err != nil {
+			s.failedW.Add(1)
+			s.checker.failWrite(key, val)
+		} else {
+			s.acked.Add(1)
+			s.checker.ackWrite(key, val)
+		}
+	case r < 0.50: // delete own key
+		if err := db.Delete([]byte(key)); err != nil {
+			s.failedW.Add(1)
+			s.checker.failWrite(key, "")
+		} else {
+			s.acked.Add(1)
+			s.checker.ackWrite(key, "")
+		}
+	case r < 0.74: // read own key, strict
+		s.reads.Add(1)
+		got, err := db.Get([]byte(key))
+		found := err == nil
+		if errors.Is(err, lsm.ErrNotFound) {
+			err = nil
+		}
+		s.checker.checkOwnerRead(key, string(got), found, err)
+	case r < 0.86: // read any key, racing its owner
+		k := s.keys[rng.Intn(len(s.keys))]
+		s.reads.Add(1)
+		got, err := db.Get([]byte(k))
+		found := err == nil
+		if errors.Is(err, lsm.ErrNotFound) {
+			err = nil
+		}
+		s.checker.checkCrossRead(k, string(got), found, err)
+	case r < 0.92: // bounded scan from a random key
+		s.scans.Add(1)
+		it, err := db.NewIter()
+		if err != nil {
+			s.checker.checkReadError("<scan>", err)
+			return
+		}
+		for ok, n := it.SeekGE([]byte(s.keys[rng.Intn(len(s.keys))])), 0; ok && n < 20; ok, n = it.Next(), n+1 {
+			s.checker.checkScanEntry(string(it.Key()), string(it.Value()))
+		}
+		if err := it.Err(); err != nil {
+			s.checker.checkReadError("<scan>", err)
+		}
+		it.Close() //nolint:errcheck
+	case r < 0.97: // force a flush (memtable -> encrypted L0)
+		if err := db.Flush(); err != nil {
+			s.note("flush: %v", err)
+		}
+	default: // force a full compaction pass
+		if err := db.CompactRange(); err != nil {
+			s.note("compact: %v", err)
+		}
+	}
+}
+
+// ---- End of run ----
+
+// finalVerify heals every outstanding fault, performs one last strict
+// power-loss crash, recovers, and audits the entire key space against the
+// checker — the "every acked write survived everything" bottom line.
+//
+//shield:nolockio runs after every worker has exited; stackMu is held only as the crash barrier and the devices are in-memory fakes
+func (s *simulation) finalVerify() {
+	s.fireDue(^uint64(0)) // drain the remaining schedule (its heal tail)
+	if s.dead.Load() {
+		return
+	}
+	s.stackMu.Lock()
+	defer s.stackMu.Unlock()
+	s.quotaLimit = 0
+	s.quota.SetLimit(0)
+	s.fault.ClearRules()
+	s.activeRules = nil
+	s.restartKDSLocked()
+	if s.db == nil || s.db.Degraded() != nil {
+		if s.db != nil {
+			s.db.Close() //nolint:errcheck
+		}
+		s.db = nil
+		s.openDBLocked()
+	}
+	if s.dead.Load() {
+		return
+	}
+
+	s.crashLocked(false, 0)
+	if s.dead.Load() || s.db == nil {
+		return
+	}
+	for _, key := range s.keys {
+		got, err := s.db.Get([]byte(key))
+		found := err == nil
+		if errors.Is(err, lsm.ErrNotFound) {
+			err = nil
+		}
+		s.checker.checkOwnerRead(key, string(got), found, err)
+	}
+	it, err := s.db.NewIter()
+	if err != nil {
+		s.checker.checkReadError("<final-scan>", err)
+		return
+	}
+	for ok := it.First(); ok; ok = it.Next() {
+		s.checker.checkScanEntry(string(it.Key()), string(it.Value()))
+	}
+	if err := it.Err(); err != nil {
+		s.checker.checkReadError("<final-scan>", err)
+	}
+	it.Close() //nolint:errcheck
+}
+
+// teardown closes every live component of the stack.
+//
+//shield:nolockio runs once at end of run with all workers gone; stackMu is held as the crash barrier and all targets are in-memory fakes or loopback sockets
+func (s *simulation) teardown() {
+	s.stackMu.Lock()
+	defer s.stackMu.Unlock()
+	if s.db != nil {
+		s.db.Close() //nolint:errcheck
+		s.db = nil
+	}
+	if s.storeClient != nil {
+		s.storeClient.Close()
+	}
+	if s.storeSrv != nil && s.storeUp {
+		s.storeSrv.Close()
+	}
+	s.kdsClient.Close()
+	for i, srv := range s.kdsSrv {
+		if srv != nil && s.kdsUp[i] {
+			srv.Close()
+		}
+	}
+}

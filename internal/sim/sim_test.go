@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func requirePass(t *testing.T, r *Result) {
+	t.Helper()
+	if r.Failed() {
+		for _, v := range r.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		for _, n := range r.Notes {
+			t.Logf("note: %s", n)
+		}
+		for _, p := range r.Plan {
+			t.Logf("plan: %s", p)
+		}
+		t.Fatalf("seed %d failed (hash %s)", r.Seed, r.Hash)
+	}
+	if r.Acked == 0 {
+		t.Fatalf("seed %d acked no writes; the run exercised nothing", r.Seed)
+	}
+}
+
+// TestSmokeSeeds runs a handful of fixed seeds through the local stack.
+// These are the CI gate: the durability contract must hold under whatever
+// schedule each seed derives.
+func TestSmokeSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		r := Run(Config{Seed: seed, Ops: 400})
+		t.Logf("seed %d: hash=%s acked=%d failed=%d reads=%d crashes=%d reopens=%d",
+			seed, r.Hash, r.Acked, r.FailedWrites, r.Reads, r.Crashes, r.Reopens)
+		requirePass(t, r)
+	}
+}
+
+// TestSmokeDstore runs one seed with the data path routed through a
+// disaggregated storage node, adding node kills and real framing.
+func TestSmokeDstore(t *testing.T) {
+	r := Run(Config{Seed: 11, Ops: 300, Dstore: true})
+	t.Logf("dstore seed 11: hash=%s acked=%d crashes=%d reopens=%d",
+		r.Hash, r.Acked, r.Crashes, r.Reopens)
+	requirePass(t, r)
+}
+
+// TestSmokeBitRot runs one tamper-enabled seed: flipped bits must surface
+// as typed corruption or quarantine-absence, never as silent wrong data
+// (a never-written value is a violation even when tainted).
+func TestSmokeBitRot(t *testing.T) {
+	r := Run(Config{Seed: 7, Ops: 400, BitRot: true})
+	t.Logf("bitrot seed 7: hash=%s tainted=%v acked=%d", r.Hash, r.Tainted, r.Acked)
+	requirePass(t, r)
+}
+
+// TestSeedReproducesHash is the reproducibility acceptance check: the same
+// seed derives the same nemesis schedule, byte for byte, across runs.
+func TestSeedReproducesHash(t *testing.T) {
+	a := Run(Config{Seed: 42, Ops: 300})
+	b := Run(Config{Seed: 42, Ops: 300})
+	if a.Hash != b.Hash {
+		t.Fatalf("same seed, different schedule hash: %s vs %s", a.Hash, b.Hash)
+	}
+	if strings.Join(a.Plan, "\n") != strings.Join(b.Plan, "\n") {
+		t.Fatal("same seed, different schedule")
+	}
+	requirePass(t, a)
+	requirePass(t, b)
+	if c := Run(Config{Seed: 43, Ops: 300}); c.Hash == a.Hash {
+		t.Fatal("different seeds collided on the schedule hash")
+	}
+}
+
+// TestMaxEventsTruncatesPlan anchors the reducer's lever: capping the
+// event count must yield exactly the prefix of the full schedule.
+func TestMaxEventsTruncatesPlan(t *testing.T) {
+	full := Run(Config{Seed: 9, Ops: 300})
+	if len(full.Plan) < 2 {
+		t.Skipf("seed 9 planned only %d events", len(full.Plan))
+	}
+	cut := Run(Config{Seed: 9, Ops: 300, MaxEvents: 1})
+	if len(cut.Plan) != 1 || cut.Plan[0] != full.Plan[0] {
+		t.Fatalf("MaxEvents=1 plan %v is not a prefix of %v", cut.Plan, full.Plan)
+	}
+	requirePass(t, cut)
+}

@@ -62,6 +62,40 @@ func NewCrash(seed int64) *CrashFS {
 	}
 }
 
+// NewCrashFrom materializes a crash image (Strict when torn is false, Torn
+// with the given seed otherwise) and returns a fresh CrashFS whose live and
+// durable namespaces both start from that state — the surviving bytes are on
+// disk, hence durable. The simulation harness uses this to keep a DB under
+// crash simulation across repeated kill/reopen cycles: each crash snapshots
+// the old CrashFS and reopens on a new one built from the image.
+func NewCrashFrom(img *CrashImage, torn bool, seed int64) *CrashFS {
+	var m *MemFS
+	if torn {
+		m = img.Torn(seed)
+	} else {
+		m = img.Strict()
+	}
+	c := NewCrash(seed)
+	for _, dir := range img.dirs {
+		c.dirs[dir] = true
+		infos, err := m.List(dir)
+		if err != nil {
+			continue
+		}
+		for _, info := range infos {
+			name := path.Join(dir, info.Name)
+			data, err := ReadFile(m, name)
+			if err != nil {
+				panic("vfs: rebuilding crash fs: " + err.Error())
+			}
+			ino := &crashInode{data: data, synced: len(data)}
+			c.live[name] = ino
+			c.durable[name] = ino
+		}
+	}
+	return c
+}
+
 // AfterSync registers fn to run after every durability boundary (file Sync or
 // SyncDir) with a freshly captured CrashImage. The crash-point enumeration
 // harness uses it to collect one candidate image per boundary from a single

@@ -1,0 +1,13 @@
+package vfs
+
+import (
+	"errors"
+	"syscall"
+)
+
+// isNoSpace reports whether err is the operating system's out-of-space errno.
+// syscall.ENOSPC is defined on every platform this repo targets (unix and
+// windows both expose it as a syscall.Errno), so no build tags are needed.
+func isNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC)
+}

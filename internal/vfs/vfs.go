@@ -20,6 +20,13 @@ var ErrNotFound = errors.New("vfs: file not found")
 // ErrExist reports that a file already exists.
 var ErrExist = errors.New("vfs: file already exists")
 
+// ErrNoSpace reports that the underlying storage is out of space (ENOSPC).
+// It is a permanent condition from the writer's point of view: retrying the
+// same write cannot succeed until an external actor frees space, so retry
+// loops (netretry, dstore) must classify it as non-retryable and surface it
+// immediately.
+var ErrNoSpace = errors.New("vfs: no space left on device")
+
 // WritableFile is an append-only file handle. LSM files (WAL, SST, MANIFEST)
 // are written strictly sequentially.
 type WritableFile interface {
@@ -119,7 +126,7 @@ func WriteFile(fsys FS, name string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(data); err != nil {
+	if err := WriteFull(f, data); err != nil {
 		f.Close()
 		return err
 	}
@@ -128,6 +135,22 @@ func WriteFile(fsys FS, name string, data []byte) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteFull writes all of p to w and converts the silent short-write case
+// (err == nil && n < len(p)) into io.ErrShortWrite. io.Writer permits that
+// combination, and several FS backends (quota enforcement, torn-write fault
+// injection) produce it; any call site that ignores n would otherwise ack
+// data that was never written.
+func WriteFull(w io.Writer, p []byte) error {
+	n, err := w.Write(p)
+	if err != nil {
+		return err
+	}
+	if n < len(p) {
+		return io.ErrShortWrite
+	}
+	return nil
 }
 
 // mapOSError converts os-package errors to vfs sentinel errors so callers can
@@ -140,6 +163,8 @@ func mapOSError(err error) error {
 		return fmt.Errorf("%w: %w", ErrNotFound, err)
 	case errors.Is(err, fs.ErrExist):
 		return fmt.Errorf("%w: %w", ErrExist, err)
+	case isNoSpace(err):
+		return fmt.Errorf("%w: %w", ErrNoSpace, err)
 	default:
 		return err
 	}
