@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long
+.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long bench-json
 
 all: build vet shield-vet test
 
@@ -37,6 +37,15 @@ shield-vet:
 SIM_SEEDS ?= 50
 sim:
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS)
+
+# Benchmark-regression profile (DESIGN.md §11): a deterministic A/B run of
+# the parallel compaction scheduler on the full SHIELD stack, emitting
+# machine-readable BENCH_5.json. CI uploads the file as an artifact so the
+# bench trajectory is diffable across PRs. BENCH_SCALE shrinks/grows the op
+# counts.
+BENCH_SCALE ?= 0.5
+bench-json:
+	go run ./cmd/shield-bench -regress -scale $(BENCH_SCALE) -json BENCH_5.json
 
 sim-long:
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS)

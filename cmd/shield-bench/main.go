@@ -5,6 +5,7 @@
 //	shield-bench -experiment fig7            # one experiment
 //	shield-bench -experiment all -scale 0.5  # everything, half-size
 //	shield-bench -list                       # show experiment ids
+//	shield-bench -regress -json BENCH_5.json # scheduler regression profile
 //
 // Each experiment prints the rows/series of the corresponding table or
 // figure; see DESIGN.md for the id ↔ artifact mapping and EXPERIMENTS.md
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"shield/internal/bench"
 	"shield/internal/experiments"
 )
 
@@ -25,6 +27,8 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "operation-count multiplier")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		diskLat    = flag.Duration("disk-read-latency", 0, "emulated SSD read latency for monolith experiments (e.g. 60us)")
+		regress    = flag.Bool("regress", false, "run the compaction-scheduler regression profile instead of an experiment")
+		jsonOut    = flag.String("json", "", "with -regress: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -34,8 +38,30 @@ func main() {
 		}
 		return
 	}
+	if *regress {
+		report, err := bench.RunRegression(*scale, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shield-bench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut) //shield:nofs the report goes to the host path the user passed via -json; the CLI mounts no vfs
+			if err == nil {
+				err = report.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shield-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
+	}
 	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "usage: shield-bench -experiment <id>|all [-scale N]")
+		fmt.Fprintln(os.Stderr, "usage: shield-bench -experiment <id>|all [-scale N] | shield-bench -regress [-json FILE]")
 		os.Exit(2)
 	}
 

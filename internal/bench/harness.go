@@ -87,6 +87,11 @@ type Result struct {
 	// files, and scrub verification (non-zero when the workload reopens
 	// databases).
 	Recovery metrics.RecoverySnapshot
+
+	// Jobs is the delta of the background-job scheduler counters over this
+	// run: compactions claimed, peak concurrency, subcompaction shards,
+	// compaction I/O volume, and write-stall time spent waiting on debt.
+	Jobs metrics.JobsSnapshot
 }
 
 // String renders one report row.
@@ -98,6 +103,9 @@ func (r Result) String() string {
 	}
 	if r.Recovery.Any() {
 		s += "  [" + r.Recovery.String() + "]"
+	}
+	if r.Jobs.Any() {
+		s += "  [" + r.Jobs.String() + "]"
 	}
 	return s
 }
@@ -115,6 +123,7 @@ func run(w Workload, fn opFunc) Result {
 
 	netBefore := metrics.Net.Snapshot()
 	recBefore := metrics.Recovery.Snapshot()
+	jobsBefore := metrics.Jobs.Snapshot()
 	start := time.Now()
 	for t := 0; t < w.Threads; t++ {
 		wg.Add(1)
@@ -150,6 +159,7 @@ func run(w Workload, fn opFunc) Result {
 		Errors:    errs.Load(),
 		Net:       metrics.Net.Snapshot().Sub(netBefore),
 		Recovery:  metrics.Recovery.Snapshot().Sub(recBefore),
+		Jobs:      metrics.Jobs.Snapshot().Sub(jobsBefore),
 	}
 }
 

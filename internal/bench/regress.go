@@ -1,0 +1,215 @@
+package bench
+
+// Benchmark-regression harness (BENCH_5.json): a short, deterministic A/B
+// profile of the parallel compaction scheduler, run on the full SHIELD
+// stack (per-file DEKs from an in-process KDS, chunked SST encryption,
+// encrypted WAL) over an in-memory filesystem so the numbers isolate
+// engine + crypto cost from device noise. The machine-readable report
+// seeds the bench trajectory: every future PR reruns the same profile and
+// diffs the JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"shield/internal/core"
+	"shield/internal/kds"
+	"shield/internal/lsm"
+	"shield/internal/vfs"
+)
+
+// RegressConfig is one scheduler configuration in the A/B profile.
+type RegressConfig struct {
+	Name              string `json:"name"`
+	MaxBackgroundJobs int    `json:"max_background_jobs"`
+	MaxSubcompactions int    `json:"max_subcompactions"`
+}
+
+// regressConfigs is the fixed A/B pair: the serial default (one compaction
+// job slot) against the parallel scheduler the tentpole added.
+var regressConfigs = []RegressConfig{
+	{Name: "single-job", MaxBackgroundJobs: 2, MaxSubcompactions: 1},
+	{Name: "parallel", MaxBackgroundJobs: 4, MaxSubcompactions: 4},
+}
+
+// RegressWorkloadResult is one workload row in machine-readable form.
+// Latencies are microseconds; stall is milliseconds.
+type RegressWorkloadResult struct {
+	Name                  string  `json:"name"`
+	Ops                   int64   `json:"ops"`
+	OpsPerSec             float64 `json:"ops_per_sec"`
+	P50Micros             float64 `json:"p50_us"`
+	P99Micros             float64 `json:"p99_us"`
+	Errors                int64   `json:"errors"`
+	Compactions           int64   `json:"compactions"`
+	Subcompactions        int64   `json:"subcompactions"`
+	MaxRunningJobs        int64   `json:"max_running_jobs"`
+	SchedDeferred         int64   `json:"sched_deferred"`
+	BytesCompactedRead    int64   `json:"bytes_compacted_read"`
+	BytesCompactedWritten int64   `json:"bytes_compacted_written"`
+	StallMillis           float64 `json:"stall_ms"`
+}
+
+// RegressConfigResult is all workload rows for one configuration.
+type RegressConfigResult struct {
+	Config    RegressConfig           `json:"config"`
+	Workloads []RegressWorkloadResult `json:"workloads"`
+}
+
+// RegressReport is the BENCH_5.json schema.
+type RegressReport struct {
+	Schema      string                `json:"schema"`
+	GeneratedAt string                `json:"generated_at"`
+	GoVersion   string                `json:"go_version"`
+	NumCPU      int                   `json:"num_cpu"`
+	Scale       float64               `json:"scale"`
+	Configs     []RegressConfigResult `json:"configs"`
+
+	// ParallelSpeedupFillRandom is fillrandom ops/s of the parallel
+	// configuration over the single-job configuration, same process, same
+	// workload — the headline number the scheduler PR is accountable for.
+	ParallelSpeedupFillRandom float64 `json:"parallel_speedup_fillrandom"`
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *RegressReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// regressRow converts a harness result plus engine metrics into a report
+// row.
+func regressRow(r Result) RegressWorkloadResult {
+	return RegressWorkloadResult{
+		Name:                  r.Name,
+		Ops:                   r.Ops,
+		OpsPerSec:             r.OpsPerSec,
+		P50Micros:             float64(r.P50.Nanoseconds()) / 1e3,
+		P99Micros:             float64(r.P99.Nanoseconds()) / 1e3,
+		Errors:                r.Errors,
+		Compactions:           r.Jobs.CompactionsStarted,
+		Subcompactions:        r.Jobs.SubcompactionsStarted,
+		MaxRunningJobs:        r.Jobs.MaxRunning,
+		SchedDeferred:         r.Jobs.SchedDeferred,
+		BytesCompactedRead:    r.Jobs.BytesRead,
+		BytesCompactedWritten: r.Jobs.BytesWritten,
+		StallMillis:           float64(r.Jobs.StallNanos) / 1e6,
+	}
+}
+
+// regressReadLatency is the emulated device latency charged to every SST
+// block read (vfs.NewReadLatency — the monolithic-SSD storage model the
+// experiments use). It is what makes the profile meaningful on small or
+// single-core CI machines: compaction becomes read-latency-bound, and the
+// parallel scheduler wins by overlapping device waits across jobs and
+// subcompaction shards rather than by burning more cores.
+const regressReadLatency = 40 * time.Microsecond
+
+// openRegressDB builds a fresh full-SHIELD deployment tuned so the scaled
+// workload is compaction-bound: a small memtable flushes constantly, a low
+// L0 stall threshold makes write throughput track compaction drain rate,
+// and small target files give subcompactions multiple outputs per job.
+func openRegressDB(cfg RegressConfig) (*lsm.DB, error) {
+	return core.Open("db", core.Config{
+		Mode:              core.ModeSHIELD,
+		FS:                vfs.NewReadLatency(vfs.NewMem(), regressReadLatency),
+		KDS:               kds.NewLocal(kds.NewStore(kds.Policy{MaxFetches: 1}), "bench-server"),
+		WALBufferSize:     512,
+		EncryptionThreads: 2,
+	}, lsm.Options{
+		MemtableSize:        256 << 10,
+		L0CompactionTrigger: 2,
+		L0StopWritesTrigger: 6,
+		BaseLevelSize:       512 << 10,
+		TargetFileSize:      128 << 10,
+		MaxBackgroundJobs:   cfg.MaxBackgroundJobs,
+		MaxSubcompactions:   cfg.MaxSubcompactions,
+	})
+}
+
+// RunRegression executes the regression profile: for each scheduler
+// configuration, fillrandom into an empty tree, readrandom over the
+// resulting keys, then overwrite — identical workloads, seeds, and thread
+// counts, so the only variable is the scheduler. Progress rows go to out
+// (nil discards).
+func RunRegression(scale float64, out io.Writer) (*RegressReport, error) {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	ops := int(40000 * scale)
+	if ops < 2000 {
+		ops = 2000
+	}
+
+	report := &RegressReport{
+		Schema:      "shield-bench-regress/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Scale:       scale,
+	}
+
+	fillRate := make(map[string]float64)
+	for _, cfg := range regressConfigs {
+		db, err := openRegressDB(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: open %s: %w", cfg.Name, err)
+		}
+		fmt.Fprintf(out, "-- %s (jobs=%d, subcompactions=%d)\n",
+			cfg.Name, cfg.MaxBackgroundJobs, cfg.MaxSubcompactions)
+
+		base := Workload{
+			NumOps:    ops,
+			KeyCount:  uint64(ops),
+			ValueSize: 256,
+			Threads:   4,
+			Seed:      1789,
+		}
+		cr := RegressConfigResult{Config: cfg}
+		run := func(r Result) {
+			fmt.Fprintln(out, r)
+			cr.Workloads = append(cr.Workloads, regressRow(r))
+		}
+
+		fill := FillRandom(db, base)
+		run(fill)
+		fillRate[cfg.Name] = fill.OpsPerSec
+		if err := db.Flush(); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("bench: flush %s: %w", cfg.Name, err)
+		}
+		// Drain the compaction debt fillrandom left behind so both
+		// configurations start readrandom from the same quiescent tree.
+		if err := db.CompactRange(); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("bench: compact %s: %w", cfg.Name, err)
+		}
+
+		read := base
+		read.Name = "readrandom"
+		run(ReadRandom(db, read))
+
+		over := base
+		over.Name = "overwrite"
+		over.Seed = 2297
+		run(FillRandom(db, over))
+
+		if err := db.Close(); err != nil {
+			return nil, fmt.Errorf("bench: close %s: %w", cfg.Name, err)
+		}
+		report.Configs = append(report.Configs, cr)
+	}
+
+	if s, p := fillRate["single-job"], fillRate["parallel"]; s > 0 {
+		report.ParallelSpeedupFillRandom = p / s
+	}
+	fmt.Fprintf(out, "-- parallel fillrandom speedup: %.2fx\n", report.ParallelSpeedupFillRandom)
+	return report, nil
+}

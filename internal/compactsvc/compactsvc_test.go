@@ -181,3 +181,72 @@ func TestClientReconnects(t *testing.T) {
 		t.Fatalf("client did not recover from dropped connection: %v", err)
 	}
 }
+
+// TestRemoteSubcompactedJob ships a job with MaxSubcompactions over the
+// wire and checks the worker shards it: the field survives the JSON
+// protocol, the shard count comes back in the result, and the merged
+// output is identical in content to what a serial merge would produce —
+// sorted, non-overlapping outputs covering all 750 surviving keys.
+func TestRemoteSubcompactedJob(t *testing.T) {
+	fs := vfs.NewMem()
+	m1 := buildInput(t, fs, 1, 0, 500)
+	m2 := buildInput(t, fs, 2, 250, 750)
+
+	srv, err := NewServer(fs, lsm.NopWrapper{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewClient(srv.Addr())
+	defer client.Close()
+
+	job := lsm.CompactionJob{
+		Dir: "db",
+		Inputs: []lsm.JobLevel{
+			{Level: 0, Files: []manifest.FileMetadata{m2, m1}},
+		},
+		OutputLevel:        1,
+		Bottommost:         true,
+		SmallestSnapshot:   1 << 60,
+		FirstOutputFileNum: 10,
+		MaxOutputFiles:     30,
+		TargetFileSize:     4 << 10, // several outputs per shard
+		BlockSize:          4096,
+		BloomBitsPerKey:    10,
+		MaxSubcompactions:  3,
+	}
+	res, err := client.Compact(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subcompactions < 2 {
+		t.Fatalf("job ran with %d subcompactions, want >= 2 (field lost over the wire?)", res.Subcompactions)
+	}
+	if len(res.Outputs) < 2 {
+		t.Fatalf("got %d outputs, want several", len(res.Outputs))
+	}
+
+	var total uint64
+	var prevLargest []byte
+	for i, out := range res.Outputs {
+		if i > 0 && strings.Compare(string(base.UserKey(out.Smallest)), string(prevLargest)) <= 0 {
+			t.Fatalf("output %d overlaps or is out of order: smallest %q after largest %q",
+				i, base.UserKey(out.Smallest), prevLargest)
+		}
+		prevLargest = append(prevLargest[:0], base.UserKey(out.Largest)...)
+
+		raf, err := fs.Open(fmt.Sprintf("db/%06d.sst", out.FileNum))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sstable.NewReader(raf, sstable.ReaderOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += r.Properties().NumEntries
+		r.Close()
+	}
+	if total != 750 {
+		t.Fatalf("sharded merge produced %d entries, want 750", total)
+	}
+}

@@ -1,9 +1,9 @@
 package lsm
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"shield/internal/lsm/base"
 	"shield/internal/lsm/manifest"
@@ -42,6 +42,18 @@ type CompactionJob struct {
 	// TargetFileSize caps each output file.
 	TargetFileSize uint64 `json:"target_file_size"`
 
+	// MaxSubcompactions splits the merge into up to this many key-range
+	// shards executed on parallel goroutines (see subcompaction.go). 0 or
+	// 1 runs the merge serially.
+	MaxSubcompactions int `json:"max_subcompactions,omitempty"`
+
+	// Boundaries optionally pins the shard split points (ascending user
+	// keys); empty derives them from the input files' ranges. Pinning the
+	// boundaries at the serial path's output cut points makes the sharded
+	// outputs byte-identical to the serial outputs (the equivalence the
+	// tests assert).
+	Boundaries [][]byte `json:"boundaries,omitempty"`
+
 	// Table-format knobs, mirrored from Options.
 	BlockSize       int                 `json:"block_size"`
 	BloomBitsPerKey int                 `json:"bloom_bits_per_key"`
@@ -59,6 +71,10 @@ type CompactionResult struct {
 	Outputs      []manifest.FileMetadata `json:"outputs"`
 	BytesRead    int64                   `json:"bytes_read"`
 	BytesWritten int64                   `json:"bytes_written"`
+
+	// Subcompactions is the number of key-range shards the job ran as
+	// (1 = serial merge).
+	Subcompactions int `json:"subcompactions,omitempty"`
 }
 
 // Compactor executes compaction jobs. The local implementation runs
@@ -89,192 +105,43 @@ func newTableWriter(f vfs.WritableFile, opts Options) *sstable.Writer {
 
 // RunCompaction merges the job's inputs into output tables on fs. It is the
 // single compaction implementation shared by the in-process path and the
-// offloaded-compaction worker.
+// offloaded-compaction worker. When the job allows subcompactions the merge
+// is sharded by key range across goroutines (subcompaction.go); otherwise
+// it runs as one serial shard.
 //
 // Failure is abort-and-retain-inputs: no manifest state changes until the
 // caller installs the returned edit, so on any error (ENOSPC on an output
 // being the expected one) every output file created so far is closed and
 // removed — releasing its quota and its DEK registration — and the inputs
 // remain the authoritative data. The caller can simply retry later.
-func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (res CompactionResult, retErr error) {
+func RunCompaction(fs vfs.FS, wrapper FileWrapper, job CompactionJob) (CompactionResult, error) {
 	if wrapper == nil {
 		wrapper = NopWrapper{}
 	}
-
-	// Open every input and build the merged iterator.
-	var iters []internalIterator
-	var readers []*sstable.Reader
-	defer func() {
-		for _, r := range readers {
-			r.Close()
-		}
-	}()
+	bounds := job.Boundaries
+	if len(bounds) == 0 {
+		bounds = subcompactionBoundaries(job)
+	}
+	var bytesRead int64
 	for _, lvl := range job.Inputs {
 		for _, f := range lvl.Files {
-			name := sstFileName(job.Dir, f.FileNum)
-			raw, err := fs.Open(name)
-			if err != nil {
-				return res, fmt.Errorf("lsm: compaction input %d: %w", f.FileNum, err)
-			}
-			wrapped, err := wrapper.WrapOpen(name, FileKindSST, raw)
-			if err != nil {
-				raw.Close()
-				return res, err
-			}
-			r, err := sstable.NewReader(wrapped, sstable.ReaderOptions{FileNum: f.FileNum})
-			if err != nil {
-				wrapped.Close()
-				return res, fmt.Errorf("lsm: compaction input %d: %w", f.FileNum, err)
-			}
-			readers = append(readers, r)
-			iters = append(iters, &sstIterAdapter{it: r.NewIter()})
-			res.BytesRead += int64(f.Size)
+			bytesRead += int64(f.Size)
 		}
 	}
-	merged := newMergingIter(iters...)
-
-	smallestSnapshot := base.SeqNum(job.SmallestSnapshot)
-	var (
-		w             *sstable.Writer
-		outName       string
-		outDEKID      string
-		outFileNum    uint64
-		nextOutNum    = job.FirstOutputFileNum
-		lastOutNum    = job.FirstOutputFileNum + job.MaxOutputFiles
-		lastUserKey   []byte
-		haveUserKey   bool
-		lastSeqForKey base.SeqNum
-		prevAddedUser []byte
-		writerOpts    = Options{BlockSize: job.BlockSize, BloomBitsPerKey: job.BloomBitsPerKey, Compression: job.Compression}
-	)
-
-	type createdOutput struct{ name, dekID string }
-	var created []createdOutput
-	defer func() {
-		if retErr == nil {
-			return
-		}
-		// Abort: close the in-flight writer, then remove every output file
-		// created so far so the failed compaction releases its disk space and
-		// DEK registrations. The inputs were never touched.
-		if w != nil {
-			w.Abort()
-			w = nil
-		}
-		for _, c := range created {
-			fs.Remove(c.name)
-			wrapper.FileDeleted(c.name, c.dekID)
-		}
-		res = CompactionResult{BytesRead: res.BytesRead}
-		metrics.Storage.CompactionAborts.Add(1)
-	}()
-
-	openOutput := func() error {
-		if nextOutNum >= lastOutNum {
-			return fmt.Errorf("lsm: compaction exhausted reserved file numbers")
-		}
-		outFileNum = nextOutNum
-		nextOutNum++
-		outName = sstFileName(job.Dir, outFileNum)
-		raw, err := fs.Create(outName)
-		if err != nil {
-			return err
-		}
-		wrapped, dekID, err := wrapper.WrapCreate(outName, FileKindSST, raw)
-		if err != nil {
-			raw.Close()
-			return err
-		}
-		outDEKID = dekID
-		created = append(created, createdOutput{name: outName, dekID: dekID})
-		w = newTableWriter(wrapped, writerOpts)
-		return nil
-	}
-
-	finishOutput := func() error {
-		if w == nil || w.NumEntries() == 0 {
-			if w != nil {
-				// Empty output: finish and delete.
-				if err := w.Finish(); err != nil {
-					return err
-				}
-				fs.Remove(outName)
-				wrapper.FileDeleted(outName, outDEKID)
-				created = created[:len(created)-1]
-				w = nil
-			}
-			return nil
-		}
-		if err := w.Finish(); err != nil {
-			return err
-		}
-		res.Outputs = append(res.Outputs, manifest.FileMetadata{
-			FileNum:  outFileNum,
-			Size:     w.FileSize(),
-			Smallest: w.Smallest(),
-			Largest:  w.Largest(),
-			DEKID:    outDEKID,
-		})
-		res.BytesWritten += int64(w.FileSize())
-		w = nil
-		return nil
-	}
-
-	for ok := merged.First(); ok; ok = merged.Next() {
-		ikey := merged.Key()
-		userKey := base.UserKey(ikey)
-		seq, kind := base.DecodeTrailer(ikey)
-
-		firstOccurrence := !haveUserKey || !bytes.Equal(userKey, lastUserKey)
-		if firstOccurrence {
-			lastUserKey = append(lastUserKey[:0], userKey...)
-			haveUserKey = true
-		}
-
-		drop := false
-		switch {
-		case !firstOccurrence && lastSeqForKey <= smallestSnapshot:
-			// A newer record of this key is visible to every snapshot.
-			drop = true
-		case kind == base.KindDelete && seq <= smallestSnapshot && job.Bottommost:
-			// Tombstone with nothing underneath it to hide.
-			drop = true
-		}
-		lastSeqForKey = seq
-		if drop {
-			continue
-		}
-
-		// Cut the output at the target size, but only between user keys so
-		// all versions of a key share one file.
-		if w != nil && w.EstimatedSize() >= job.TargetFileSize &&
-			prevAddedUser != nil && !bytes.Equal(userKey, prevAddedUser) {
-			if err := finishOutput(); err != nil {
-				return res, err
-			}
-		}
-		if w == nil {
-			if err := openOutput(); err != nil {
-				return res, err
-			}
-		}
-		if err := w.Add(ikey, merged.Value()); err != nil {
-			return res, err
-		}
-		prevAddedUser = append(prevAddedUser[:0], userKey...)
-	}
-	if err := merged.Err(); err != nil {
-		return res, err
-	}
-	if err := finishOutput(); err != nil {
-		return res, err
-	}
+	res, err := runShardedCompaction(fs, wrapper, job, bounds)
+	res.BytesRead = bytesRead
 	// The output files' directory entries must be durable before the caller
 	// logs the manifest edit referencing them.
-	if len(res.Outputs) > 0 {
-		if err := fs.SyncDir(job.Dir); err != nil {
-			return res, err
+	if err == nil && len(res.Outputs) > 0 {
+		if serr := fs.SyncDir(job.Dir); serr != nil {
+			removeOutputs(fs, wrapper, job.Dir, res.Outputs)
+			res.Outputs, res.BytesWritten = nil, 0
+			err = serr
 		}
+	}
+	if err != nil {
+		metrics.Storage.CompactionAborts.Add(1)
+		return CompactionResult{BytesRead: bytesRead, Subcompactions: res.Subcompactions}, err
 	}
 	return res, nil
 }
@@ -284,6 +151,9 @@ type compactionPlan struct {
 	inputs      []JobLevel
 	outputLevel int
 	bottommost  bool
+	// l0 marks plans that consume level-0 inputs; at most one such job may
+	// be in flight (see tryLeveledPlanLocked).
+	l0 bool
 	// universal outputs inherit the oldest input's run sequence.
 	universalSeq uint64
 	// fifoOnly plans delete inputs without merging.
@@ -300,7 +170,8 @@ func (d *DB) levelTarget(level int) uint64 {
 	return t
 }
 
-// pickCompactionLocked chooses the next compaction, or nil. d.mu held.
+// pickCompactionLocked chooses the next runnable compaction, or nil. The
+// returned plan is built but not claimed. d.mu held.
 func (d *DB) pickCompactionLocked() *compactionPlan {
 	switch d.opts.CompactionStyle {
 	case CompactionUniversal:
@@ -321,50 +192,91 @@ func (d *DB) anyBusy(files []*manifest.FileMetadata) bool {
 	return false
 }
 
+// planConflictsLocked reports whether the plan cannot run now: one of its
+// inputs is claimed by an in-flight job, or it needs the exclusive L0 slot
+// while another L0 job holds it. d.mu held.
+func (d *DB) planConflictsLocked(plan *compactionPlan) bool {
+	for _, num := range plan.busy {
+		if d.busyFiles[num] {
+			return true
+		}
+	}
+	return plan.l0 && d.l0Jobs > 0
+}
+
+// pickLeveledLocked scores every level and tries candidates best-first, so
+// one busy level no longer blocks compacting the runner-up — disjoint
+// level/key-range pairs (an L0→L1 job and an L2→L3 job, say) run
+// concurrently. d.mu held.
 func (d *DB) pickLeveledLocked() *compactionPlan {
 	v := d.current
-
+	type scored struct {
+		level int
+		score float64
+	}
+	var cands []scored
 	// Score L0 by file count, deeper levels by size vs target.
-	bestLevel, bestScore := -1, 0.0
 	if s := float64(len(v.Levels[0])) / float64(d.opts.L0CompactionTrigger); s >= 1 {
-		bestLevel, bestScore = 0, s
+		cands = append(cands, scored{0, s})
 	}
 	for lvl := 1; lvl < manifest.NumLevels-1; lvl++ {
-		s := float64(v.LevelSize(lvl)) / float64(d.levelTarget(lvl))
-		if s >= 1 && s > bestScore {
-			bestLevel, bestScore = lvl, s
+		if s := float64(v.LevelSize(lvl)) / float64(d.levelTarget(lvl)); s >= 1 {
+			cands = append(cands, scored{lvl, s})
 		}
 	}
-	if bestLevel < 0 {
-		return nil
-	}
-
-	var inputs0 []*manifest.FileMetadata
-	if bestLevel == 0 {
-		inputs0 = append(inputs0, v.Levels[0]...)
-	} else {
-		// Rotate through files: pick the first non-busy file.
-		for _, f := range v.Levels[bestLevel] {
-			if !d.busyFiles[f.FileNum] {
-				inputs0 = append(inputs0, f)
-				break
-			}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	for _, c := range cands {
+		if plan := d.tryLeveledPlanLocked(c.level); plan != nil {
+			return plan
 		}
 	}
-	if len(inputs0) == 0 || d.anyBusy(inputs0) {
-		return nil
-	}
+	return nil
+}
 
-	// Key range of the level-N inputs.
+// tryLeveledPlanLocked builds a conflict-free plan compacting out of level,
+// or nil. d.mu held.
+func (d *DB) tryLeveledPlanLocked(level int) *compactionPlan {
+	v := d.current
+	if level == 0 {
+		// All of L0 compacts at once, and at most one job may consume L0:
+		// its files overlap arbitrarily, and files flushed after a first
+		// L0 job started are not claimed by it, so a second L0 job's
+		// outputs could interleave the first's at the base level.
+		if len(v.Levels[0]) == 0 {
+			return nil
+		}
+		plan := d.newLeveledPlanLocked(0, v.Levels[0])
+		if d.planConflictsLocked(plan) {
+			return nil
+		}
+		return plan
+	}
+	// Try each idle file in turn: one busy key range (or a busy overlap at
+	// the output level) doesn't block the rest of the level.
+	for _, f := range v.Levels[level] {
+		if d.busyFiles[f.FileNum] {
+			continue
+		}
+		plan := d.newLeveledPlanLocked(level, []*manifest.FileMetadata{f})
+		if !d.planConflictsLocked(plan) {
+			return plan
+		}
+	}
+	return nil
+}
+
+// newLeveledPlanLocked assembles a level→level+1 plan for inputs0 without
+// checking conflicts. The plan claims every output-level file overlapping
+// the inputs' key hull, which is what makes concurrently running plans
+// disjoint: any range conflict between two jobs would surface as a shared
+// input file. d.mu held.
+func (d *DB) newLeveledPlanLocked(level int, inputs0 []*manifest.FileMetadata) *compactionPlan {
+	v := d.current
 	smallest, largest := keyRange(inputs0)
-	outputLevel := bestLevel + 1
+	outputLevel := level + 1
 	inputs1 := v.Overlapping(outputLevel, base.UserKey(smallest), base.UserKey(largest))
-	if d.anyBusy(inputs1) {
-		return nil
-	}
-
-	plan := &compactionPlan{outputLevel: outputLevel}
-	plan.inputs = append(plan.inputs, JobLevel{Level: bestLevel, Files: derefFiles(inputs0)})
+	plan := &compactionPlan{outputLevel: outputLevel, l0: level == 0}
+	plan.inputs = append(plan.inputs, JobLevel{Level: level, Files: derefFiles(inputs0)})
 	if len(inputs1) > 0 {
 		plan.inputs = append(plan.inputs, JobLevel{Level: outputLevel, Files: derefFiles(inputs1)})
 	}
@@ -393,6 +305,11 @@ func (d *DB) pickUniversalLocked() *compactionPlan {
 	if len(runs) < d.opts.UniversalMaxRuns {
 		return nil
 	}
+	if d.l0Jobs > 0 {
+		// Universal merges rewrite the run sequence; overlapping merges
+		// would break the newest-first ordering invariant.
+		return nil
+	}
 	// Merge the oldest half of the runs (at least two).
 	n := len(runs) / 2
 	if n < 2 {
@@ -405,6 +322,7 @@ func (d *DB) pickUniversalLocked() *compactionPlan {
 	plan := &compactionPlan{
 		outputLevel:  0,
 		bottommost:   n == len(runs),
+		l0:           true,
 		universalSeq: oldest[len(oldest)-1].Seq,
 	}
 	plan.inputs = []JobLevel{{Level: 0, Files: derefFiles(oldest)}}
@@ -423,6 +341,9 @@ func (d *DB) pickFIFOLocked() *compactionPlan {
 	if total <= d.opts.FIFOMaxTableSize {
 		return nil
 	}
+	if d.l0Jobs > 0 {
+		return nil
+	}
 	// Drop oldest files until under the cap.
 	var victims []*manifest.FileMetadata
 	for i := len(v.Levels[0]) - 1; i >= 0 && total > d.opts.FIFOMaxTableSize; i-- {
@@ -436,7 +357,7 @@ func (d *DB) pickFIFOLocked() *compactionPlan {
 	if len(victims) == 0 {
 		return nil
 	}
-	plan := &compactionPlan{fifoOnly: true, outputLevel: 0}
+	plan := &compactionPlan{fifoOnly: true, outputLevel: 0, l0: true}
 	plan.inputs = []JobLevel{{Level: 0, Files: derefFiles(victims)}}
 	for _, f := range victims {
 		plan.busy = append(plan.busy, f.FileNum)
@@ -475,13 +396,46 @@ func derefFiles(files []*manifest.FileMetadata) []manifest.FileMetadata {
 	return out
 }
 
-// maybeScheduleCompactionLocked starts compaction workers while work exists
-// and job slots are free. d.mu held.
+// claimPlanLocked marks the plan's inputs busy and accounts the job in the
+// scheduler state and metrics. d.mu held.
+func (d *DB) claimPlanLocked(plan *compactionPlan) {
+	for _, num := range plan.busy {
+		d.busyFiles[num] = true
+	}
+	if plan.l0 {
+		d.l0Jobs++
+	}
+	d.compactions++
+	metrics.Jobs.JobStarted()
+}
+
+// releasePlanLocked undoes claimPlanLocked once the job finishes. d.mu held.
+func (d *DB) releasePlanLocked(plan *compactionPlan) {
+	for _, num := range plan.busy {
+		delete(d.busyFiles, num)
+	}
+	if plan.l0 {
+		d.l0Jobs--
+	}
+	d.compactions--
+	metrics.Jobs.JobDone()
+}
+
+// maybeScheduleCompactionLocked starts compaction workers while runnable
+// plans exist and job slots are free. One MaxBackgroundJobs slot is always
+// reserved for the flush worker — flush preempts compaction — so up to
+// MaxBackgroundJobs-1 compaction jobs run concurrently on disjoint
+// level/key-range pairs. d.mu held.
 func (d *DB) maybeScheduleCompactionLocked() {
 	if d.opts.ReadOnly {
 		return
 	}
-	if d.closed || d.bgErr != nil || d.manualActive || d.compactionsHalted {
+	if d.closed || d.bgErr != nil || d.compactionsHalted {
+		return
+	}
+	if d.manualWaiters > 0 {
+		// A manual CompactRange step is waiting to claim its plan; starting
+		// more background jobs here could starve it forever.
 		return
 	}
 	maxWorkers := d.opts.MaxBackgroundJobs - 1
@@ -493,11 +447,13 @@ func (d *DB) maybeScheduleCompactionLocked() {
 		if plan == nil {
 			return
 		}
-		for _, num := range plan.busy {
-			d.busyFiles[num] = true
-		}
-		d.compactions++
+		d.claimPlanLocked(plan)
 		go d.compactionWorker(plan)
+	}
+	// Every job slot is taken; note whether runnable work had to queue.
+	if d.pickCompactionLocked() != nil {
+		d.metSchedDeferred.Add(1)
+		metrics.Jobs.SchedDeferred.Add(1)
 	}
 }
 
@@ -505,10 +461,7 @@ func (d *DB) compactionWorker(plan *compactionPlan) {
 	err := d.runCompactionPlan(plan)
 
 	d.mu.Lock()
-	for _, num := range plan.busy {
-		delete(d.busyFiles, num)
-	}
-	d.compactions--
+	d.releasePlanLocked(plan)
 	var aborted *compactionAbortedError
 	switch {
 	case err == nil:
@@ -531,7 +484,8 @@ func (d *DB) compactionWorker(plan *compactionPlan) {
 // compactionAbortedError marks a compaction failure that left no partial
 // state behind: outputs removed, inputs retained, manifest untouched. It is
 // recoverable by retrying once the cause (out of space) clears, so it must
-// not poison the DB.
+// not poison the DB. The halt is per-job: other in-flight jobs finish and
+// install normally.
 type compactionAbortedError struct{ err error }
 
 func (e *compactionAbortedError) Error() string {
@@ -541,7 +495,7 @@ func (e *compactionAbortedError) Error() string {
 func (e *compactionAbortedError) Unwrap() error { return e.err }
 
 // runCompactionPlan executes one plan (local or offloaded) and installs the
-// resulting version edit.
+// resulting version edit. The caller must have claimed the plan.
 func (d *DB) runCompactionPlan(plan *compactionPlan) error {
 	edit := &manifest.VersionEdit{}
 	for _, in := range plan.inputs {
@@ -559,11 +513,14 @@ func (d *DB) runCompactionPlan(plan *compactionPlan) error {
 		d.mu.Unlock()
 
 		targetSize := d.opts.TargetFileSize
+		maxSub := d.opts.MaxSubcompactions
 		if d.opts.CompactionStyle == CompactionUniversal {
 			// A universal sorted run is exactly one file: splitting the
 			// merged output would leave the run count unchanged, so
-			// compaction would reschedule forever.
+			// compaction would reschedule forever. That also rules out
+			// subcompactions, which shard the output by key range.
 			targetSize = 1 << 62
+			maxSub = 1
 		}
 		job := CompactionJob{
 			Dir:                d.dir,
@@ -574,6 +531,7 @@ func (d *DB) runCompactionPlan(plan *compactionPlan) error {
 			FirstOutputFileNum: firstNum,
 			MaxOutputFiles:     reserve,
 			TargetFileSize:     targetSize,
+			MaxSubcompactions:  maxSub,
 			BlockSize:          d.opts.BlockSize,
 			BloomBitsPerKey:    d.opts.BloomBitsPerKey,
 			Compression:        d.opts.Compression,
@@ -593,6 +551,11 @@ func (d *DB) runCompactionPlan(plan *compactionPlan) error {
 		}
 		d.metCompRead.Add(res.BytesRead)
 		d.metCompWrite.Add(res.BytesWritten)
+		metrics.Jobs.BytesRead.Add(res.BytesRead)
+		metrics.Jobs.BytesWritten.Add(res.BytesWritten)
+		if res.Subcompactions > 1 {
+			d.metSubcomp.Add(int64(res.Subcompactions))
+		}
 		for _, out := range res.Outputs {
 			meta := out
 			if d.opts.CompactionStyle == CompactionUniversal {
@@ -619,7 +582,14 @@ func (d *DB) runCompactionPlan(plan *compactionPlan) error {
 }
 
 // CompactRange forces full compaction of the whole key space, level by
-// level, waiting for completion. It first flushes the memtable.
+// level, waiting for each step to finish. It first flushes the memtable.
+//
+// Background jobs keep running: each manual step claims its input files
+// like any other job and waits — rebuilding its plan from the then-current
+// version after every wait, never running a stale pick — while a
+// conflicting job is in flight. Two concurrent CompactRange callers, or a
+// manual step racing a background pick, can therefore never install
+// overlapping edits.
 func (d *DB) CompactRange() error {
 	if d.opts.ReadOnly {
 		return ErrReadOnly
@@ -628,73 +598,97 @@ func (d *DB) CompactRange() error {
 		return err
 	}
 
-	// Block automatic scheduling while the manual compaction runs, and
-	// serialize against other manual callers: two concurrent CompactRanges
-	// would pick overlapping inputs from the same version and the loser's
-	// edit would try to delete already-deleted files.
-	d.mu.Lock()
-	for d.compactions > 0 || d.manualActive {
-		d.bgCond.Wait()
-	}
-	if d.bgErr != nil {
-		err := d.bgErr
-		d.mu.Unlock()
-		return err
-	}
-	d.manualActive = true
-	d.mu.Unlock()
-	defer func() {
-		d.mu.Lock()
-		d.manualActive = false
-		d.maybeScheduleCompactionLocked()
-		d.bgCond.Broadcast()
-		d.mu.Unlock()
-	}()
-
 	if d.opts.CompactionStyle != CompactionLeveled {
-		// Universal/FIFO: run picks until quiescent.
-		for {
-			d.mu.Lock()
-			plan := d.pickCompactionLocked()
-			d.mu.Unlock()
-			if plan == nil {
-				return nil
-			}
-			if err := d.runCompactionPlan(plan); err != nil {
-				return err
-			}
-		}
+		return d.compactAllRuns()
 	}
 
 	for lvl := 0; lvl < manifest.NumLevels-1; lvl++ {
-		d.mu.Lock()
-		files := d.current.Levels[lvl]
-		if len(files) == 0 {
-			d.mu.Unlock()
+		plan, err := d.claimManualPlan(lvl)
+		if err != nil {
+			return err
+		}
+		if plan == nil {
 			continue
 		}
-		smallest, largest := keyRange(files)
-		overlap := d.current.Overlapping(lvl+1, base.UserKey(smallest), base.UserKey(largest))
-		plan := &compactionPlan{outputLevel: lvl + 1}
-		plan.inputs = append(plan.inputs, JobLevel{Level: lvl, Files: derefFiles(files)})
-		if len(overlap) > 0 {
-			plan.inputs = append(plan.inputs, JobLevel{Level: lvl + 1, Files: derefFiles(overlap)})
-		}
-		allS, allL := smallest, largest
-		if len(overlap) > 0 {
-			s2, l2 := keyRange(overlap)
-			if base.CompareInternal(s2, allS) < 0 {
-				allS = s2
-			}
-			if base.CompareInternal(l2, allL) > 0 {
-				allL = l2
-			}
-		}
-		plan.bottommost = d.isBottommostLocked(lvl+1, base.UserKey(allS), base.UserKey(allL))
-		d.mu.Unlock()
-		if err := d.runCompactionPlan(plan); err != nil {
+		err = d.runCompactionPlan(plan)
+		d.finishManualPlan(plan)
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// claimManualPlan builds a whole-level plan for lvl→lvl+1 and claims it,
+// waiting while any in-flight job holds a conflicting file. Returns a nil
+// plan when the level is empty.
+func (d *DB) claimManualPlan(lvl int) (*compactionPlan, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.manualWaiters++
+	defer func() { d.manualWaiters-- }()
+	for {
+		if d.closed {
+			return nil, ErrClosed
+		}
+		if d.bgErr != nil {
+			return nil, d.bgErr
+		}
+		files := d.current.Levels[lvl]
+		if len(files) == 0 {
+			return nil, nil
+		}
+		plan := d.newLeveledPlanLocked(lvl, files)
+		if !d.planConflictsLocked(plan) {
+			d.claimPlanLocked(plan)
+			return plan, nil
+		}
+		d.bgCond.Wait()
+	}
+}
+
+// finishManualPlan releases a manual step's claim and wakes waiters.
+func (d *DB) finishManualPlan(plan *compactionPlan) {
+	d.mu.Lock()
+	d.releasePlanLocked(plan)
+	d.maybeScheduleCompactionLocked()
+	d.bgCond.Broadcast()
+	d.mu.Unlock()
+}
+
+// compactAllRuns drains universal/FIFO picks until quiescent, riding the
+// same claim discipline as the background workers.
+func (d *DB) compactAllRuns() error {
+	d.mu.Lock()
+	for {
+		if d.closed {
+			d.mu.Unlock()
+			return ErrClosed
+		}
+		if d.bgErr != nil {
+			err := d.bgErr
+			d.mu.Unlock()
+			return err
+		}
+		plan := d.pickCompactionLocked()
+		if plan == nil {
+			if d.compactions > 0 {
+				// In-flight jobs may re-arm the pick once they install.
+				d.bgCond.Wait()
+				continue
+			}
+			d.mu.Unlock()
+			return nil
+		}
+		d.claimPlanLocked(plan)
+		d.mu.Unlock()
+		err := d.runCompactionPlan(plan)
+		d.mu.Lock()
+		d.releasePlanLocked(plan)
+		d.bgCond.Broadcast()
+		if err != nil {
+			d.mu.Unlock()
+			return err
+		}
+	}
 }

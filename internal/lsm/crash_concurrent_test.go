@@ -1,0 +1,155 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shield/internal/vfs"
+)
+
+// pairingCompactor wraps the local compactor to (a) record the peak number
+// of concurrently executing compaction jobs and (b) briefly hold the first
+// job until a second arrives, widening the window in which crash images
+// are captured with >= 2 jobs in flight.
+type pairingCompactor struct {
+	inner   Compactor
+	mu      sync.Mutex
+	cond    *sync.Cond
+	running int
+	peak    int
+	sawPair bool
+	subPeak atomic.Int64
+}
+
+func newPairingCompactor(inner Compactor) *pairingCompactor {
+	c := &pairingCompactor{inner: inner}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *pairingCompactor) Compact(job CompactionJob) (CompactionResult, error) {
+	c.mu.Lock()
+	c.running++
+	if c.running > c.peak {
+		c.peak = c.running
+	}
+	if c.running >= 2 {
+		c.sawPair = true
+		c.cond.Broadcast()
+	} else if !c.sawPair {
+		// Hold the lone job a moment so a second pick can catch up; give up
+		// quickly so a workload phase with only one runnable plan proceeds.
+		deadline := time.Now().Add(100 * time.Millisecond)
+		for c.running < 2 && !c.sawPair && time.Now().Before(deadline) {
+			c.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			c.mu.Lock()
+		}
+	}
+	c.mu.Unlock()
+
+	res, err := c.inner.Compact(job)
+
+	c.mu.Lock()
+	c.running--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if int64(res.Subcompactions) > c.subPeak.Load() {
+		c.subPeak.Store(int64(res.Subcompactions))
+	}
+	return res, err
+}
+
+func (c *pairingCompactor) peakRunning() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
+}
+
+// concurrentCrashOps alternates write bursts between two disjoint key
+// ranges. After range A's data settles into L1, a burst in range B arms an
+// L0→L1 job with no overlap on A's files — so an L1(A)→L2 job can run
+// beside it, which is what puts two jobs in flight.
+func concurrentCrashOps(n int) []crashOp {
+	ops := make([]crashOp, n)
+	for i := range ops {
+		prefix := "a"
+		if (i/40)%2 == 1 {
+			prefix = "b"
+		}
+		k := fmt.Sprintf("%s%03d", prefix, i%60)
+		v := fmt.Sprintf("v%05d-%064d", i, i)
+		ops[i] = crashOp{key: []byte(k), value: []byte(v)}
+	}
+	return ops
+}
+
+// TestCrashRecoveryConcurrentCompactions extends the power-loss enumeration
+// to the parallel scheduler: crash images are captured at every sync
+// boundary while up to three compaction jobs — each split into
+// subcompactions — rewrite the tree, and every image must recover with all
+// acked writes intact (the PR 3 checker axioms, unchanged). The run is
+// rejected if it never actually had two jobs in flight.
+func TestCrashRecoveryConcurrentCompactions(t *testing.T) {
+	ops := concurrentCrashOps(240)
+
+	cfs := vfs.NewCrash(1)
+	var (
+		ptMu   sync.Mutex
+		points []crashPoint
+		acked  atomic.Int64
+	)
+	cfs.AfterSync(func(event string, img *vfs.CrashImage) {
+		ptMu.Lock()
+		points = append(points, crashPoint{event: event, img: img, acked: acked.Load()})
+		ptMu.Unlock()
+	})
+
+	pairing := newPairingCompactor(&LocalCompactor{FS: cfs})
+	opts := crashTestOptions(cfs)
+	opts.MaxBackgroundJobs = 4
+	opts.MaxSubcompactions = 3
+	opts.Compactor = pairing
+
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if err := db.Put(op.key, op.value); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		acked.Add(1)
+		if (i+1)%20 == 0 {
+			if err := db.Flush(); err != nil {
+				t.Fatalf("flush at %d: %v", i, err)
+			}
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := pairing.peakRunning(); got < 2 {
+		t.Fatalf("peak concurrent compaction jobs = %d, want >= 2 (workload failed to arm the scheduler)", got)
+	}
+	if got := pairing.subPeak.Load(); got < 2 {
+		t.Errorf("no compaction split into subcompactions (peak shards = %d)", got)
+	}
+
+	ptMu.Lock()
+	pts := points
+	ptMu.Unlock()
+	if len(pts) < 50 {
+		t.Fatalf("only %d crash points enumerated, want >= 50", len(pts))
+	}
+	t.Logf("enumerated %d crash points; peak jobs=%d peak shards=%d",
+		len(pts), pairing.peakRunning(), pairing.subPeak.Load())
+	for i, pt := range pts {
+		verifyCrashImage(t, "strict", i, pt, pt.img.Strict(), ops)
+		verifyCrashImage(t, "torn", i, pt, pt.img.Torn(0), ops)
+	}
+}

@@ -39,6 +39,9 @@ type Metrics struct {
 	StallTime         time.Duration
 	Gets              int64
 	Writes            int64
+	CompactionsActive int64 // compaction jobs in flight now
+	CompactionsQueued int64 // runnable plans deferred for lack of a job slot
+	Subcompactions    int64 // key-range shards run by split compaction jobs
 }
 
 // DB is the LSM-KVS instance.
@@ -77,9 +80,17 @@ type DB struct {
 	// the next edit must rotate to a fresh manifest instead of appending.
 	manifestBad bool
 
-	flushing     bool
-	compactions  int // active compaction workers
-	manualActive bool
+	flushing    bool
+	compactions int // compaction jobs in flight (background + manual)
+	// l0Jobs counts in-flight jobs consuming level-0 inputs. At most one
+	// may run: L0 files overlap arbitrarily and files flushed after an L0
+	// job starts are not claimed by it, so a second L0 job's outputs could
+	// interleave the first's at the base level.
+	l0Jobs int
+	// manualWaiters counts CompactRange steps waiting to claim a plan;
+	// while nonzero the scheduler starts no new background jobs, so a
+	// manual compaction cannot be starved by a busy write load.
+	manualWaiters int
 	// compactionsHalted stops background compaction scheduling after a
 	// compaction aborted on ENOSPC. Unlike bgErr it does not poison writes:
 	// the aborted compaction retained its inputs, so the DB is consistent.
@@ -104,6 +115,8 @@ type DB struct {
 	metStallNanos     atomic.Int64
 	metGets           atomic.Int64
 	metWrites         atomic.Int64
+	metSubcomp        atomic.Int64
+	metSchedDeferred  atomic.Int64
 }
 
 type zombieFile struct {
@@ -852,7 +865,9 @@ func (d *DB) makeRoomForWrite() error {
 		case d.mem.approximateSize() < d.opts.MemtableSize:
 			d.mu.Unlock()
 			if !stallStart.IsZero() {
-				d.metStallNanos.Add(time.Since(stallStart).Nanoseconds())
+				stalled := time.Since(stallStart).Nanoseconds()
+				d.metStallNanos.Add(stalled)
+				metrics.Jobs.StallNanos.Add(stalled)
 			}
 			return nil
 		case len(d.imm) >= 2:
@@ -1186,6 +1201,7 @@ func (d *DB) writeMemTable(mem *memTable) (*manifest.FileMetadata, error) {
 	wrapped, dekID, err := d.wrapper.WrapCreate(name, FileKindSST, raw)
 	if err != nil {
 		raw.Close()
+		d.fs.Remove(name)
 		return nil, err
 	}
 	w := newTableWriter(wrapped, d.opts)
@@ -1302,6 +1318,12 @@ func (d *DB) applyEditLocked(edit *manifest.VersionEdit) error {
 
 	nv, err := d.current.Apply(edit)
 	if err != nil {
+		return err
+	}
+	// Safety net for concurrent compactions: refuse to log a version whose
+	// sorted levels overlap — a scheduler disjointness bug must fail the
+	// installing job loudly, not corrupt the manifest.
+	if err := nv.CheckOrdering(); err != nil {
 		return err
 	}
 	// The snapshot's LogNumber must not skip any WAL still holding
@@ -1502,6 +1524,9 @@ func (d *DB) smallestSnapshotLocked() base.SeqNum {
 
 // Metrics returns a snapshot of engine counters.
 func (d *DB) Metrics() Metrics {
+	d.mu.Lock()
+	active := int64(d.compactions)
+	d.mu.Unlock()
 	return Metrics{
 		Flushes:           d.metFlushes.Load(),
 		Compactions:       d.metCompact.Load(),
@@ -1512,6 +1537,9 @@ func (d *DB) Metrics() Metrics {
 		StallTime:         time.Duration(d.metStallNanos.Load()),
 		Gets:              d.metGets.Load(),
 		Writes:            d.metWrites.Load(),
+		CompactionsActive: active,
+		CompactionsQueued: d.metSchedDeferred.Load(),
+		Subcompactions:    d.metSubcomp.Load(),
 	}
 }
 

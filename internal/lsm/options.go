@@ -161,9 +161,17 @@ type Options struct {
 	// TargetFileSize caps individual compaction output files. Default 4 MiB.
 	TargetFileSize uint64
 
-	// MaxBackgroundJobs bounds concurrent flush+compaction goroutines.
-	// Default 2.
+	// MaxBackgroundJobs bounds concurrent flush+compaction goroutines: one
+	// slot is always reserved for the flush worker (flush preempts
+	// compaction), the rest run compaction jobs on disjoint level/key-range
+	// pairs. Default 2 (one flush slot + one compaction job, i.e. the
+	// serial behavior).
 	MaxBackgroundJobs int
+
+	// MaxSubcompactions splits a single leveled compaction into up to this
+	// many key-range shards executed on parallel goroutines, each shard
+	// driving its own encrypting writer. Default 1 (no splitting).
+	MaxSubcompactions int
 
 	// CompactionStyle selects leveled, universal, or FIFO compaction.
 	CompactionStyle CompactionStyle
@@ -253,6 +261,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBackgroundJobs == 0 {
 		o.MaxBackgroundJobs = 2
+	}
+	if o.MaxSubcompactions <= 0 {
+		o.MaxSubcompactions = 1
 	}
 	if o.FIFOMaxTableSize == 0 {
 		o.FIFOMaxTableSize = 256 << 20

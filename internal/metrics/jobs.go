@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// JobCounters tracks the background-job scheduler: compaction jobs claimed
+// and finished, the running-jobs gauge and its high-water mark, picks that
+// had to wait for a free job slot (the "queued" signal), subcompaction
+// shards launched, per-job I/O volume, and write-stall time attributable to
+// compaction debt. The zero value is ready to use.
+type JobCounters struct {
+	CompactionsStarted    atomic.Int64 // jobs claimed (manual + background)
+	CompactionsDone       atomic.Int64 // jobs released (success or failure)
+	CompactionsRunning    atomic.Int64 // gauge: jobs in flight right now
+	MaxRunning            atomic.Int64 // high-water mark of CompactionsRunning
+	SchedDeferred         atomic.Int64 // runnable plans deferred for lack of a job slot
+	SubcompactionsStarted atomic.Int64 // key-range shards launched inside jobs
+	BytesRead             atomic.Int64 // compaction input bytes across all jobs
+	BytesWritten          atomic.Int64 // compaction output bytes across all jobs
+	StallNanos            atomic.Int64 // writer stall time waiting on background debt
+}
+
+// Jobs is the process-wide scheduler counter set.
+var Jobs = &JobCounters{}
+
+// JobStarted records a claimed job and maintains the running gauge and its
+// high-water mark.
+func (c *JobCounters) JobStarted() {
+	c.CompactionsStarted.Add(1)
+	running := c.CompactionsRunning.Add(1)
+	for {
+		max := c.MaxRunning.Load()
+		if running <= max || c.MaxRunning.CompareAndSwap(max, running) {
+			return
+		}
+	}
+}
+
+// JobDone records a released job.
+func (c *JobCounters) JobDone() {
+	c.CompactionsDone.Add(1)
+	c.CompactionsRunning.Add(-1)
+}
+
+// JobsSnapshot is a point-in-time copy of JobCounters.
+type JobsSnapshot struct {
+	CompactionsStarted    int64
+	CompactionsDone       int64
+	CompactionsRunning    int64 // point-in-time gauge, not a delta
+	MaxRunning            int64 // high-water mark, not a delta
+	SchedDeferred         int64
+	SubcompactionsStarted int64
+	BytesRead             int64
+	BytesWritten          int64
+	StallNanos            int64
+}
+
+// Snapshot returns the current counter values.
+func (c *JobCounters) Snapshot() JobsSnapshot {
+	return JobsSnapshot{
+		CompactionsStarted:    c.CompactionsStarted.Load(),
+		CompactionsDone:       c.CompactionsDone.Load(),
+		CompactionsRunning:    c.CompactionsRunning.Load(),
+		MaxRunning:            c.MaxRunning.Load(),
+		SchedDeferred:         c.SchedDeferred.Load(),
+		SubcompactionsStarted: c.SubcompactionsStarted.Load(),
+		BytesRead:             c.BytesRead.Load(),
+		BytesWritten:          c.BytesWritten.Load(),
+		StallNanos:            c.StallNanos.Load(),
+	}
+}
+
+// Reset zeroes every counter (benchmarks reset between runs).
+func (c *JobCounters) Reset() {
+	c.CompactionsStarted.Store(0)
+	c.CompactionsDone.Store(0)
+	c.CompactionsRunning.Store(0)
+	c.MaxRunning.Store(0)
+	c.SchedDeferred.Store(0)
+	c.SubcompactionsStarted.Store(0)
+	c.BytesRead.Store(0)
+	c.BytesWritten.Store(0)
+	c.StallNanos.Store(0)
+}
+
+// Any reports whether any job activity was recorded.
+func (s JobsSnapshot) Any() bool {
+	return s.CompactionsStarted+s.SubcompactionsStarted+s.SchedDeferred+s.StallNanos != 0
+}
+
+// Sub returns the delta s minus prev for the cumulative counters. The
+// CompactionsRunning gauge and MaxRunning high-water mark are kept from s
+// (the later snapshot) since subtracting gauges is meaningless.
+func (s JobsSnapshot) Sub(prev JobsSnapshot) JobsSnapshot {
+	return JobsSnapshot{
+		CompactionsStarted:    s.CompactionsStarted - prev.CompactionsStarted,
+		CompactionsDone:       s.CompactionsDone - prev.CompactionsDone,
+		CompactionsRunning:    s.CompactionsRunning,
+		MaxRunning:            s.MaxRunning,
+		SchedDeferred:         s.SchedDeferred - prev.SchedDeferred,
+		SubcompactionsStarted: s.SubcompactionsStarted - prev.SubcompactionsStarted,
+		BytesRead:             s.BytesRead - prev.BytesRead,
+		BytesWritten:          s.BytesWritten - prev.BytesWritten,
+		StallNanos:            s.StallNanos - prev.StallNanos,
+	}
+}
+
+// String renders the counters.
+func (s JobsSnapshot) String() string {
+	return fmt.Sprintf(
+		"jobs=%d done=%d running=%d max_running=%d deferred=%d subcompactions=%d read=%dB written=%dB stall=%v",
+		s.CompactionsStarted, s.CompactionsDone, s.CompactionsRunning, s.MaxRunning,
+		s.SchedDeferred, s.SubcompactionsStarted, s.BytesRead, s.BytesWritten,
+		time.Duration(s.StallNanos).Round(time.Millisecond))
+}

@@ -113,6 +113,43 @@ func (s *svc) peerCallStillFlagged(peer *svc, id string) {
 	peer.FetchDEK(id) // want `KDS\.FetchDEK while holding a mutex`
 }
 
+// sched mirrors the background-job scheduler's shapes: plans are claimed
+// and released under the mutex, the compaction I/O runs between the two
+// critical sections, and contended claims park on a condition variable.
+type sched struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	fs   FS
+	busy map[string]bool
+}
+
+func (s *sched) claimRunRelease() {
+	s.mu.Lock()
+	s.busy["plan"] = true
+	s.mu.Unlock()
+	s.fs.Create("out") // between the claim and the release: fine
+	s.mu.Lock()
+	delete(s.busy, "plan")
+	s.mu.Unlock()
+}
+
+func (s *sched) condWaitClaimLoop() {
+	s.mu.Lock()
+	for s.busy["plan"] {
+		s.cond.Wait() // parks with the mutex released: not blocking I/O
+	}
+	s.busy["plan"] = true
+	s.mu.Unlock()
+}
+
+func (s *sched) spawnUnderLockStillCounts() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.fs.Create("out") // want `FS\.Create while holding a mutex`
+	}()
+}
+
 type rcache struct {
 	mu sync.RWMutex
 	fs FS
