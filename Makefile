@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long bench-json
+.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long bench-json server-test
 
 all: build vet shield-vet test
 
@@ -37,6 +37,14 @@ shield-vet:
 SIM_SEEDS ?= 50
 sim:
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS)
+
+# Serving-layer gate (DESIGN.md §12): the RESP protocol package and the
+# shield-server front-end under the race detector — pipelined clients,
+# group-commit observation, protocol-error recovery, graceful drain — plus
+# a serving-chaos sim sweep (connection storms, slow clients).
+server-test:
+	go test -race ./internal/resp/ ./internal/server/
+	go run ./cmd/shield-sim -seeds 20 -connstorm
 
 # Benchmark-regression profile (DESIGN.md §11): a deterministic A/B run of
 # the parallel compaction scheduler on the full SHIELD stack, emitting

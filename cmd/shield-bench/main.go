@@ -6,6 +6,7 @@
 //	shield-bench -experiment all -scale 0.5  # everything, half-size
 //	shield-bench -list                       # show experiment ids
 //	shield-bench -regress -json BENCH_5.json # scheduler regression profile
+//	shield-bench -net :6399 -clients 16      # drive a running shield-server
 //
 // Each experiment prints the rows/series of the corresponding table or
 // figure; see DESIGN.md for the id ↔ artifact mapping and EXPERIMENTS.md
@@ -29,8 +30,32 @@ func main() {
 		diskLat    = flag.Duration("disk-read-latency", 0, "emulated SSD read latency for monolith experiments (e.g. 60us)")
 		regress    = flag.Bool("regress", false, "run the compaction-scheduler regression profile instead of an experiment")
 		jsonOut    = flag.String("json", "", "with -regress: also write the machine-readable report to this file")
+
+		netAddr  = flag.String("net", "", "benchmark a running shield-server at this address instead of an in-process engine")
+		clients  = flag.Int("clients", 8, "with -net: concurrent client connections")
+		pipeline = flag.Int("pipeline", 16, "with -net: commands per pipelined round trip")
+		netOps   = flag.Int("ops", 100000, "with -net: total command count across clients")
+		valSize  = flag.Int("value-size", 100, "with -net: value size in bytes")
+		readPct  = flag.Int("read-pct", 50, "with -net: GET percentage of the mix (0-100)")
 	)
 	flag.Parse()
+
+	if *netAddr != "" {
+		res, err := bench.RunNet(bench.NetWorkload{
+			Addr:      *netAddr,
+			Clients:   *clients,
+			Pipeline:  *pipeline,
+			NumOps:    int(float64(*netOps) * *scale),
+			ValueSize: *valSize,
+			ReadPct:   *readPct,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shield-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -9,6 +9,7 @@
 //	shield-sim -seed 1337 -v             # replay one seed, verbose
 //	shield-sim -seed 1337 -events 3      # replay a reduced schedule prefix
 //	shield-sim -seeds 20 -dstore -bitrot # widen the fault matrix
+//	shield-sim -seeds 20 -connstorm      # add RESP serving-layer chaos
 //
 // Every run prints its schedule hash; the same seed and flags produce the
 // same hash (the reproducibility witness). On failure the reducer shrinks
@@ -28,16 +29,17 @@ import (
 
 func main() {
 	var (
-		seeds   = flag.Int("seeds", 0, "sweep seeds 1..N (mutually exclusive with -seed)")
-		seed    = flag.Uint64("seed", 0, "run exactly this seed")
-		ops     = flag.Int("ops", 600, "workload operations per run")
-		workers = flag.Int("workers", 4, "concurrent workload goroutines")
-		events  = flag.Int("events", -1, "cap the nemesis schedule to its first N events (-1 = full)")
-		dstore  = flag.Bool("dstore", false, "route the data path through a disaggregated storage node")
-		bitrot  = flag.Bool("bitrot", false, "enable bit-rot (tamper) events")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-run watchdog")
-		verbose = flag.Bool("v", false, "verbose event and engine logging")
-		reduce  = flag.Bool("reduce", true, "on failure, shrink to the shortest failing schedule prefix")
+		seeds     = flag.Int("seeds", 0, "sweep seeds 1..N (mutually exclusive with -seed)")
+		seed      = flag.Uint64("seed", 0, "run exactly this seed")
+		ops       = flag.Int("ops", 600, "workload operations per run")
+		workers   = flag.Int("workers", 4, "concurrent workload goroutines")
+		events    = flag.Int("events", 0, "cap the nemesis schedule to its first N events (0 = full, negative = none)")
+		dstore    = flag.Bool("dstore", false, "route the data path through a disaggregated storage node")
+		bitrot    = flag.Bool("bitrot", false, "enable bit-rot (tamper) events")
+		connstorm = flag.Bool("connstorm", false, "front the engine with a RESP server and add connection-storm/slow-client events")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-run watchdog")
+		verbose   = flag.Bool("v", false, "verbose event and engine logging")
+		reduce    = flag.Bool("reduce", true, "on failure, shrink to the shortest failing schedule prefix")
 	)
 	flag.Parse()
 	if (*seeds == 0) == (*seed == 0) {
@@ -53,6 +55,7 @@ func main() {
 			MaxEvents: *events,
 			Dstore:    *dstore,
 			BitRot:    *bitrot,
+			ConnStorm: *connstorm,
 			Timeout:   *timeout,
 		}
 		if *verbose {
@@ -89,12 +92,16 @@ func main() {
 			fmt.Println("\nreducing to the shortest failing schedule prefix...")
 			if k, min := sim.Reduce(cfgFor(s), 2); k >= 0 {
 				fmt.Printf("minimal failing prefix: %d event(s):\n  %s\n", k, strings.Join(min.Plan, "\n  "))
-				fmt.Printf("\nreplay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d -events=%d%s%s\n",
-					s, *ops, *workers, k, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot))
+				evFlag := k
+				if k == 0 {
+					evFlag = -1 // 0 means "full schedule" to the flag
+				}
+				fmt.Printf("\nreplay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d -events=%d%s%s%s\n",
+					s, *ops, *workers, evFlag, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -connstorm", *connstorm))
 			} else {
 				fmt.Println("failure did not reproduce during reduction (interleaving-dependent); replay the full seed:")
-				fmt.Printf("replay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d%s%s\n",
-					s, *ops, *workers, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot))
+				fmt.Printf("replay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d%s%s%s\n",
+					s, *ops, *workers, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -connstorm", *connstorm))
 			}
 		}
 		return false

@@ -18,6 +18,7 @@ import (
 	"shield/internal/core"
 	"shield/internal/kds"
 	"shield/internal/lsm"
+	"shield/internal/server"
 	"shield/internal/vfs"
 )
 
@@ -59,6 +60,31 @@ type RegressConfigResult struct {
 	Workloads []RegressWorkloadResult `json:"workloads"`
 }
 
+// RegressServerResult is the serving-layer section of the report: an
+// in-process shield-server over sharded SHIELD engines driven by concurrent
+// pipelined RESP clients. Latencies are microseconds per command.
+type RegressServerResult struct {
+	Shards    int     `json:"shards"`
+	Clients   int     `json:"clients"`
+	Pipeline  int     `json:"pipeline"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	Errors    int64   `json:"errors"`
+	Sets      int64   `json:"sets"`
+	Gets      int64   `json:"gets"`
+
+	// WriteBatches is the coalesced per-shard engine batches the server
+	// committed; WALSyncs the fsyncs those cost. GroupCommitRatio is
+	// WALSyncs/Sets — how far below one fsync per acknowledged write the
+	// two coalescing levels (pipeline folding, cross-connection group
+	// commit) pushed the sync rate.
+	WriteBatches     int64   `json:"write_batches"`
+	WALSyncs         int64   `json:"wal_syncs"`
+	GroupCommitRatio float64 `json:"group_commit_ratio"`
+}
+
 // RegressReport is the BENCH_5.json schema.
 type RegressReport struct {
 	Schema      string                `json:"schema"`
@@ -67,6 +93,9 @@ type RegressReport struct {
 	NumCPU      int                   `json:"num_cpu"`
 	Scale       float64               `json:"scale"`
 	Configs     []RegressConfigResult `json:"configs"`
+
+	// Server is the serving-layer profile (nil in reports predating it).
+	Server *RegressServerResult `json:"server,omitempty"`
 
 	// ParallelSpeedupFillRandom is fillrandom ops/s of the parallel
 	// configuration over the single-job configuration, same process, same
@@ -211,5 +240,98 @@ func RunRegression(scale float64, out io.Writer) (*RegressReport, error) {
 		report.ParallelSpeedupFillRandom = p / s
 	}
 	fmt.Fprintf(out, "-- parallel fillrandom speedup: %.2fx\n", report.ParallelSpeedupFillRandom)
+
+	srv, err := runServerRegression(ops, out)
+	if err != nil {
+		return nil, err
+	}
+	report.Server = srv
 	return report, nil
+}
+
+// runServerRegression boots an in-process shield-server over four full-SHIELD
+// shards and drives it with concurrent pipelined RESP clients, recording
+// serving throughput/latency and the group-commit ratio.
+func runServerRegression(ops int, out io.Writer) (*RegressServerResult, error) {
+	const (
+		nShards  = 4
+		nClients = 8
+		pipeline = 16
+	)
+	var shards []server.Engine
+	var dbs []*lsm.DB
+	closeAll := func() {
+		for _, db := range dbs {
+			db.Close() //nolint:errcheck // bench teardown
+		}
+	}
+	for i := 0; i < nShards; i++ {
+		db, err := core.Open("db", core.Config{
+			Mode:          core.ModeSHIELD,
+			FS:            vfs.NewMem(),
+			KDS:           kds.NewLocal(kds.NewStore(kds.Policy{MaxFetches: 1}), fmt.Sprintf("bench-server-%d", i)),
+			WALBufferSize: 512,
+		}, lsm.Options{
+			MemtableSize: 1 << 20,
+		})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("bench: open server shard %d: %w", i, err)
+		}
+		dbs = append(dbs, db)
+		shards = append(shards, db)
+	}
+	defer closeAll()
+
+	srv, err := server.New(server.Config{Shards: shards})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	defer func() {
+		srv.Close() //nolint:errcheck // Close only returns nil
+		<-serveErr
+	}()
+
+	fmt.Fprintf(out, "-- server (shards=%d, clients=%d, pipeline=%d)\n", nShards, nClients, pipeline)
+	res, err := RunNet(NetWorkload{
+		Name:     "server-mixed",
+		Addr:     srv.Addr(),
+		Clients:  nClients,
+		Pipeline: pipeline,
+		NumOps:   ops,
+		ReadPct:  50,
+		Seed:     1789,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(out, res)
+
+	sr := &RegressServerResult{
+		Shards:    nShards,
+		Clients:   res.Clients,
+		Pipeline:  res.Pipeline,
+		Ops:       res.Ops,
+		OpsPerSec: res.OpsPerSec,
+		P50Micros: float64(res.P50.Nanoseconds()) / 1e3,
+		P99Micros: float64(res.P99.Nanoseconds()) / 1e3,
+		Errors:    res.Errors,
+		Sets:      res.Sets,
+		Gets:      res.Gets,
+	}
+	for _, snap := range srv.Stats() {
+		sr.WriteBatches += snap.WriteBatches
+		sr.WALSyncs += snap.Engine.WALSyncs
+	}
+	if sr.Sets > 0 {
+		sr.GroupCommitRatio = float64(sr.WALSyncs) / float64(sr.Sets)
+	}
+	fmt.Fprintf(out, "-- group commit: %d sets -> %d batches -> %d wal syncs (ratio %.3f)\n",
+		sr.Sets, sr.WriteBatches, sr.WALSyncs, sr.GroupCommitRatio)
+	return sr, nil
 }

@@ -56,6 +56,23 @@ func TestRegressionProfileSmoke(t *testing.T) {
 		t.Errorf("speedup not computed: %v", report.ParallelSpeedupFillRandom)
 	}
 
+	// The serving-layer section: clients actually pushed ops through the
+	// in-process server, nothing errored, and group commit kept the fsync
+	// count below the acknowledged SET count.
+	srv := report.Server
+	if srv == nil {
+		t.Fatal("report has no server section")
+	}
+	if srv.Ops == 0 || srv.OpsPerSec <= 0 || srv.Sets == 0 || srv.Gets == 0 {
+		t.Errorf("server section empty: %+v", srv)
+	}
+	if srv.Errors != 0 {
+		t.Errorf("server section: %d errors", srv.Errors)
+	}
+	if srv.WALSyncs == 0 || srv.WALSyncs >= srv.Sets {
+		t.Errorf("group commit not observed: wal_syncs=%d sets=%d", srv.WALSyncs, srv.Sets)
+	}
+
 	var buf bytes.Buffer
 	if err := report.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ package cache
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // Key identifies a cache entry: a file number plus an offset within it.
@@ -31,22 +32,32 @@ type shard struct {
 // LRU is a sharded, thread-safe LRU cache bounded by total charge.
 type LRU struct {
 	shards [nShards]shard
-	nHit   int64
-	nMiss  int64
-	statMu sync.Mutex
+	// Hit/miss counters are lock-free: a mutex here would serialize all
+	// shards through one cache line on the hottest read-path operation,
+	// defeating the sharding.
+	nHit  atomic.Int64
+	nMiss atomic.Int64
 }
 
 const nShards = 8
 
-// New returns an LRU bounded by capacity bytes of charge. A capacity of 0
-// disables caching (every Get misses, Put is a no-op).
+// New returns an LRU bounded by capacity bytes of charge. The capacity is
+// spread across the shards with the remainder distributed one byte at a
+// time, so every positive capacity yields at least one shard that can hold
+// an entry. A capacity <= 0 is the disabled sentinel: every Get misses and
+// Put is a no-op (per-shard maxSize 0), though Stats still counts the
+// misses.
 func New(capacity int64) *LRU {
 	c := &LRU{}
 	per := capacity / nShards
+	rem := capacity % nShards
 	for i := range c.shards {
 		c.shards[i].ll = list.New()
 		c.shards[i].items = make(map[Key]*list.Element)
 		c.shards[i].maxSize = per
+		if int64(i) < rem {
+			c.shards[i].maxSize++
+		}
 	}
 	return c
 }
@@ -56,27 +67,27 @@ func (c *LRU) shardFor(k Key) *shard {
 	return &c.shards[h%nShards]
 }
 
-// Get returns the cached value for k, if present.
+// Get returns the cached value for k, if present. The value is read while
+// the shard lock is held: a concurrent Put updating the same key writes
+// entry.value under that lock, so reading it after unlock would race and
+// could hand the caller a torn value.
 func (c *LRU) Get(k Key) (any, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	el, ok := s.items[k]
+	var v any
 	if ok {
 		s.ll.MoveToFront(el)
+		v = el.Value.(*entry).value
 	}
 	s.mu.Unlock()
 
-	c.statMu.Lock()
-	if ok {
-		c.nHit++
-	} else {
-		c.nMiss++
-	}
-	c.statMu.Unlock()
 	if !ok {
+		c.nMiss.Add(1)
 		return nil, false
 	}
-	return el.Value.(*entry).value, true
+	c.nHit.Add(1)
+	return v, true
 }
 
 // Put inserts value under k with the given charge, evicting LRU entries to
@@ -132,9 +143,7 @@ func (c *LRU) EvictFile(file uint64) {
 
 // Stats returns cumulative hit and miss counts.
 func (c *LRU) Stats() (hits, misses int64) {
-	c.statMu.Lock()
-	defer c.statMu.Unlock()
-	return c.nHit, c.nMiss
+	return c.nHit.Load(), c.nMiss.Load()
 }
 
 // Used returns the total charge currently held.

@@ -36,6 +36,7 @@ type Metrics struct {
 	CompactionWritten int64 // bytes
 	FlushWritten      int64 // bytes
 	WALWritten        int64 // bytes
+	WALSyncs          int64 // commit-path fsyncs; group commit makes this < synced batches
 	StallTime         time.Duration
 	Gets              int64
 	Writes            int64
@@ -112,6 +113,7 @@ type DB struct {
 	metCompWrite      atomic.Int64
 	metFlushWrite     atomic.Int64
 	metWAL            atomic.Int64
+	metWALSyncs       atomic.Int64
 	metStallNanos     atomic.Int64
 	metGets           atomic.Int64
 	metWrites         atomic.Int64
@@ -830,6 +832,7 @@ func (d *DB) commitGroup(group []*commitRequest) error {
 			d.metWAL.Add(int64(len(r.batch.data)))
 		}
 		if needSync {
+			d.metWALSyncs.Add(1)
 			if err := w.Sync(); err != nil {
 				d.setBGErr(err)
 				return fmt.Errorf("%w: %w", ErrDegraded, err)
@@ -1534,6 +1537,7 @@ func (d *DB) Metrics() Metrics {
 		CompactionWritten: d.metCompWrite.Load(),
 		FlushWritten:      d.metFlushWrite.Load(),
 		WALWritten:        d.metWAL.Load(),
+		WALSyncs:          d.metWALSyncs.Load(),
 		StallTime:         time.Duration(d.metStallNanos.Load()),
 		Gets:              d.metGets.Load(),
 		Writes:            d.metWrites.Load(),

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ServeCounters aggregates serving-layer events: connection lifecycle,
+// commands executed, pipelining behavior, and the misbehaving-client paths
+// (protocol errors, slow clients dropped at a deadline). Per-shard op
+// counters live on server.Server — the shard count is a runtime value — but
+// the process-wide totals report here so the bench harness can print them
+// next to the engine counters. The zero value is ready to use.
+type ServeCounters struct {
+	ConnsOpened     atomic.Int64 // connections accepted
+	ConnsOpen       atomic.Int64 // gauge: connections open right now
+	Commands        atomic.Int64 // commands executed (all types)
+	PipelineBatches atomic.Int64 // reader cycles that executed >= 1 command
+	PipelinedCmds   atomic.Int64 // commands arriving in a batch of >= 2
+	WriteBatches    atomic.Int64 // coalesced per-shard write batches committed
+	ProtocolErrors  atomic.Int64 // -ERR replies to malformed frames
+	SlowClientDrops atomic.Int64 // connections closed at a read/write deadline
+}
+
+// Serve is the process-wide serving counter set.
+var Serve = &ServeCounters{}
+
+// ServeSnapshot is a point-in-time copy of ServeCounters.
+type ServeSnapshot struct {
+	ConnsOpened     int64
+	ConnsOpen       int64 // point-in-time gauge, not a delta
+	Commands        int64
+	PipelineBatches int64
+	PipelinedCmds   int64
+	WriteBatches    int64
+	ProtocolErrors  int64
+	SlowClientDrops int64
+}
+
+// Snapshot returns the current counter values.
+func (c *ServeCounters) Snapshot() ServeSnapshot {
+	return ServeSnapshot{
+		ConnsOpened:     c.ConnsOpened.Load(),
+		ConnsOpen:       c.ConnsOpen.Load(),
+		Commands:        c.Commands.Load(),
+		PipelineBatches: c.PipelineBatches.Load(),
+		PipelinedCmds:   c.PipelinedCmds.Load(),
+		WriteBatches:    c.WriteBatches.Load(),
+		ProtocolErrors:  c.ProtocolErrors.Load(),
+		SlowClientDrops: c.SlowClientDrops.Load(),
+	}
+}
+
+// Reset zeroes every counter (benchmarks reset between runs).
+func (c *ServeCounters) Reset() {
+	c.ConnsOpened.Store(0)
+	c.ConnsOpen.Store(0)
+	c.Commands.Store(0)
+	c.PipelineBatches.Store(0)
+	c.PipelinedCmds.Store(0)
+	c.WriteBatches.Store(0)
+	c.ProtocolErrors.Store(0)
+	c.SlowClientDrops.Store(0)
+}
+
+// Any reports whether any serving activity was recorded.
+func (s ServeSnapshot) Any() bool {
+	return s.ConnsOpened+s.Commands+s.ProtocolErrors+s.SlowClientDrops != 0
+}
+
+// Sub returns the delta s minus prev for the cumulative counters; the
+// ConnsOpen gauge is kept from s.
+func (s ServeSnapshot) Sub(prev ServeSnapshot) ServeSnapshot {
+	return ServeSnapshot{
+		ConnsOpened:     s.ConnsOpened - prev.ConnsOpened,
+		ConnsOpen:       s.ConnsOpen,
+		Commands:        s.Commands - prev.Commands,
+		PipelineBatches: s.PipelineBatches - prev.PipelineBatches,
+		PipelinedCmds:   s.PipelinedCmds - prev.PipelinedCmds,
+		WriteBatches:    s.WriteBatches - prev.WriteBatches,
+		ProtocolErrors:  s.ProtocolErrors - prev.ProtocolErrors,
+		SlowClientDrops: s.SlowClientDrops - prev.SlowClientDrops,
+	}
+}
+
+// String renders the counters.
+func (s ServeSnapshot) String() string {
+	return fmt.Sprintf(
+		"conns=%d open=%d commands=%d batches=%d pipelined=%d write_batches=%d proto_errors=%d slow_drops=%d",
+		s.ConnsOpened, s.ConnsOpen, s.Commands, s.PipelineBatches, s.PipelinedCmds,
+		s.WriteBatches, s.ProtocolErrors, s.SlowClientDrops)
+}

@@ -1,0 +1,87 @@
+package resp
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a pipelined RESP client: queue commands with Send, push them
+// with Flush, then collect replies in order with Recv. Do is the one-shot
+// convenience. A Client is not safe for concurrent use; benchmarks open one
+// per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *Reader
+	w    *Writer
+
+	// Timeout, when nonzero, bounds each Flush and each Recv.
+	Timeout time.Duration
+
+	pending int
+}
+
+// Dial connects to a RESP server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("resp: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: NewReader(conn), w: NewWriter(conn)}
+}
+
+// Send queues one command without flushing.
+func (c *Client) Send(args ...[]byte) error {
+	c.pending++
+	return c.w.Command(args...)
+}
+
+// SendStrings is Send for string arguments.
+func (c *Client) SendStrings(args ...string) error {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return c.Send(bs...)
+}
+
+// Flush pushes every queued command to the server.
+func (c *Client) Flush() error {
+	if c.Timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	}
+	return c.w.Flush()
+}
+
+// Recv reads the next in-order reply.
+func (c *Client) Recv() (Value, error) {
+	if c.Timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	}
+	if c.pending > 0 {
+		c.pending--
+	}
+	return c.r.ReadReply()
+}
+
+// Pending reports queued-but-unanswered commands (sent or not yet flushed).
+func (c *Client) Pending() int { return c.pending }
+
+// Do sends one command, flushes, and returns its reply.
+func (c *Client) Do(args ...string) (Value, error) {
+	if err := c.SendStrings(args...); err != nil {
+		return Value{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Value{}, err
+	}
+	return c.Recv()
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

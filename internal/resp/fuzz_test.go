@@ -1,0 +1,68 @@
+package resp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCommand asserts the parser never panics, never returns an
+// argument larger than its limit, and — after a recoverable protocol
+// error — can keep consuming the stream without looping forever.
+func FuzzReadCommand(f *testing.F) {
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"))
+	f.Add([]byte("PING\r\n"))
+	f.Add([]byte("GET key extra  args\r\n"))
+	f.Add([]byte("*abc\r\nPING\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$999999999\r\nzzz"))
+	f.Add([]byte("*1\r\n:5\r\n"))
+	f.Add([]byte("$5\r\nhello\r\n"))
+	f.Add([]byte("*-1\r\n*0\r\n\r\n\n"))
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		r.MaxBulkLen = 1 << 16
+		r.MaxArrayLen = 64
+		for i := 0; i < 64; i++ {
+			args, err := r.ReadCommand()
+			if err != nil {
+				if IsRecoverable(err) {
+					continue // parser promises the stream is resynced
+				}
+				return // fatal protocol error or EOF: connection would close
+			}
+			if len(args) == 0 {
+				t.Fatal("ReadCommand returned an empty command without error")
+			}
+			if len(args) > 64 {
+				t.Fatalf("command has %d args, over the limit", len(args))
+			}
+			for _, a := range args {
+				if len(a) > 1<<16 {
+					t.Fatalf("arg of %d bytes, over the limit", len(a))
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadReply mirrors FuzzReadCommand for the client-side reply parser.
+func FuzzReadReply(f *testing.F) {
+	f.Add([]byte("+OK\r\n"))
+	f.Add([]byte("-ERR nope\r\n"))
+	f.Add([]byte(":42\r\n"))
+	f.Add([]byte("$5\r\nhello\r\n$-1\r\n"))
+	f.Add([]byte("*2\r\n$1\r\na\r\n:7\r\n"))
+	f.Add([]byte("*9999999\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(io.MultiReader(bytes.NewReader(data), strings.NewReader(""))) //nolint:staticcheck // exercise non-bufio path
+		r.MaxBulkLen = 1 << 16
+		r.MaxArrayLen = 64
+		for i := 0; i < 64; i++ {
+			if _, err := r.ReadReply(); err != nil {
+				return
+			}
+		}
+	})
+}

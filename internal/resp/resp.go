@@ -1,0 +1,417 @@
+// Package resp implements the Redis wire protocol (RESP2) for the SHIELD
+// serving front-end: a command reader that accepts both the array-of-bulk
+// form pipelined clients send and the inline form humans type over netcat,
+// a reply writer for the five RESP reply types, and a pipelined client used
+// by shield-bench's network mode and the integration tests.
+//
+// Protocol errors are split into two classes. Errors detected at a clean
+// line boundary (a malformed inline command, a bad array header) are
+// recoverable: the caller replies -ERR and keeps reading — the next command
+// starts at the next line. Errors inside a frame (a bad element type, a
+// corrupt or oversized bulk length) leave the stream position ambiguous, so
+// they are fatal: the caller replies and then closes, exactly like Redis.
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Default parser limits. They bound how much memory one connection can
+// demand before the server has validated anything.
+const (
+	DefaultMaxBulkLen  = 64 << 20 // one argument
+	DefaultMaxArrayLen = 1024     // arguments per command
+	maxInlineLen       = 64 << 10 // one inline command line
+)
+
+// ProtocolError describes malformed input from the peer. Recoverable
+// reports whether the reader consumed through a line boundary and can keep
+// parsing the connection; when false the connection must be closed after
+// replying.
+type ProtocolError struct {
+	Msg         string
+	Recoverable bool
+}
+
+func (e *ProtocolError) Error() string { return "resp: protocol error: " + e.Msg }
+
+// IsRecoverable reports whether err is a protocol error the connection can
+// survive (reply -ERR, keep reading).
+func IsRecoverable(err error) bool {
+	var pe *ProtocolError
+	return errors.As(err, &pe) && pe.Recoverable
+}
+
+// IsProtocolError reports whether err is any protocol error (as opposed to
+// an I/O error on the underlying stream).
+func IsProtocolError(err error) bool {
+	var pe *ProtocolError
+	return errors.As(err, &pe)
+}
+
+func protoErr(recoverable bool, format string, args ...any) error {
+	return &ProtocolError{Msg: fmt.Sprintf(format, args...), Recoverable: recoverable}
+}
+
+// Reader parses commands and replies from a RESP stream.
+type Reader struct {
+	br *bufio.Reader
+
+	// MaxBulkLen and MaxArrayLen bound a single argument and a single
+	// command's argument count; both default when zero.
+	MaxBulkLen  int
+	MaxArrayLen int
+}
+
+// NewReader wraps r. If r is already a *bufio.Reader it is used directly.
+func NewReader(r io.Reader) *Reader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Reader{br: br}
+}
+
+func (r *Reader) maxBulk() int {
+	if r.MaxBulkLen > 0 {
+		return r.MaxBulkLen
+	}
+	return DefaultMaxBulkLen
+}
+
+func (r *Reader) maxArray() int {
+	if r.MaxArrayLen > 0 {
+		return r.MaxArrayLen
+	}
+	return DefaultMaxArrayLen
+}
+
+// Buffered reports how many bytes are already buffered in memory — the
+// pipelining signal: a server can keep parsing commands without another
+// network read while this is nonzero.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// readLine reads through the next LF and returns the line without its
+// terminator. RESP terminates lines with CRLF; a bare LF is tolerated on
+// inline input. Lines longer than maxInlineLen are a fatal protocol error.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if errors.Is(err, bufio.ErrBufferFull) {
+		// Drain the oversized line so the error is at least diagnosable,
+		// but treat it as fatal: the peer is not speaking sane RESP.
+		for errors.Is(err, bufio.ErrBufferFull) {
+			_, err = r.br.ReadSlice('\n')
+		}
+		if err != nil {
+			return nil, err
+		}
+		return nil, protoErr(false, "line exceeds %d bytes", maxInlineLen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// ReadCommand returns the next command as its argument vector. It accepts
+// the RESP array-of-bulk-strings form and the inline form. Empty inline
+// lines (and empty arrays) are skipped, matching Redis. The returned
+// slices are owned by the caller.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		first, err := r.br.Peek(1)
+		if err != nil {
+			return nil, err
+		}
+		if first[0] != '*' {
+			args, err := r.readInline()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) == 0 {
+				continue // blank line between commands
+			}
+			return args, nil
+		}
+		args, err := r.readArray()
+		if err != nil {
+			return nil, err
+		}
+		if args == nil {
+			continue // empty or null array: ignore, like Redis
+		}
+		return args, nil
+	}
+}
+
+// readInline splits one line into whitespace-separated arguments.
+func (r *Reader) readInline() ([][]byte, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	var args [][]byte
+	for i := 0; i < len(line); {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			args = append(args, append([]byte(nil), line[start:i]...))
+		}
+	}
+	if len(args) > r.maxArray() {
+		return nil, protoErr(true, "inline command has %d arguments (limit %d)", len(args), r.maxArray())
+	}
+	return args, nil
+}
+
+// readArray parses "*<n>\r\n" followed by n bulk strings. A nil return with
+// nil error means an empty/null array (skip it).
+func (r *Reader) readArray() ([][]byte, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	// line[0] == '*' (peeked by the caller).
+	n, perr := strconv.Atoi(string(line[1:]))
+	if perr != nil {
+		// The full header line was consumed — safe to resync at the next
+		// line, so this class is recoverable.
+		return nil, protoErr(true, "invalid multibulk length %q", line[1:])
+	}
+	if n <= 0 {
+		return nil, nil // "*0" and "*-1": no command
+	}
+	if n > r.maxArray() {
+		// The n bulk frames are still in flight; resync is ambiguous.
+		return nil, protoErr(false, "multibulk length %d exceeds limit %d", n, r.maxArray())
+	}
+	args := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		arg, err := r.readBulk()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, arg)
+	}
+	return args, nil
+}
+
+// readBulk parses "$<len>\r\n<len bytes>\r\n".
+func (r *Reader) readBulk() ([]byte, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, protoErr(false, "expected bulk string, got %q", line)
+	}
+	n, perr := strconv.Atoi(string(line[1:]))
+	if perr != nil || n < 0 {
+		return nil, protoErr(false, "invalid bulk length %q", line[1:])
+	}
+	if n > r.maxBulk() {
+		return nil, protoErr(false, "bulk length %d exceeds limit %d", n, r.maxBulk())
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, protoErr(false, "bulk string missing CRLF terminator")
+	}
+	return buf[:n], nil
+}
+
+// ---- Replies (client side) ----
+
+// Kind tags a parsed reply value.
+type Kind byte
+
+// Reply kinds, matching the RESP type bytes.
+const (
+	KindStatus Kind = '+'
+	KindError  Kind = '-'
+	KindInt    Kind = ':'
+	KindBulk   Kind = '$'
+	KindArray  Kind = '*'
+)
+
+// Value is one parsed RESP reply.
+type Value struct {
+	Kind  Kind
+	Str   []byte  // KindStatus, KindError, KindBulk
+	Int   int64   // KindInt
+	Null  bool    // null bulk ($-1) or null array (*-1)
+	Array []Value // KindArray
+}
+
+// IsError reports whether the value is an -ERR style reply.
+func (v Value) IsError() bool { return v.Kind == KindError }
+
+// Text returns the string payload (status, error, or bulk).
+func (v Value) Text() string { return string(v.Str) }
+
+// ReadReply parses one reply value (used by clients).
+func (r *Reader) ReadReply() (Value, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return Value{}, err
+	}
+	if len(line) == 0 {
+		return Value{}, protoErr(false, "empty reply line")
+	}
+	switch line[0] {
+	case '+':
+		return Value{Kind: KindStatus, Str: append([]byte(nil), line[1:]...)}, nil
+	case '-':
+		return Value{Kind: KindError, Str: append([]byte(nil), line[1:]...)}, nil
+	case ':':
+		n, perr := strconv.ParseInt(string(line[1:]), 10, 64)
+		if perr != nil {
+			return Value{}, protoErr(false, "invalid integer reply %q", line[1:])
+		}
+		return Value{Kind: KindInt, Int: n}, nil
+	case '$':
+		n, perr := strconv.Atoi(string(line[1:]))
+		if perr != nil {
+			return Value{}, protoErr(false, "invalid bulk length %q", line[1:])
+		}
+		if n < 0 {
+			return Value{Kind: KindBulk, Null: true}, nil
+		}
+		if n > r.maxBulk() {
+			return Value{}, protoErr(false, "bulk reply length %d exceeds limit %d", n, r.maxBulk())
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return Value{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Value{}, protoErr(false, "bulk reply missing CRLF terminator")
+		}
+		return Value{Kind: KindBulk, Str: buf[:n]}, nil
+	case '*':
+		n, perr := strconv.Atoi(string(line[1:]))
+		if perr != nil {
+			return Value{}, protoErr(false, "invalid array length %q", line[1:])
+		}
+		if n < 0 {
+			return Value{Kind: KindArray, Null: true}, nil
+		}
+		if n > r.maxArray() {
+			return Value{}, protoErr(false, "array reply length %d exceeds limit %d", n, r.maxArray())
+		}
+		vals := make([]Value, 0, n)
+		for i := 0; i < n; i++ {
+			v, err := r.ReadReply()
+			if err != nil {
+				return Value{}, err
+			}
+			vals = append(vals, v)
+		}
+		return Value{Kind: KindArray, Array: vals}, nil
+	default:
+		return Value{}, protoErr(false, "unknown reply type %q", line[0])
+	}
+}
+
+// ---- Writer ----
+
+// Writer serializes RESP replies (and, for clients, commands) into a
+// buffered stream. Nothing reaches the peer until Flush.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriter(w)
+	}
+	return &Writer{bw: bw}
+}
+
+// Status writes "+s\r\n".
+func (w *Writer) Status(s string) error {
+	w.bw.WriteByte('+') //nolint:errcheck // bufio sticks the first error
+	w.bw.WriteString(s) //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// Error writes "-msg\r\n". CR/LF inside msg would break framing, so they
+// are replaced with spaces.
+func (w *Writer) Error(msg string) error {
+	w.bw.WriteByte('-') //nolint:errcheck
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c == '\r' || c == '\n' {
+			c = ' '
+		}
+		w.bw.WriteByte(c) //nolint:errcheck
+	}
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// Int writes ":n\r\n".
+func (w *Writer) Int(n int64) error {
+	w.bw.WriteByte(':')                        //nolint:errcheck
+	w.bw.WriteString(strconv.FormatInt(n, 10)) //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// Bulk writes "$len\r\nb\r\n".
+func (w *Writer) Bulk(b []byte) error {
+	w.bw.WriteByte('$')                    //nolint:errcheck
+	w.bw.WriteString(strconv.Itoa(len(b))) //nolint:errcheck
+	w.bw.WriteString("\r\n")               //nolint:errcheck
+	w.bw.Write(b)                          //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// Null writes the null bulk "$-1\r\n" (key not found).
+func (w *Writer) Null() error {
+	_, err := w.bw.WriteString("$-1\r\n")
+	return err
+}
+
+// ArrayHeader writes "*n\r\n"; the caller then writes n elements.
+func (w *Writer) ArrayHeader(n int) error {
+	w.bw.WriteByte('*')               //nolint:errcheck
+	w.bw.WriteString(strconv.Itoa(n)) //nolint:errcheck
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// Command writes one command in array-of-bulk form (client side).
+func (w *Writer) Command(args ...[]byte) error {
+	if err := w.ArrayHeader(len(args)); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.Bulk(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush sends everything buffered.
+func (w *Writer) Flush() error { return w.bw.Flush() }

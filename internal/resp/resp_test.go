@@ -1,0 +1,198 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+func readAll(t *testing.T, r *Reader) [][]string {
+	t.Helper()
+	var cmds [][]string
+	for {
+		args, err := r.ReadCommand()
+		if errors.Is(err, io.EOF) {
+			return cmds
+		}
+		if err != nil {
+			t.Fatalf("ReadCommand: %v", err)
+		}
+		var s []string
+		for _, a := range args {
+			s = append(s, string(a))
+		}
+		cmds = append(cmds, s)
+	}
+}
+
+func TestReadCommandForms(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want [][]string
+	}{
+		{"array", "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n", [][]string{{"SET", "k", "v"}}},
+		{"inline", "PING\r\n", [][]string{{"PING"}}},
+		{"inline-args", "GET  some-key\r\n", [][]string{{"GET", "some-key"}}},
+		{"inline-bare-lf", "PING\n", [][]string{{"PING"}}},
+		{"blank-lines-skipped", "\r\n\r\nPING\r\n", [][]string{{"PING"}}},
+		{"empty-array-skipped", "*0\r\n*1\r\n$4\r\nPING\r\n", [][]string{{"PING"}}},
+		{"null-array-skipped", "*-1\r\nPING\r\n", [][]string{{"PING"}}},
+		{"empty-bulk-arg", "*2\r\n$3\r\nGET\r\n$0\r\n\r\n", [][]string{{"GET", ""}}},
+		{"binary-arg", "*2\r\n$3\r\nGET\r\n$3\r\n\x00\r\t\r\n", [][]string{{"GET", "\x00\r\t"}}},
+		{
+			"pipelined-mixed",
+			"*1\r\n$4\r\nPING\r\nGET k\r\n*2\r\n$3\r\nGET\r\n$1\r\nx\r\n",
+			[][]string{{"PING"}, {"GET", "k"}, {"GET", "x"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := readAll(t, NewReader(strings.NewReader(tc.in)))
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d commands %v, want %d", len(got), got, len(tc.want))
+			}
+			for i := range got {
+				if strings.Join(got[i], "|") != strings.Join(tc.want[i], "|") {
+					t.Fatalf("command %d: got %v want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// Partial reads: the same streams must parse identically when the
+// underlying reader returns one byte at a time.
+func TestReadCommandPartialReads(t *testing.T) {
+	in := "*3\r\n$3\r\nSET\r\n$5\r\nhello\r\n$5\r\nworld\r\n*1\r\n$4\r\nPING\r\nGET k\r\n"
+	r := NewReader(iotest.OneByteReader(strings.NewReader(in)))
+	got := readAll(t, r)
+	want := [][]string{{"SET", "hello", "world"}, {"PING"}, {"GET", "k"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range got {
+		if strings.Join(got[i], "|") != strings.Join(want[i], "|") {
+			t.Fatalf("command %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	cases := []struct {
+		name        string
+		in          string
+		recoverable bool
+	}{
+		{"bad-array-len", "*abc\r\nPING\r\n", true},
+		{"huge-inline-argc", "*2000000\r\n", false}, // over MaxArrayLen: elements in flight
+		{"bad-bulk-type", "*1\r\n:5\r\n", false},
+		{"bad-bulk-len", "*1\r\n$abc\r\n", false},
+		{"negative-bulk-len", "*1\r\n$-5\r\n", false},
+		{"oversized-bulk", "*1\r\n$999999999\r\n", false},
+		{"missing-crlf", "*1\r\n$3\r\nabcde\r\n", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tc.in))
+			_, err := r.ReadCommand()
+			if !IsProtocolError(err) {
+				t.Fatalf("want protocol error, got %v", err)
+			}
+			if IsRecoverable(err) != tc.recoverable {
+				t.Fatalf("recoverable=%v, want %v (%v)", IsRecoverable(err), tc.recoverable, err)
+			}
+		})
+	}
+}
+
+// A recoverable error must leave the reader positioned at the next line.
+func TestRecoverableErrorResyncs(t *testing.T) {
+	r := NewReader(strings.NewReader("*zz\r\nPING\r\n"))
+	if _, err := r.ReadCommand(); !IsRecoverable(err) {
+		t.Fatalf("want recoverable protocol error, got %v", err)
+	}
+	args, err := r.ReadCommand()
+	if err != nil || len(args) != 1 || string(args[0]) != "PING" {
+		t.Fatalf("after resync: %v %v", args, err)
+	}
+}
+
+func TestCustomBulkLimit(t *testing.T) {
+	r := NewReader(strings.NewReader("*1\r\n$100\r\n" + strings.Repeat("x", 100) + "\r\n"))
+	r.MaxBulkLen = 10
+	if _, err := r.ReadCommand(); !IsProtocolError(err) || IsRecoverable(err) {
+		t.Fatalf("want fatal protocol error, got %v", err)
+	}
+}
+
+func TestOversizedInlineLine(t *testing.T) {
+	r := NewReader(strings.NewReader(strings.Repeat("a", 1<<20) + "\r\nPING\r\n"))
+	if _, err := r.ReadCommand(); !IsProtocolError(err) || IsRecoverable(err) {
+		t.Fatalf("want fatal protocol error for giant line, got %v", err)
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Status("OK"); err != nil {
+		t.Fatal(err)
+	}
+	w.Error("ERR boom\r\nwith newline") //nolint:errcheck
+	w.Int(-42)                          //nolint:errcheck
+	w.Bulk([]byte("hi\r\nthere"))       //nolint:errcheck
+	w.Null()                            //nolint:errcheck
+	w.ArrayHeader(2)                    //nolint:errcheck
+	w.Bulk([]byte("a"))                 //nolint:errcheck
+	w.Int(7)                            //nolint:errcheck
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	v, err := r.ReadReply()
+	if err != nil || v.Kind != KindStatus || v.Text() != "OK" {
+		t.Fatalf("status: %+v %v", v, err)
+	}
+	v, _ = r.ReadReply()
+	if v.Kind != KindError || strings.Contains(v.Text(), "\n") {
+		t.Fatalf("error reply kept newline: %q", v.Text())
+	}
+	v, _ = r.ReadReply()
+	if v.Kind != KindInt || v.Int != -42 {
+		t.Fatalf("int: %+v", v)
+	}
+	v, _ = r.ReadReply()
+	if v.Kind != KindBulk || v.Text() != "hi\r\nthere" {
+		t.Fatalf("bulk: %+v", v)
+	}
+	v, _ = r.ReadReply()
+	if v.Kind != KindBulk || !v.Null {
+		t.Fatalf("null: %+v", v)
+	}
+	v, err = r.ReadReply()
+	if err != nil || v.Kind != KindArray || len(v.Array) != 2 ||
+		v.Array[0].Text() != "a" || v.Array[1].Int != 7 {
+		t.Fatalf("array: %+v %v", v, err)
+	}
+}
+
+// The command writer must emit frames the command reader accepts verbatim.
+func TestCommandRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Command([]byte("SET"), []byte("k"), []byte("binary\x00\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	args, err := NewReader(&buf).ReadCommand()
+	if err != nil || len(args) != 3 || string(args[2]) != "binary\x00\r\n" {
+		t.Fatalf("round trip: %q %v", args, err)
+	}
+}

@@ -24,6 +24,8 @@ const (
 	evStoreKill                     // stop the dstore node (dstore runs only)
 	evStoreRestart                  // restart the dstore node; heal if degraded
 	evBitRot                        // flip a bit in one cold SST (taints the run)
+	evConnStorm                     // burst of arg RESP clients, valid + malformed mix
+	evSlowClient                    // arg connections send a partial frame and stall
 	evCrash                         // power loss: snapshot, restore, reopen (arg=1: torn)
 )
 
@@ -38,6 +40,8 @@ var eventNames = map[eventKind]string{
 	evStoreKill:    "store-kill",
 	evStoreRestart: "store-restart",
 	evBitRot:       "bit-rot",
+	evConnStorm:    "conn-storm",
+	evSlowClient:   "slow-client",
 	evCrash:        "crash",
 }
 
@@ -121,6 +125,12 @@ func planNemesis(cfg Config, rng *rand.Rand) []event {
 			storeDown = true
 		case roll < 0.72 && cfg.BitRot:
 			plan = append(plan, event{step, evBitRot, rng.Int63()})
+		// The serving-layer events are gated on ConnStorm so every
+		// pre-existing seed's plan (and hash) is unchanged with it off.
+		case roll < 0.80 && cfg.ConnStorm:
+			plan = append(plan, event{step, evConnStorm, 3 + rng.Int63n(6)})
+		case roll < 0.85 && cfg.ConnStorm:
+			plan = append(plan, event{step, evSlowClient, 1 + rng.Int63n(3)})
 		default:
 			torn := int64(0)
 			if rng.Float64() < 0.5 {

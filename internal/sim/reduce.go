@@ -11,9 +11,14 @@ func Reduce(cfg Config, attempts int) (int, *Result) {
 	if attempts <= 0 {
 		attempts = 2
 	}
-	fails := func(maxEvents int) *Result {
+	// fails probes a prefix of k events (0 = no nemesis at all, expressed
+	// as a negative MaxEvents since the zero value means "no cap").
+	fails := func(k int) *Result {
 		c := cfg
-		c.MaxEvents = maxEvents
+		c.MaxEvents = k
+		if k == 0 {
+			c.MaxEvents = -1
+		}
 		for i := 0; i < attempts; i++ {
 			if r := Run(c); r.Failed() {
 				return r
@@ -23,7 +28,14 @@ func Reduce(cfg Config, attempts int) (int, *Result) {
 	}
 
 	// Confirm the full schedule still fails before spending time shrinking.
-	full := fails(-1)
+	c := cfg
+	c.MaxEvents = 0
+	var full *Result
+	for i := 0; i < attempts && full == nil; i++ {
+		if r := Run(c); r.Failed() {
+			full = r
+		}
+	}
 	if full == nil {
 		return -1, nil
 	}

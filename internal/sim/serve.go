@@ -1,0 +1,192 @@
+package sim
+
+// Serving-layer nemesis (Config.ConnStorm): the simulation fronts the
+// engine with a real shield-server on a loopback socket and adds two
+// client-misbehavior events to the fault mix — connection storms (a burst
+// of clients sending valid, unknown, and malformed commands at once) and
+// slow clients (partial frames, then silence, holding their connections
+// for the rest of the run). After each event a health probe checks the
+// server still answers PING; a server wedged by misbehaving clients is a
+// violation.
+//
+// The server reaches the engine through a swappable handle rather than
+// *lsm.DB directly: nemesis events run with the crash barrier (stackMu)
+// held exclusively, and a server handler taking stackMu to reach the
+// engine would deadlock against a storm fired under that same lock. The
+// handle is an atomic pointer — nil while a crash is rebuilding the stack,
+// in which case commands fail with -ERR and the connection survives.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shield/internal/lsm"
+	"shield/internal/resp"
+	"shield/internal/server"
+)
+
+// errEngineDown is what server commands return while the nemesis has the
+// engine torn down mid-crash.
+var errEngineDown = errors.New("sim: engine restarting")
+
+// swapEngine adapts the simulation's crash-and-reopen *lsm.DB to
+// server.Engine, lock-free so handlers never block on the crash barrier.
+type swapEngine struct {
+	db atomic.Pointer[lsm.DB]
+}
+
+func (e *swapEngine) Get(key []byte) ([]byte, error) {
+	if db := e.db.Load(); db != nil {
+		return db.Get(key)
+	}
+	return nil, errEngineDown
+}
+
+func (e *swapEngine) Write(b *lsm.Batch, sync bool) error {
+	if db := e.db.Load(); db != nil {
+		return db.Write(b, sync)
+	}
+	return errEngineDown
+}
+
+func (e *swapEngine) Metrics() lsm.Metrics {
+	if db := e.db.Load(); db != nil {
+		return db.Metrics()
+	}
+	return lsm.Metrics{}
+}
+
+// startServerLocked boots the RESP front-end over the swappable engine
+// handle. Called from bootstrap when ConnStorm is enabled.
+func (s *simulation) startServerLocked() error {
+	srv, err := server.New(server.Config{
+		Shards:       []server.Engine{s.srvEngine},
+		IdleTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Second,
+		DrainTimeout: time.Second,
+		Logger: func(format string, args ...any) {
+			s.note("server: "+format, args...)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	s.srv = srv
+	s.srvAddr = srv.Addr()
+	go srv.Serve() //nolint:errcheck // exits nil on Close; accept errors surface via the health probe
+	return nil
+}
+
+// connStormLocked is the connection-storm event: arg clients connect at
+// once, each sending a mix of valid commands, unknown commands, and a
+// malformed (recoverable) frame, then reading its replies. Storm clients
+// never write keys, so the durability checker stays undisturbed. Runs
+// under the crash barrier; handlers stay live because the engine handle is
+// lock-free.
+//
+//shield:nolockio stackMu is the nemesis barrier; the sockets are loopback and the event must exclude workload ops by design
+func (s *simulation) connStormLocked(arg int64) {
+	n := int(arg)
+	if n < 1 {
+		n = 1
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", s.srvAddr, time.Second)
+			if err != nil {
+				s.note("storm client %d: dial: %v", c, err)
+				return
+			}
+			defer conn.Close()                                //nolint:errcheck
+			conn.SetDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+			key := s.keys[(int(arg)+c)%len(s.keys)]
+			// One pipelined burst: inline PING, an unknown command, a
+			// malformed array header (recoverable protocol error), a GET,
+			// and INFO — five replies expected, connection stays up.
+			frame := "PING\r\nNOSUCHCMD a b\r\n*zz\r\nGET " + key + "\r\nINFO\r\n"
+			if _, err := conn.Write([]byte(frame)); err != nil {
+				s.note("storm client %d: write: %v", c, err)
+				return
+			}
+			r := resp.NewReader(conn)
+			for i := 0; i < 5; i++ {
+				if _, err := r.ReadReply(); err != nil {
+					s.note("storm client %d: reply %d: %v", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	s.probeServerLocked("conn-storm")
+}
+
+// slowClientLocked opens arg connections that each send a partial frame
+// and then stall, holding their sockets for the rest of the run — the
+// server must keep serving around them (its idle deadline would reap them
+// eventually; sim runs are shorter than that, so the point is isolation,
+// not reaping).
+//
+//shield:nolockio stackMu is the nemesis barrier; the sockets are loopback and the event must exclude workload ops by design
+func (s *simulation) slowClientLocked(arg int64) {
+	n := int(arg)
+	if n < 1 {
+		n = 1
+	}
+	for c := 0; c < n; c++ {
+		conn, err := net.DialTimeout("tcp", s.srvAddr, time.Second)
+		if err != nil {
+			s.note("slow client %d: dial: %v", c, err)
+			continue
+		}
+		if _, err := conn.Write([]byte("*2\r\n$3\r\nGET\r\n$64\r\npartial")); err != nil {
+			s.note("slow client %d: write: %v", c, err)
+			conn.Close() //nolint:errcheck
+			continue
+		}
+		s.slowConns = append(s.slowConns, conn)
+	}
+	s.probeServerLocked("slow-client")
+}
+
+// probeServerLocked is the post-event health check: a fresh connection
+// must get +PONG. A server that stopped answering after a client-chaos
+// event is wedged, and that is a checker violation.
+//
+//shield:nolockio stackMu is the nemesis barrier; the probe is one loopback round trip
+func (s *simulation) probeServerLocked(after string) {
+	cl, err := resp.Dial(s.srvAddr, 2*time.Second)
+	if err != nil {
+		s.checker.violate("server unreachable after %s: %v", after, err)
+		return
+	}
+	defer cl.Close() //nolint:errcheck
+	v, err := cl.Do("PING")
+	if err != nil || v.Kind != resp.KindStatus || string(v.Str) != "PONG" {
+		s.checker.violate("server health probe failed after %s: %+v, %v", after, v, err)
+	}
+}
+
+// stopServerLocked tears down the serving layer at end of run.
+//
+//shield:nolockio runs once at teardown with all workers gone; sockets are loopback
+func (s *simulation) stopServerLocked() {
+	for _, c := range s.slowConns {
+		c.Close() //nolint:errcheck
+	}
+	s.slowConns = nil
+	if s.srv != nil {
+		s.srv.Close() //nolint:errcheck // Close only returns nil
+		s.srv = nil
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"shield/internal/lsm"
 	"shield/internal/netretry"
 	"shield/internal/seccache"
+	"shield/internal/server"
 	"shield/internal/vfs"
 )
 
@@ -45,8 +47,11 @@ type Config struct {
 	// Events is the nemesis schedule length (default Ops/60, min 4).
 	Events int
 
-	// MaxEvents, when >= 0, truncates the schedule to its first MaxEvents
-	// entries — the reducer's lever. -1 (the default) applies no cap.
+	// MaxEvents, when > 0, truncates the schedule to its first MaxEvents
+	// entries — the reducer's lever. The zero value applies no cap (the
+	// full schedule runs); a negative value runs an empty schedule. (The
+	// zero value used to truncate everything, which silently stripped the
+	// nemesis from any Config that didn't set the field.)
 	MaxEvents int
 
 	// Dstore routes the data path through a disaggregated storage node
@@ -58,6 +63,13 @@ type Config struct {
 	// quarantine semantics, so leave it off when hunting strict-durability
 	// bugs.
 	BitRot bool
+
+	// ConnStorm fronts the engine with a RESP shield-server on loopback
+	// and adds connection-storm and slow-client events: bursts of clients
+	// mixing valid, unknown, and malformed commands, plus connections that
+	// stall mid-frame. A health probe after each event checks the server
+	// still answers; a wedged server is a violation.
+	ConnStorm bool
 
 	// Timeout aborts a wedged run (default 2 minutes); a trip is reported
 	// as a violation, since nothing in the stack should deadlock.
@@ -150,6 +162,14 @@ type simulation struct {
 	storeClient *dstore.Client
 	storeUp     bool
 
+	// Serving layer (ConnStorm runs): a RESP server over a lock-free
+	// swappable engine handle, plus the stalled connections the
+	// slow-client event leaves open. All mutated under stackMu exclusive.
+	srv       *server.Server
+	srvEngine *swapEngine
+	srvAddr   string
+	slowConns []net.Conn
+
 	plan   []event
 	nextEv int
 	evMu   sync.Mutex
@@ -168,8 +188,14 @@ func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	planRNG := rand.New(rand.NewSource(subSeed(cfg.Seed, 0)))
 	plan := planNemesis(cfg, planRNG)
-	if cfg.MaxEvents >= 0 && len(plan) > cfg.MaxEvents {
-		plan = plan[:cfg.MaxEvents]
+	if cfg.MaxEvents != 0 {
+		limit := cfg.MaxEvents
+		if limit < 0 {
+			limit = 0
+		}
+		if len(plan) > limit {
+			plan = plan[:limit]
+		}
 	}
 	netretry.Seed(subSeed(cfg.Seed, 1))
 
@@ -279,11 +305,29 @@ func (s *simulation) bootstrap() error {
 			return err
 		}
 	}
+	if s.cfg.ConnStorm {
+		s.srvEngine = &swapEngine{}
+	}
 	s.openDBLocked()
 	if s.dead.Load() {
 		return errors.New("initial open failed")
 	}
+	if s.cfg.ConnStorm {
+		if err := s.startServerLocked(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// setDBLocked swaps the engine: the field the workload reads under the
+// crash barrier, and the lock-free handle the serving layer reads without
+// it (nil while the stack is torn down mid-crash).
+func (s *simulation) setDBLocked(db *lsm.DB) {
+	s.db = db
+	if s.srvEngine != nil {
+		s.srvEngine.db.Store(db)
+	}
 }
 
 func (s *simulation) dataFSLocked() vfs.FS {
@@ -368,7 +412,7 @@ func (s *simulation) openDBLocked() {
 		}
 		db, err := core.Open(simDir, cfg, s.lsmOptsLocked())
 		if err == nil {
-			s.db = db
+			s.setDBLocked(db)
 			s.reopens.Add(1)
 			return
 		}
@@ -387,13 +431,13 @@ func (s *simulation) openDBLocked() {
 			s.note("open hit an injected transient fault; retrying")
 		default:
 			s.checker.violate("reopen failed irrecoverably: %v", err)
-			s.db = nil
+			s.setDBLocked(nil)
 			s.dead.Store(true)
 			return
 		}
 	}
 	s.checker.violate("reopen retries exhausted")
-	s.db = nil
+	s.setDBLocked(nil)
 	s.dead.Store(true)
 }
 
@@ -424,14 +468,18 @@ func (s *simulation) fireDue(step uint64) {
 			return
 		}
 		ev := s.plan[s.nextEv]
+		idx := s.nextEv
 		s.nextEv++
 		s.evMu.Unlock()
-		s.fire(ev)
+		s.fire(ev, idx)
 	}
 }
 
+// fire executes one claimed event; idx is its plan position, captured by
+// the claimer under evMu (reading s.nextEv here would race later claims).
+//
 //shield:nolockio the exclusive lock IS the nemesis barrier: events must run with no workload op in flight, so blocking I/O under stackMu is the design, not an accident
-func (s *simulation) fire(ev event) {
+func (s *simulation) fire(ev event, idx int) {
 	s.stackMu.Lock()
 	defer s.stackMu.Unlock()
 	if s.dead.Load() {
@@ -488,8 +536,12 @@ func (s *simulation) fire(ev event) {
 		}
 	case evBitRot:
 		s.bitRotLocked(ev.arg)
+	case evConnStorm:
+		s.connStormLocked(ev.arg)
+	case evSlowClient:
+		s.slowClientLocked(ev.arg)
 	case evCrash:
-		s.crashLocked(ev.arg == 1, subSeed(s.cfg.Seed, 5000+uint64(s.nextEv)))
+		s.crashLocked(ev.arg == 1, subSeed(s.cfg.Seed, 5000+uint64(idx)))
 	}
 }
 
@@ -512,7 +564,7 @@ func (s *simulation) healLocked() {
 	if err := s.db.Close(); err != nil {
 		s.note("close while degraded: %v", err)
 	}
-	s.db = nil
+	s.setDBLocked(nil)
 	s.openDBLocked()
 }
 
@@ -573,7 +625,7 @@ func (s *simulation) crashLocked(torn bool, tornSeed int64) {
 	s.crashes.Add(1)
 	if s.db != nil {
 		old := s.db
-		s.db = nil
+		s.setDBLocked(nil)
 		go old.Close() //nolint:errcheck // the "process" died; this just reaps goroutines
 	}
 	if s.cfg.Dstore && s.storeUp {
@@ -710,7 +762,7 @@ func (s *simulation) finalVerify() {
 		if s.db != nil {
 			s.db.Close() //nolint:errcheck
 		}
-		s.db = nil
+		s.setDBLocked(nil)
 		s.openDBLocked()
 	}
 	if s.dead.Load() {
@@ -749,9 +801,10 @@ func (s *simulation) finalVerify() {
 func (s *simulation) teardown() {
 	s.stackMu.Lock()
 	defer s.stackMu.Unlock()
+	s.stopServerLocked()
 	if s.db != nil {
 		s.db.Close() //nolint:errcheck
-		s.db = nil
+		s.setDBLocked(nil)
 	}
 	if s.storeClient != nil {
 		s.storeClient.Close()

@@ -54,6 +54,39 @@ func TestSmokeBitRot(t *testing.T) {
 	requirePass(t, r)
 }
 
+// TestSmokeConnStorm runs seeds with the RESP serving layer fronting the
+// engine: connection storms and slow clients fire between crashes, and the
+// post-event health probes (a wedged server is a violation) must pass.
+// Seed 1 at these settings plans both a conn-storm and a slow-client event.
+func TestSmokeConnStorm(t *testing.T) {
+	r := Run(Config{Seed: 1, Ops: 300, ConnStorm: true})
+	t.Logf("connstorm seed 1: hash=%s acked=%d crashes=%d", r.Hash, r.Acked, r.Crashes)
+	requirePass(t, r)
+	var storm, slow bool
+	for _, l := range r.Plan {
+		storm = storm || strings.Contains(l, "conn-storm")
+		slow = slow || strings.Contains(l, "slow-client")
+	}
+	if !storm || !slow {
+		t.Errorf("plan exercised conn-storm=%v slow-client=%v, want both:\n  %s",
+			storm, slow, strings.Join(r.Plan, "\n  "))
+	}
+}
+
+// TestConnStormOffKeepsPlans pins the gating contract: enabling the
+// serving layer must not disturb the schedule any pre-existing seed
+// derives with it off, so old hashes stay replayable.
+func TestConnStormOffKeepsPlans(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		plain := Run(Config{Seed: seed, Ops: 300})
+		for _, l := range plain.Plan {
+			if strings.Contains(l, "conn-storm") || strings.Contains(l, "slow-client") {
+				t.Fatalf("seed %d planned a serving-layer event with ConnStorm off: %s", seed, l)
+			}
+		}
+	}
+}
+
 // TestSeedReproducesHash is the reproducibility acceptance check: the same
 // seed derives the same nemesis schedule, byte for byte, across runs.
 func TestSeedReproducesHash(t *testing.T) {
