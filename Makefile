@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long bench-json server-test
+.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long tamper-test fuzz bench-json server-test
 
 all: build vet shield-vet test
 
@@ -60,6 +60,21 @@ sim-long:
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -dstore
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -bitrot
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -dstore -bitrot
+
+# Adversarial gate (DESIGN.md §13): seeded bit flips plus a manifest
+# rollback every run. Tampering must surface only as typed integrity
+# errors or quarantine-absence, the rollback must fail closed at reopen,
+# and the end-of-run scrub audit must flag every still-tampered file.
+tamper-test:
+	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -bitrot -rollback
+
+# Coverage-guided fuzzing of the sealed (format v2) parser: arbitrary
+# bodies must round-trip or fail as integrity errors — never panic or
+# misclassify. FUZZTIME bounds the run; CI uses a short burst, leave it
+# running locally to dig deeper.
+FUZZTIME ?= 30s
+fuzz:
+	go test -run='^$$' -fuzz=FuzzSealedOpen -fuzztime=$(FUZZTIME) ./internal/crypt/
 
 # Third-party linters. These reach the network to fetch the pinned tool the
 # first time; they are deliberately NOT part of `make all` so an offline

@@ -1,7 +1,7 @@
 // Command shield-sim runs the seeded whole-stack fault simulation
 // (internal/sim): a concurrent checked workload against the full SHIELD
 // stack while a nemesis injects disk-full, network faults, KDS and
-// storage-node kills, bit-rot, and power-loss crashes.
+// storage-node kills, bit-rot, manifest rollbacks, and power-loss crashes.
 //
 // Usage:
 //
@@ -10,6 +10,7 @@
 //	shield-sim -seed 1337 -events 3      # replay a reduced schedule prefix
 //	shield-sim -seeds 20 -dstore -bitrot # widen the fault matrix
 //	shield-sim -seeds 20 -connstorm      # add RESP serving-layer chaos
+//	shield-sim -seeds 20 -bitrot -rollback # adversarial tamper + rollback
 //
 // Every run prints its schedule hash; the same seed and flags produce the
 // same hash (the reproducibility witness). On failure the reducer shrinks
@@ -36,6 +37,7 @@ func main() {
 		events    = flag.Int("events", 0, "cap the nemesis schedule to its first N events (0 = full, negative = none)")
 		dstore    = flag.Bool("dstore", false, "route the data path through a disaggregated storage node")
 		bitrot    = flag.Bool("bitrot", false, "enable bit-rot (tamper) events")
+		rollback  = flag.Bool("rollback", false, "enable the manifest-rollback nemesis (adversary restores a stale durable image)")
 		connstorm = flag.Bool("connstorm", false, "front the engine with a RESP server and add connection-storm/slow-client events")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-run watchdog")
 		verbose   = flag.Bool("v", false, "verbose event and engine logging")
@@ -55,6 +57,7 @@ func main() {
 			MaxEvents: *events,
 			Dstore:    *dstore,
 			BitRot:    *bitrot,
+			Rollback:  *rollback,
 			ConnStorm: *connstorm,
 			Timeout:   *timeout,
 		}
@@ -96,12 +99,12 @@ func main() {
 				if k == 0 {
 					evFlag = -1 // 0 means "full schedule" to the flag
 				}
-				fmt.Printf("\nreplay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d -events=%d%s%s%s\n",
-					s, *ops, *workers, evFlag, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -connstorm", *connstorm))
+				fmt.Printf("\nreplay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d -events=%d%s%s%s%s\n",
+					s, *ops, *workers, evFlag, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -rollback", *rollback), boolFlag(" -connstorm", *connstorm))
 			} else {
 				fmt.Println("failure did not reproduce during reduction (interleaving-dependent); replay the full seed:")
-				fmt.Printf("replay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d%s%s%s\n",
-					s, *ops, *workers, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -connstorm", *connstorm))
+				fmt.Printf("replay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d%s%s%s%s\n",
+					s, *ops, *workers, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -rollback", *rollback), boolFlag(" -connstorm", *connstorm))
 			}
 		}
 		return false

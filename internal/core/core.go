@@ -105,6 +105,12 @@ type Config struct {
 	// ablation knob for the paper's Table 2 ("Encrypted SST" row); it
 	// violates the threat model and exists only for measurement.
 	PlaintextWAL bool
+
+	// LegacyCTR writes new files in format v1 (CTR, unauthenticated), as
+	// builds before format v2 did. Reads accept both formats regardless;
+	// the knob exists for mixed-version coexistence tests and staged
+	// rollouts.
+	LegacyCTR bool
 }
 
 func (c Config) withDefaults() Config {
@@ -152,8 +158,25 @@ func (c Config) BuildWrapper() (lsm.FileWrapper, error) {
 	return newShieldWrapper(c.withDefaults()), nil
 }
 
+// cacheFreshness anchors a store's freshness epoch in the passkey-sealed
+// secure cache: the floor lives in the same tamper-evident payload as the
+// DEKs, outside the data directory, so rolling the data back cannot roll
+// the floor back.
+type cacheFreshness struct {
+	cache *seccache.Cache
+	store string
+}
+
+// EpochFloor implements lsm.FreshnessStore.
+func (f cacheFreshness) EpochFloor() (uint64, bool) { return f.cache.EpochFloor(f.store) }
+
+// SealEpoch implements lsm.FreshnessStore.
+func (f cacheFreshness) SealEpoch(epoch uint64) error { return f.cache.SealEpoch(f.store, epoch) }
+
 // Open opens a database in dir with the encryption design applied.
-// opts.FS and opts.Wrapper are populated from cfg.
+// opts.FS and opts.Wrapper are populated from cfg. Under ModeSHIELD with a
+// secure cache, opts.Freshness defaults to an epoch floor sealed into that
+// cache, making recovery rollback-proof (fail closed on epoch regression).
 func Open(dir string, cfg Config, opts lsm.Options) (*lsm.DB, error) {
 	fs, err := cfg.BuildFS()
 	if err != nil {
@@ -165,5 +188,8 @@ func Open(dir string, cfg Config, opts lsm.Options) (*lsm.DB, error) {
 	}
 	opts.FS = fs
 	opts.Wrapper = wrapper
+	if opts.Freshness == nil && cfg.Mode == ModeSHIELD && cfg.Cache != nil {
+		opts.Freshness = cacheFreshness{cache: cfg.Cache, store: dir}
+	}
 	return lsm.Open(dir, opts)
 }

@@ -214,7 +214,7 @@ func TestUniqueDEKPerFile(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		id, _, _, err := parseHeader(data)
+		id, _, _, _, err := parseHeader(data)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
 		}
@@ -299,7 +299,7 @@ func sstDEKIDs(t *testing.T, fs *vfs.MemFS) map[kds.KeyID]bool {
 		if err != nil {
 			t.Fatal(err)
 		}
-		id, _, _, err := parseHeader(data)
+		id, _, _, _, err := parseHeader(data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -508,7 +508,7 @@ func TestLeakedDEKBlastRadius(t *testing.T) {
 			continue
 		}
 		data, _ := vfs.ReadFile(fs, "db/"+e.Name)
-		id, iv, hdr, err := parseHeader(data)
+		id, iv, _, hdr, err := parseHeader(data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -525,15 +525,36 @@ func TestLeakedDEKBlastRadius(t *testing.T) {
 	}
 
 	decryptsValidTable := func(f sstFile, dek crypt.DEK) bool {
-		body := make([]byte, len(f.data)-f.hdr)
-		if err := crypt.EncryptAt(dek, f.iv, body, f.data[f.hdr:], 0); err != nil {
+		// SSTs are sealed (format v2): open every block under the DEK. The
+		// wrong key fails authentication rather than yielding garbage.
+		sealer, err := crypt.NewSealer(dek, f.iv[:crypt.SealedNoncePrefixLen], f.data[:f.hdr])
+		if err != nil {
 			t.Fatal(err)
 		}
+		const cb = crypt.SealedBlockSize + crypt.SealedTagSize
+		body := f.data[f.hdr:]
+		var plain []byte
+		for i := 0; ; i++ {
+			start := i * cb
+			final := len(body)-start <= cb
+			end := start + cb
+			if final {
+				end = len(body)
+			}
+			out, err := sealer.OpenBlock(nil, body[start:end], uint32(i), final)
+			if err != nil {
+				return false
+			}
+			plain = append(plain, out...)
+			if final {
+				break
+			}
+		}
 		// A correct DEK yields the table magic in the footer.
-		if len(body) < 8 {
+		if len(plain) < 8 {
 			return false
 		}
-		magic := body[len(body)-8:]
+		magic := plain[len(plain)-8:]
 		want := []byte{0x44, 0x4c, 0x48, 0x53, 0x42, 0x54, 0x53, 0x53} // "SSTBSHLD" LE
 		return bytes.Equal(magic, want)
 	}

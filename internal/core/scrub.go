@@ -40,5 +40,11 @@ func Scrub(dir string, cfg Config, opts lsm.ScrubOptions) (*lsm.ScrubReport, err
 	if opts.Encrypted == nil {
 		opts.Encrypted = EncryptedSniffer
 	}
+	// Anchor rollback detection in the secure cache, matching what Open
+	// does: the scrub then reports stale-epoch verdicts for rolled-back
+	// stores and (with AllowRollback) re-stamps them past the sealed floor.
+	if opts.Freshness == nil && cfg.Mode == ModeSHIELD && cfg.Cache != nil {
+		opts.Freshness = cacheFreshness{cache: cfg.Cache, store: dir}
+	}
 	return lsm.Scrub(fs, dir, opts)
 }

@@ -37,9 +37,18 @@ func kdsUnavailable(err error) bool {
 // The DEK-ID is deliberately in the clear — it is the metadata-enabled
 // sharing hook of Section 5.4. Possession of a DEK-ID is useless without
 // KDS authorization, and one-time provisioning blocks replay of leaked IDs.
+//
+// version selects the body format: 1 is AES-128-CTR under the 16-byte IV
+// (confidentiality only), 2 is per-block AES-GCM (crypt/seal.go) with the
+// first 8 IV bytes as the nonce prefix and the full header as AAD — so a
+// header cannot be transplanted onto another body. New SSTs are written as
+// v2; WAL and MANIFEST streams stay v1 (sealing finalizes on first Sync,
+// which append-many files cannot satisfy); readers accept both, which is
+// what lets a v1 store migrate file-by-file through compaction.
 const (
-	shieldMagic   = 0x53484c44 // "SHLD"
-	shieldVersion = 1
+	shieldMagic    = 0x53484c44 // "SHLD"
+	shieldVersion  = 1
+	shieldVersion2 = 2
 )
 
 // errBadHeader wraps lsm.ErrCorruption: a malformed SHIELD header is
@@ -47,11 +56,11 @@ const (
 // the KDS is unreachable and must never classify as corruption).
 var errBadHeader = fmt.Errorf("core: bad SHIELD file header: %w", lsm.ErrCorruption)
 
-func encodeHeader(dekID kds.KeyID, iv [crypt.IVSize]byte) []byte {
+func encodeHeader(dekID kds.KeyID, iv [crypt.IVSize]byte, version uint32) []byte {
 	out := make([]byte, 0, 10+len(dekID)+crypt.IVSize)
 	var tmp [10]byte
 	binary.LittleEndian.PutUint32(tmp[0:4], shieldMagic)
-	binary.LittleEndian.PutUint32(tmp[4:8], shieldVersion)
+	binary.LittleEndian.PutUint32(tmp[4:8], version)
 	binary.LittleEndian.PutUint16(tmp[8:10], uint16(len(dekID)))
 	out = append(out, tmp[:]...)
 	out = append(out, dekID...)
@@ -59,37 +68,49 @@ func encodeHeader(dekID kds.KeyID, iv [crypt.IVSize]byte) []byte {
 	return out
 }
 
-// parseHeader decodes a header from buf; returns the DEK-ID, IV, and total
-// header length.
-func parseHeader(buf []byte) (kds.KeyID, [crypt.IVSize]byte, int, error) {
+// parseHeader decodes a header from buf; returns the DEK-ID, IV, format
+// version, and total header length.
+func parseHeader(buf []byte) (kds.KeyID, [crypt.IVSize]byte, uint32, int, error) {
 	var iv [crypt.IVSize]byte
 	if len(buf) < 10 {
-		return "", iv, 0, errBadHeader
+		return "", iv, 0, 0, errBadHeader
 	}
 	if binary.LittleEndian.Uint32(buf[0:4]) != shieldMagic {
-		return "", iv, 0, fmt.Errorf("%w: bad magic", errBadHeader)
+		return "", iv, 0, 0, fmt.Errorf("%w: bad magic", errBadHeader)
 	}
-	if v := binary.LittleEndian.Uint32(buf[4:8]); v != shieldVersion {
-		return "", iv, 0, fmt.Errorf("%w: unsupported version %d", errBadHeader, v)
+	v := binary.LittleEndian.Uint32(buf[4:8])
+	if v != shieldVersion && v != shieldVersion2 {
+		return "", iv, 0, 0, fmt.Errorf("%w: unsupported version %d", errBadHeader, v)
 	}
 	idLen := int(binary.LittleEndian.Uint16(buf[8:10]))
 	if len(buf) < 10+idLen+crypt.IVSize {
-		return "", iv, 0, fmt.Errorf("%w: truncated", errBadHeader)
+		return "", iv, 0, 0, fmt.Errorf("%w: truncated", errBadHeader)
 	}
 	id := kds.KeyID(buf[10 : 10+idLen])
 	copy(iv[:], buf[10+idLen:10+idLen+crypt.IVSize])
-	return id, iv, 10 + idLen + crypt.IVSize, nil
+	return id, iv, v, 10 + idLen + crypt.IVSize, nil
 }
 
 // DEKIDFromHeader extracts the plaintext DEK-ID from the head of a SHIELD
 // file's raw bytes — the read any server performs before asking the KDS for
 // the key (metadata-enabled DEK sharing).
 func DEKIDFromHeader(data []byte) (string, bool) {
-	id, _, _, err := parseHeader(data)
+	id, _, _, _, err := parseHeader(data)
 	if err != nil {
 		return "", false
 	}
 	return string(id), true
+}
+
+// SealedHeaderLen returns the header length and whether data begins a
+// format-v2 (sealed) SHIELD file — the layout information a storage node
+// needs to locate block tags without holding any key.
+func SealedHeaderLen(data []byte) (int, bool) {
+	_, _, version, hdrLen, err := parseHeader(data)
+	if err != nil || version != shieldVersion2 {
+		return 0, false
+	}
+	return hdrLen, true
 }
 
 // shieldWrapper implements lsm.FileWrapper with per-file DEKs.
@@ -179,10 +200,25 @@ func (s *shieldWrapper) WrapCreate(name string, kind lsm.FileKind, f vfs.Writabl
 	if err != nil {
 		return nil, "", err
 	}
-	if err := vfs.WriteFull(f, encodeHeader(id, iv)); err != nil {
+	// SSTs are write-once and get the authenticated v2 format; WAL and
+	// MANIFEST are append-many streams and stay on v1 CTR (their records
+	// carry CRCs inside the ciphertext; see DESIGN.md §13).
+	version := uint32(shieldVersion)
+	if kind == lsm.FileKindSST && !s.cfg.LegacyCTR {
+		version = shieldVersion2
+	}
+	hdr := encodeHeader(id, iv, version)
+	if err := vfs.WriteFull(f, hdr); err != nil {
 		return nil, "", fmt.Errorf("core: writing header for %s: %w", name, err)
 	}
 
+	if version == shieldVersion2 {
+		sealer, err := crypt.NewSealer(dek, iv[:crypt.SealedNoncePrefixLen], hdr)
+		if err != nil {
+			return nil, "", err
+		}
+		return crypt.NewChunkedSealedWriter(f, sealer, s.cfg.CompactionChunkSize, s.cfg.EncryptionThreads), string(id), nil
+	}
 	switch kind {
 	case lsm.FileKindWAL:
 		return crypt.NewBufferedWriter(f, dek, iv, s.cfg.WALBufferSize), string(id), nil
@@ -222,6 +258,15 @@ func (s *shieldWrapper) resolveDEK(id kds.KeyID) (crypt.DEK, error) {
 			metrics.Net.DegradedReads.Add(1)
 			return crypt.DEK{}, fmt.Errorf("%w: resolving DEK %s: %v", ErrDegraded, id, err)
 		}
+		if errors.Is(err, kds.ErrUnknownKey) {
+			// Authoritative disavowal, not unavailability: the KDS durably
+			// records every DEK it ever issued, so an ID it has never seen —
+			// read from a plaintext header the threat model lets the storage
+			// side rewrite — means the header was tampered with. Classify as
+			// an integrity violation so recovery quarantines the file (bytes
+			// preserved) instead of treating it as an unresolvable key.
+			return crypt.DEK{}, fmt.Errorf("%w: DEK-ID %s disavowed by KDS (header tampered?): %v", vfs.ErrIntegrity, id, err)
+		}
 		return crypt.DEK{}, fmt.Errorf("core: resolving DEK %s: %w", id, err)
 	}
 	s.mu.Lock()
@@ -247,7 +292,7 @@ func (s *shieldWrapper) WrapOpen(name string, kind lsm.FileKind, f vfs.RandomAcc
 	if err != nil && err != io.EOF {
 		return nil, err
 	}
-	id, iv, hdrLen, err := parseHeader(hdr[:n])
+	id, iv, version, hdrLen, err := parseHeader(hdr[:n])
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", name, err)
 	}
@@ -255,6 +300,18 @@ func (s *shieldWrapper) WrapOpen(name string, kind lsm.FileKind, f vfs.RandomAcc
 	if err != nil {
 		return nil, err
 	}
+	if version == shieldVersion2 {
+		sealer, err := crypt.NewSealer(dek, iv[:crypt.SealedNoncePrefixLen], hdr[:hdrLen])
+		if err != nil {
+			return nil, err
+		}
+		r, err := crypt.NewSealedReaderAt(f, sealer, int64(hdrLen))
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		return r, nil
+	}
+	//shield:noauthread format v1 compatibility: CTR files predate authentication; their absence of a manifest digest is what marks them unauthenticated
 	return crypt.NewDecryptingReaderAt(f, dek, iv, int64(hdrLen))
 }
 
@@ -277,9 +334,14 @@ func (s *shieldWrapper) WrapOpenSequential(name string, kind lsm.FileKind, f vfs
 	if _, err := io.ReadFull(f, rest); err != nil {
 		return nil, fmt.Errorf("core: %s: reading header: %w", name, err)
 	}
-	id, iv, _, err := parseHeader(append(fixed[:], rest...))
+	id, iv, version, _, err := parseHeader(append(fixed[:], rest...))
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	if version == shieldVersion2 {
+		// Only WAL/MANIFEST recovery streams files, and both stay on v1;
+		// sealed bodies need positional reads for block verification.
+		return nil, fmt.Errorf("core: %s: sealed (v2) files require positional reads", name)
 	}
 	dek, err := s.resolveDEK(id)
 	if err != nil {

@@ -15,8 +15,8 @@ import (
 
 func TestHeaderRoundTrip(t *testing.T) {
 	iv := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
-	hdr := encodeHeader("dek-abc123", iv)
-	id, gotIV, n, err := parseHeader(hdr)
+	hdr := encodeHeader("dek-abc123", iv, shieldVersion)
+	id, gotIV, _, n, err := parseHeader(hdr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +24,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 		t.Fatalf("parsed id=%q ivOK=%v n=%d", id, gotIV == iv, n)
 	}
 	// Extra trailing data after the header is ignored by the parser.
-	id2, _, n2, err := parseHeader(append(hdr, []byte("body bytes")...))
+	id2, _, _, n2, err := parseHeader(append(hdr, []byte("body bytes")...))
 	if err != nil || id2 != id || n2 != n {
 		t.Fatalf("parse with body: %v", err)
 	}
@@ -34,11 +34,11 @@ func TestHeaderRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		[]byte("short"),
-		bytes.Repeat([]byte{0}, 64),            // bad magic
-		encodeHeader("dek-x", [16]byte{})[:12], // truncated
+		bytes.Repeat([]byte{0}, 64), // bad magic
+		encodeHeader("dek-x", [16]byte{}, shieldVersion)[:12], // truncated
 	}
 	for i, c := range cases {
-		if _, _, _, err := parseHeader(c); err == nil {
+		if _, _, _, _, err := parseHeader(c); err == nil {
 			t.Fatalf("case %d: garbage header accepted", i)
 		}
 	}

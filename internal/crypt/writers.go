@@ -1,6 +1,9 @@
 package crypt
 
 import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
 	"sync"
 
 	"shield/internal/vfs"
@@ -98,6 +101,16 @@ type ChunkedWriter struct {
 	cur []byte // plaintext accumulating for the current chunk
 	off int64  // body offset of cur's first byte
 
+	// Sealed (format v2) mode: non-nil sealer switches chunk encryption
+	// from CTR to per-block AES-GCM. nextBlock numbers blocks across
+	// chunks; the tag-chain digest accumulates in retirement order, which
+	// is plaintext order, so parallel and serial runs agree byte-for-byte.
+	sealer    *Sealer
+	nextBlock uint32
+	digest    hash.Hash
+	finalTag  []byte
+	finalized bool
+
 	// Parallel pipeline (nil when workers <= 1).
 	jobs    chan *chunkJob
 	order   []*chunkJob
@@ -108,10 +121,12 @@ type ChunkedWriter struct {
 }
 
 type chunkJob struct {
-	plain []byte
-	off   int64
-	done  chan []byte
-	err   error
+	plain    []byte
+	off      int64
+	firstIdx uint32 // sealed mode: index of the chunk's first block
+	final    bool   // sealed mode: this chunk carries the final block
+	done     chan []byte
+	err      error
 }
 
 // NewChunkedWriter wraps f with chunk-granular encryption on `workers`
@@ -123,6 +138,50 @@ func NewChunkedWriter(f vfs.WritableFile, key DEK, iv [IVSize]byte, chunkSize, w
 	return &ChunkedWriter{f: f, key: key, iv: iv, chunkSize: chunkSize, workers: workers}
 }
 
+// NewChunkedSealedWriter is NewChunkedWriter for format v2: chunks are
+// sealed per-block under sealer instead of CTR-encrypted. chunkSize is
+// rounded up to a multiple of SealedBlockSize so chunk boundaries and block
+// boundaries coincide. Sync finalizes the sealed body (no writes after), as
+// NewSealedWriter does.
+func NewChunkedSealedWriter(f vfs.WritableFile, sealer *Sealer, chunkSize, workers int) *ChunkedWriter {
+	if chunkSize <= 0 {
+		chunkSize = 64 << 10
+	}
+	if r := chunkSize % SealedBlockSize; r != 0 {
+		chunkSize += SealedBlockSize - r
+	}
+	return &ChunkedWriter{f: f, sealer: sealer, chunkSize: chunkSize, workers: workers, digest: sha256.New()}
+}
+
+// sealChunk seals one chunk job: every full block non-final, then — only on
+// the final job — the 0..SealedBlockSize-1 byte tail as the final block.
+func (w *ChunkedWriter) sealChunk(job *chunkJob) []byte {
+	p := job.plain
+	idx := job.firstIdx
+	out := make([]byte, 0, len(p)+((len(p)/SealedBlockSize)+1)*SealedTagSize)
+	for len(p) >= SealedBlockSize {
+		out = w.sealer.SealBlock(out, p[:SealedBlockSize], idx, false)
+		idx++
+		p = p[SealedBlockSize:]
+	}
+	if job.final {
+		out = w.sealer.SealBlock(out, p, idx, true)
+	}
+	return out
+}
+
+// digestTags folds a retired chunk's block tags into the file digest.
+func (w *ChunkedWriter) digestTags(job *chunkJob, ct []byte) {
+	full := len(job.plain) / SealedBlockSize
+	for i := 0; i < full; i++ {
+		end := (i + 1) * sealedCipherBlock
+		w.digest.Write(ct[end-SealedTagSize : end])
+	}
+	if job.final {
+		w.digest.Write(ct[len(ct)-SealedTagSize:])
+	}
+}
+
 func (w *ChunkedWriter) startWorkers() {
 	w.jobs = make(chan *chunkJob, w.workers*2)
 	for i := 0; i < w.workers; i++ {
@@ -130,6 +189,10 @@ func (w *ChunkedWriter) startWorkers() {
 		go func() {
 			defer w.wg.Done()
 			for job := range w.jobs {
+				if w.sealer != nil {
+					job.done <- w.sealChunk(job)
+					continue
+				}
 				ct := make([]byte, len(job.plain))
 				job.err = EncryptAt(w.key, w.iv, ct, job.plain, job.off)
 				job.done <- ct
@@ -143,6 +206,9 @@ func (w *ChunkedWriter) startWorkers() {
 func (w *ChunkedWriter) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
+	}
+	if w.finalized {
+		return 0, fmt.Errorf("crypt: write after sealed file was finalized")
 	}
 	consumed := 0
 	for len(p) > 0 {
@@ -169,26 +235,50 @@ func (w *ChunkedWriter) Write(p []byte) (int, error) {
 // dispatch hands the full current chunk to the pipeline (or encrypts
 // inline when single-threaded).
 func (w *ChunkedWriter) dispatch() error {
-	if len(w.cur) == 0 {
+	return w.dispatchJob(false)
+}
+
+// dispatchJob ships the accumulated chunk; final marks the sealed tail job
+// (which is dispatched even when empty — the final block is mandatory).
+func (w *ChunkedWriter) dispatchJob(final bool) error {
+	if len(w.cur) == 0 && !final {
 		return nil
 	}
 	plain := w.cur
 	off := w.off
 	w.off += int64(len(plain))
 	w.cur = nil
+	job := &chunkJob{plain: plain, off: off, final: final, done: make(chan []byte, 1)}
+	if w.sealer != nil {
+		job.firstIdx = w.nextBlock
+		w.nextBlock += uint32(len(plain) / SealedBlockSize)
+		if final {
+			w.nextBlock++
+		}
+	}
 
 	if w.workers <= 1 {
-		ct := make([]byte, len(plain))
-		if err := EncryptAt(w.key, w.iv, ct, plain, off); err != nil {
+		var ct []byte
+		if w.sealer != nil {
+			ct = w.sealChunk(job)
+		} else {
+			ct = make([]byte, len(plain))
+			if err := EncryptAt(w.key, w.iv, ct, plain, off); err != nil {
+				return err
+			}
+		}
+		if err := vfs.WriteFull(w.f, ct); err != nil {
 			return err
 		}
-		return vfs.WriteFull(w.f, ct)
+		if w.sealer != nil {
+			w.digestTags(job, ct)
+		}
+		return nil
 	}
 
 	if !w.started {
 		w.startWorkers()
 	}
-	job := &chunkJob{plain: plain, off: off, done: make(chan []byte, 1)}
 	w.jobs <- job
 	w.order = append(w.order, job)
 	// Keep the pipeline bounded; retire completed chunks in order.
@@ -208,12 +298,27 @@ func (w *ChunkedWriter) retireOne() error {
 	if job.err != nil {
 		return job.err
 	}
-	return vfs.WriteFull(w.f, ct)
+	if err := vfs.WriteFull(w.f, ct); err != nil {
+		return err
+	}
+	if w.sealer != nil {
+		w.digestTags(job, ct)
+	}
+	return nil
 }
 
-// drain flushes the partial chunk and retires every in-flight chunk.
+// drain flushes the partial chunk and retires every in-flight chunk. In
+// sealed mode the tail flush is the finalization: the partial chunk ships
+// as the final job and the sealed body is complete afterwards.
 func (w *ChunkedWriter) drain() error {
-	if err := w.dispatch(); err != nil {
+	if w.sealer != nil {
+		if !w.finalized {
+			if err := w.dispatchJob(true); err != nil {
+				return err
+			}
+			w.finalized = true
+		}
+	} else if err := w.dispatch(); err != nil {
 		return err
 	}
 	for len(w.order) > 0 {
@@ -221,10 +326,14 @@ func (w *ChunkedWriter) drain() error {
 			return err
 		}
 	}
+	if w.sealer != nil && w.finalTag == nil && w.finalized {
+		w.finalTag = w.digest.Sum(nil)
+	}
 	return nil
 }
 
-// Sync drains the pipeline and syncs the file.
+// Sync drains the pipeline and syncs the file. In sealed mode this
+// finalizes the body: no writes may follow.
 func (w *ChunkedWriter) Sync() error {
 	if w.err != nil {
 		return w.err
@@ -238,7 +347,12 @@ func (w *ChunkedWriter) Sync() error {
 
 // Close drains, stops workers, and closes the file.
 func (w *ChunkedWriter) Close() error {
-	derr := w.drain()
+	var derr error
+	if w.err != nil {
+		derr = w.err
+	} else {
+		derr = w.drain()
+	}
 	if w.started {
 		close(w.jobs)
 		w.wg.Wait()
@@ -249,4 +363,13 @@ func (w *ChunkedWriter) Close() error {
 		return derr
 	}
 	return cerr
+}
+
+// FileDigest returns the sealed tag-chain digest; ok is false for CTR-mode
+// writers and before finalization.
+func (w *ChunkedWriter) FileDigest() ([]byte, bool) {
+	if w.finalTag == nil {
+		return nil, false
+	}
+	return append([]byte(nil), w.finalTag...), true
 }

@@ -361,6 +361,20 @@ func (c *Client) SyncDir(dir string) error {
 	return err
 }
 
+// Digest asks the storage node for the tag-chain digest of the sealed
+// (format-v2) file name, skipping headerLen bytes of plaintext header. The
+// node computes SHA-256 over the per-block AEAD tags locally — no DEK, no
+// body transfer — so a compute-side audit of a remote SST costs one RPC
+// instead of a full file read. The caller compares the digest against the
+// manifest's anchored value.
+func (c *Client) Digest(name string, headerLen int64) ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpDigest, Name: name, Off: headerLen})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
 // Stat implements vfs.FS.
 func (c *Client) Stat(name string) (vfs.FileInfo, error) {
 	resp, err := c.roundTrip(&Request{Op: OpStat, Name: name})

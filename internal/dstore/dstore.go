@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"shield/internal/crypt"
 	"shield/internal/vfs"
 )
 
@@ -40,6 +41,7 @@ const (
 	OpMkdir
 	OpStat
 	OpSyncDir
+	OpDigest
 )
 
 // Request is the wire request. A single struct keeps gob simple.
@@ -373,6 +375,26 @@ func (s *Server) handle(req *Request) *Response {
 		if err := s.stats.SyncDir(req.Name); err != nil {
 			return fail(err)
 		}
+	case OpDigest:
+		// Compute a sealed file's tag-chain digest node-side. The digest is
+		// keyless — SHA-256 over the per-block AEAD tags at fixed offsets —
+		// so the storage node can answer an integrity audit without holding
+		// any DEK, and without shipping the file body over the link. Off is
+		// the plaintext header length (the client parses the header; the
+		// node stays format-agnostic beyond the block layout).
+		data, err := vfs.ReadFile(s.stats, req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		if req.Off < 0 || req.Off > int64(len(data)) {
+			return fail(fmt.Errorf("dstore: digest offset %d outside file of %d bytes", req.Off, len(data)))
+		}
+		d, err := crypt.TagChainDigest(data[req.Off:])
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = d
+		resp.N = len(data) - int(req.Off)
 	default:
 		return fail(fmt.Errorf("dstore: unknown op %d", req.Op))
 	}

@@ -26,8 +26,17 @@ import (
 // headerMagic identifies EncFS files.
 const headerMagic = 0x454e4346 // "ENCF"
 
-// headerVersion is the current on-disk header version.
-const headerVersion = 1
+// Header versions. v1 bodies are AES-128-CTR under the 16-byte IV
+// (confidentiality only); v2 bodies are per-block AES-GCM (format v2,
+// crypt/seal.go) where the first 8 IV bytes are the GCM nonce prefix and
+// the whole header is bound into every block as AAD. The version is
+// negotiated per file: readers accept both, so a store written by an older
+// build keeps working and migrates file-by-file as compaction rewrites it.
+const (
+	headerVersion  = 1
+	headerVersion2 = 2
+	latestVersion  = headerVersion2
+)
 
 // HeaderLen is the plaintext header size: magic(4) + version(4) + IV(16).
 const HeaderLen = 8 + crypt.IVSize
@@ -49,6 +58,11 @@ type FS struct {
 	// per-write encryption-initialization cost. 0 encrypts every write
 	// individually.
 	walBufSize int
+
+	// legacyCTR forces new files onto format v1 (CTR). It exists for
+	// mixed-version coexistence tests and staged rollouts; reads always
+	// accept both versions regardless.
+	legacyCTR bool
 }
 
 // New returns an encrypting FS over base using the instance DEK key. The DEK
@@ -64,6 +78,21 @@ func NewWithWALBuffer(base vfs.FS, key crypt.DEK, walBufSize int) *FS {
 	return &FS{base: base, key: key, walBufSize: walBufSize}
 }
 
+// NewLegacyCTR returns an FS that writes format v1 (CTR) files, as builds
+// before format v2 did. Reading is unaffected — both formats open.
+func NewLegacyCTR(base vfs.FS, key crypt.DEK, walBufSize int) *FS {
+	return &FS{base: base, key: key, walBufSize: walBufSize, legacyCTR: true}
+}
+
+// streamFile reports whether name is an append-many stream that must stay
+// on format v1: sealed files are finalized by their first Sync, which is
+// incompatible with the WAL's and MANIFEST's append-sync-append lifecycle.
+// (Their records carry CRCs inside the ciphertext; the residual malleability
+// window is documented in DESIGN.md §13.)
+func streamFile(name string) bool {
+	return strings.HasSuffix(name, ".log") || strings.Contains(name, "MANIFEST")
+}
+
 // Create implements vfs.FS. It writes the plaintext header, then returns a
 // handle that encrypts everything appended after it.
 func (e *FS) Create(name string) (vfs.WritableFile, error) {
@@ -76,13 +105,25 @@ func (e *FS) Create(name string) (vfs.WritableFile, error) {
 		f.Close()
 		return nil, err
 	}
+	version := uint32(latestVersion)
+	if e.legacyCTR || streamFile(name) {
+		version = headerVersion
+	}
 	var hdr [HeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], headerMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], headerVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
 	copy(hdr[8:], iv[:])
 	if err := vfs.WriteFull(f, hdr[:]); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("encfs: writing header: %w", err)
+	}
+	if version == headerVersion2 {
+		sealer, err := crypt.NewSealer(e.key, iv[:crypt.SealedNoncePrefixLen], hdr[:])
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return crypt.NewSealedWriter(f, sealer), nil
 	}
 	bufSize := 0
 	if e.walBufSize > 0 && strings.HasSuffix(name, ".log") {
@@ -91,35 +132,48 @@ func (e *FS) Create(name string) (vfs.WritableFile, error) {
 	return crypt.NewBufferedWriter(f, e.key, iv, bufSize), nil
 }
 
-// readHeader parses and validates an EncFS header from f.
-func readHeader(f vfs.RandomAccessFile) ([crypt.IVSize]byte, error) {
+// readHeader parses and validates an EncFS header from f, returning the
+// raw header bytes (the v2 AAD), the IV, and the format version.
+func readHeader(f vfs.RandomAccessFile) ([HeaderLen]byte, [crypt.IVSize]byte, uint32, error) {
 	var iv [crypt.IVSize]byte
 	var hdr [HeaderLen]byte
 	if _, err := io.ReadFull(io.NewSectionReader(f, 0, HeaderLen), hdr[:]); err != nil {
-		return iv, fmt.Errorf("encfs: reading header: %w", err)
+		return hdr, iv, 0, fmt.Errorf("encfs: reading header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != headerMagic {
-		return iv, fmt.Errorf("encfs: bad magic (file not encrypted by encfs?)")
+		return hdr, iv, 0, fmt.Errorf("encfs: bad magic (file not encrypted by encfs?)")
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != headerVersion {
-		return iv, fmt.Errorf("encfs: unsupported header version %d", v)
+	v := binary.LittleEndian.Uint32(hdr[4:8])
+	if v != headerVersion && v != headerVersion2 {
+		return hdr, iv, 0, fmt.Errorf("encfs: unsupported header version %d", v)
 	}
 	copy(iv[:], hdr[8:])
-	return iv, nil
+	return hdr, iv, v, nil
 }
 
-// Open implements vfs.FS, returning a handle that decrypts positional reads.
+// Open implements vfs.FS, returning a handle that decrypts positional reads
+// (and, for format v2, authenticates every block it returns).
 func (e *FS) Open(name string) (vfs.RandomAccessFile, error) {
 	f, err := e.base.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	iv, err := readHeader(f)
+	hdr, iv, version, err := readHeader(f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	r, err := crypt.NewDecryptingReaderAt(f, e.key, iv, HeaderLen)
+	var r vfs.RandomAccessFile
+	if version == headerVersion2 {
+		sealer, serr := crypt.NewSealer(e.key, iv[:crypt.SealedNoncePrefixLen], hdr[:])
+		if serr == nil {
+			r, serr = crypt.NewSealedReaderAt(f, sealer, HeaderLen)
+		}
+		err = serr
+	} else {
+		//shield:noauthread format v1 compatibility: CTR files written before sealing existed remain readable
+		r, err = crypt.NewDecryptingReaderAt(f, e.key, iv, HeaderLen)
+	}
 	if err != nil {
 		f.Close()
 		return nil, err

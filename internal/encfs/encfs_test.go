@@ -2,6 +2,7 @@ package encfs
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -41,8 +42,11 @@ func TestTransparentRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(raw) != len(payload)+HeaderLen {
-		t.Fatalf("raw size %d", len(raw))
+	// v2 sealed body: one 16-byte GCM tag per 4 KiB block plus the final
+	// tail block.
+	wantRaw := HeaderLen + len(payload) + (len(payload)/crypt.SealedBlockSize+1)*crypt.SealedTagSize
+	if len(raw) != wantRaw {
+		t.Fatalf("raw size %d, want %d", len(raw), wantRaw)
 	}
 	if bytes.Contains(raw, payload[:64]) {
 		t.Fatal("plaintext visible on the base filesystem")
@@ -95,7 +99,7 @@ func TestSequentialRead(t *testing.T) {
 	}
 }
 
-func TestWrongKeyProducesGarbage(t *testing.T) {
+func TestWrongKeyFailsAuthentication(t *testing.T) {
 	base, efs, _ := newFS(t)
 	payload := []byte("the secret payload")
 	vfs.WriteFile(efs, "f", payload)
@@ -104,13 +108,18 @@ func TestWrongKeyProducesGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Format v2 authenticates: a wrong key must fail loudly, never return
+	// noise (v1 CTR decrypted to garbage here).
 	efs2 := New(base, other)
 	got, err := vfs.ReadFile(efs2, "f")
-	if err != nil {
-		t.Fatal(err) // header is valid; the body just decrypts to noise
+	if err == nil {
+		if bytes.Equal(got, payload) {
+			t.Fatal("wrong key decrypted correctly?!")
+		}
+		t.Fatal("wrong key returned unauthenticated bytes")
 	}
-	if bytes.Equal(got, payload) {
-		t.Fatal("wrong key decrypted correctly?!")
+	if !errors.Is(err, vfs.ErrIntegrity) {
+		t.Fatalf("want vfs.ErrIntegrity, got %v", err)
 	}
 }
 
@@ -154,13 +163,17 @@ func TestWALBufferVariant(t *testing.T) {
 	}
 	f.Close()
 
-	// Non-log files are unbuffered.
+	// Non-log files are sealed (v2): sub-block writes stay buffered until
+	// finalization, which emits the tail block plus its GCM tag.
 	g, _ := efs.Create("000002.sst")
 	g.Write([]byte("block"))
-	if info, _ := base.Stat("000002.sst"); info.Size != HeaderLen+5 {
-		t.Fatalf("sst write buffered unexpectedly: %d", info.Size)
+	if info, _ := base.Stat("000002.sst"); info.Size != HeaderLen {
+		t.Fatalf("sealed write leaked before finalization: %d", info.Size)
 	}
 	g.Close()
+	if info, _ := base.Stat("000002.sst"); info.Size != HeaderLen+5+crypt.SealedTagSize {
+		t.Fatalf("sealed close did not finalize: %d", info.Size)
+	}
 }
 
 func TestFSOpsDelegate(t *testing.T) {

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -106,19 +107,27 @@ type DB struct {
 	zombies           []zombieFile
 	snapshots         []base.SeqNum
 	dekIDs            map[uint64]string // fileNum -> DEK-ID for SSTs
-	flushWaiters      []chan error
-	metFlushes        atomic.Int64
-	metCompact        atomic.Int64
-	metCompRead       atomic.Int64
-	metCompWrite      atomic.Int64
-	metFlushWrite     atomic.Int64
-	metWAL            atomic.Int64
-	metWALSyncs       atomic.Int64
-	metStallNanos     atomic.Int64
-	metGets           atomic.Int64
-	metWrites         atomic.Int64
-	metSubcomp        atomic.Int64
-	metSchedDeferred  atomic.Int64
+	// epoch is the store's freshness epoch: bumped past both the recovered
+	// manifest epoch and the sealed floor on every writable open, written
+	// into snapshot edits and CURRENT, and sealed into Options.Freshness.
+	epoch uint64
+	// integrityBad marks SSTs already quarantined (or being quarantined)
+	// after a failed-authentication read, so repeated reads of a corrupt
+	// file trigger exactly one version edit.
+	integrityBad     map[uint64]bool
+	flushWaiters     []chan error
+	metFlushes       atomic.Int64
+	metCompact       atomic.Int64
+	metCompRead      atomic.Int64
+	metCompWrite     atomic.Int64
+	metFlushWrite    atomic.Int64
+	metWAL           atomic.Int64
+	metWALSyncs      atomic.Int64
+	metStallNanos    atomic.Int64
+	metGets          atomic.Int64
+	metWrites        atomic.Int64
+	metSubcomp       atomic.Int64
+	metSchedDeferred atomic.Int64
 }
 
 type zombieFile struct {
@@ -126,6 +135,9 @@ type zombieFile struct {
 	dekID   string
 	fileNum uint64
 	isSST   bool
+	// quarantine moves the file into lost/ instead of unlinking it: the
+	// zombie came from an integrity failure and the ciphertext is evidence.
+	quarantine bool
 }
 
 type commitRequest struct {
@@ -145,13 +157,14 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	d := &DB{
-		opts:      opts,
-		dir:       dir,
-		fs:        opts.FS,
-		wrapper:   opts.Wrapper,
-		commitCh:  make(chan *commitRequest, 1024),
-		busyFiles: make(map[uint64]bool),
-		dekIDs:    make(map[uint64]string),
+		opts:         opts,
+		dir:          dir,
+		fs:           opts.FS,
+		wrapper:      opts.Wrapper,
+		commitCh:     make(chan *commitRequest, 1024),
+		busyFiles:    make(map[uint64]bool),
+		dekIDs:       make(map[uint64]string),
+		integrityBad: make(map[uint64]bool),
 	}
 	d.bgCond = sync.NewCond(&d.mu)
 	if opts.BlockCacheSize > 0 {
@@ -190,12 +203,12 @@ func (d *DB) recover() error {
 		return err
 	}
 
-	// Load CURRENT -> MANIFEST name.
+	// Load CURRENT -> MANIFEST name (+ the optional epoch echo).
 	data, err := vfs.ReadFile(d.fs, currentName)
 	if err != nil {
 		return fmt.Errorf("lsm: reading CURRENT: %w", err)
 	}
-	manifestName := strings.TrimSpace(string(data))
+	manifestName, curEpoch := parseCurrent(data)
 	num, ok := parseManifestName(manifestName)
 	if !ok {
 		return &CorruptionError{
@@ -218,6 +231,22 @@ func (d *DB) recover() error {
 		d.nextFileNum = d.manifestNum + 1
 	}
 	d.lastSeq.Store(uint64(st.lastSeq))
+
+	// CURRENT echoes the epoch of the manifest it points at; a manifest
+	// carrying an older epoch than its own CURRENT claims was swapped in
+	// after the fact.
+	if st.epoch < curEpoch {
+		return &IntegrityError{
+			Path: currentName, Kind: FileKindCurrent,
+			Detail: fmt.Sprintf("manifest epoch %d older than CURRENT epoch %d (manifest replaced?)", st.epoch, curEpoch),
+		}
+	}
+	// Fail closed if the store's epoch has moved backwards relative to the
+	// floor sealed outside the data directory (snapshot rollback).
+	if err := d.checkEpoch(st.epoch); err != nil {
+		return err
+	}
+
 	for _, lvl := range ver.Levels {
 		for _, f := range lvl {
 			if f.DEKID != "" {
@@ -239,7 +268,11 @@ func (d *DB) recover() error {
 	if !d.opts.ReadOnly {
 		// Roll the verified state into a fresh MANIFEST (compacting the edit
 		// history) and only then repoint CURRENT — never before the new
-		// manifest's snapshot record is durable.
+		// manifest's snapshot record is durable. The new manifest generation
+		// advances the freshness epoch; the floor is sealed only after the
+		// manifest carrying the epoch is durable, so a crash in between
+		// leaves floor <= manifest epoch (safe, never falsely regressive).
+		d.epoch++
 		d.manifestNum = d.allocFileNum()
 		if err := d.createManifestFile(); err != nil {
 			return err
@@ -247,9 +280,10 @@ func (d *DB) recover() error {
 		if err := d.writeSnapshotLocked(d.current, logNum); err != nil {
 			return err
 		}
-		if err := installCurrent(d.fs, d.dir, d.manifestNum); err != nil {
+		if err := installCurrent(d.fs, d.dir, d.manifestNum, d.epoch); err != nil {
 			return err
 		}
+		d.sealEpoch()
 	}
 
 	// Replay WALs >= logNum, oldest first.
@@ -326,6 +360,12 @@ func parseManifestName(name string) (uint64, bool) {
 }
 
 func (d *DB) createNew() error {
+	// An empty directory where a sealed epoch floor says a store used to be
+	// is the extreme rollback: the whole tree vanished. Fail closed.
+	if err := d.checkEpoch(0); err != nil {
+		return err
+	}
+	d.epoch++
 	d.current = &manifest.Version{}
 	d.nextFileNum = 1
 	d.manifestNum = d.allocFileNum()
@@ -335,7 +375,7 @@ func (d *DB) createNew() error {
 	if err := d.startNewLogLocked(); err != nil {
 		return err
 	}
-	edit := &manifest.VersionEdit{}
+	edit := &manifest.VersionEdit{Epoch: d.epoch}
 	ln := d.logNum
 	edit.LogNumber = &ln
 	if err := d.applyEditLocked(edit); err != nil {
@@ -344,7 +384,47 @@ func (d *DB) createNew() error {
 	// Only after the first edit is durable in the manifest does CURRENT get
 	// installed: a CURRENT pointing at an empty manifest would read as an
 	// empty database, silently discarding anything recovered later.
-	return installCurrent(d.fs, d.dir, d.manifestNum)
+	if err := installCurrent(d.fs, d.dir, d.manifestNum, d.epoch); err != nil {
+		return err
+	}
+	d.sealEpoch()
+	return nil
+}
+
+// checkEpoch validates the recovered manifest epoch against the sealed
+// floor and initializes d.epoch to the larger of the two. A recovered epoch
+// below the floor proves the persistent state was rolled back to an older
+// snapshot; open fails closed unless Options.AllowRollback acknowledges it.
+func (d *DB) checkEpoch(recovered uint64) error {
+	d.epoch = recovered
+	if d.opts.Freshness == nil {
+		return nil
+	}
+	floor, sealed := d.opts.Freshness.EpochFloor()
+	if sealed && recovered < floor {
+		err := fmt.Errorf("%w: recovered epoch %d below sealed floor %d", ErrEpochRegression, recovered, floor)
+		if !d.opts.AllowRollback {
+			return err
+		}
+		d.opts.Logger("lsm: accepting rollback (AllowRollback): %v", err)
+	}
+	if floor > d.epoch {
+		d.epoch = floor
+	}
+	return nil
+}
+
+// sealEpoch records d.epoch as the new floor in the freshness store. A
+// failure to seal is logged, not fatal: the floor merely stays at an older
+// (still valid) value, so detection strength degrades but correctness does
+// not — floor <= manifest epoch always holds.
+func (d *DB) sealEpoch() {
+	if d.opts.Freshness == nil {
+		return
+	}
+	if err := d.opts.Freshness.SealEpoch(d.epoch); err != nil {
+		d.opts.Logger("lsm: sealing freshness epoch %d: %v", d.epoch, err)
+	}
 }
 
 func (d *DB) allocFileNum() uint64 {
@@ -377,16 +457,40 @@ func (d *DB) createManifestFile() error {
 
 // installCurrent atomically repoints CURRENT at manifestNum: write a synced
 // tmp file, rename over CURRENT, and sync the directory so both the rename
-// and the manifest file's entry survive power loss.
-func installCurrent(fsys vfs.FS, dir string, manifestNum uint64) error {
+// and the manifest file's entry survive power loss. epoch, when nonzero, is
+// echoed on a second line so tools (and the manifest cross-check in
+// recovery) can read the store's freshness epoch without replaying the
+// manifest; older builds that read only the first line are unaffected.
+func installCurrent(fsys vfs.FS, dir string, manifestNum uint64, epoch uint64) error {
+	content := fmt.Sprintf("MANIFEST-%06d\n", manifestNum)
+	if epoch > 0 {
+		content += fmt.Sprintf("epoch %d\n", epoch)
+	}
 	tmp := currentFileName(dir) + ".tmp"
-	if err := vfs.WriteFile(fsys, tmp, []byte(fmt.Sprintf("MANIFEST-%06d\n", manifestNum))); err != nil {
+	if err := vfs.WriteFile(fsys, tmp, []byte(content)); err != nil {
 		return err
 	}
 	if err := fsys.Rename(tmp, currentFileName(dir)); err != nil {
 		return err
 	}
 	return fsys.SyncDir(dir)
+}
+
+// parseCurrent splits a CURRENT file into the manifest name (first line)
+// and the optional freshness-epoch echo ("epoch N" on the second line).
+// Legacy single-line files parse with epoch 0; unrecognized trailing lines
+// are ignored for forward compatibility.
+func parseCurrent(data []byte) (manifestName string, epoch uint64) {
+	lines := strings.Split(string(data), "\n")
+	manifestName = strings.TrimSpace(lines[0])
+	for _, ln := range lines[1:] {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(ln), "epoch "); ok {
+			if n, err := strconv.ParseUint(rest, 10, 64); err == nil {
+				epoch = n
+			}
+		}
+	}
+	return manifestName, epoch
 }
 
 // writeSnapshotLocked logs v as a single snapshot edit (the full file list
@@ -404,6 +508,7 @@ func (d *DB) writeSnapshotLocked(v *manifest.Version, logNum uint64) error {
 	snap.NextFileNumber = &nf
 	snap.LastSeq = &ls
 	snap.LogNumber = &ln
+	snap.Epoch = d.epoch
 	enc, err := snap.Encode()
 	if err != nil {
 		return err
@@ -420,8 +525,9 @@ type manifestState struct {
 	logNum   uint64
 	nextFile uint64
 	lastSeq  base.SeqNum
-	torn     bool // replay stopped at a torn tail record
-	corrupt  bool // salvage mode: replay stopped at an undecodable record
+	epoch    uint64 // highest freshness epoch any edit carried
+	torn     bool   // replay stopped at a torn tail record
+	corrupt  bool   // salvage mode: replay stopped at an undecodable record
 }
 
 // loadManifestFrom replays the named MANIFEST's edit log without writing
@@ -505,6 +611,9 @@ func loadManifestSalvage(fsys vfs.FS, wrapper FileWrapper, dir, name string, sal
 		if edit.LastSeq != nil {
 			st.lastSeq = base.SeqNum(*edit.LastSeq)
 		}
+		if edit.Epoch > st.epoch {
+			st.epoch = edit.Epoch
+		}
 	}
 	// nextFile must clear every referenced file.
 	for _, lvl := range st.ver.Levels {
@@ -535,6 +644,9 @@ func (d *DB) verifyTables() error {
 		for _, f := range ver.Levels[lvl] {
 			name := sstFileName(d.dir, f.FileNum)
 			err := d.verifyTable(f.FileNum)
+			if err == nil && d.opts.ParanoidChecks {
+				err = d.verifyDigest(f)
+			}
 			if err == nil {
 				continue
 			}
@@ -589,13 +701,56 @@ func (d *DB) verifyTable(fileNum uint64) error {
 	return err
 }
 
+// verifyDigest recomputes an SST's tag-chain digest from the sealed file
+// and compares it against the digest the manifest recorded when the file
+// was installed. This is the hash-tree anchor: per-block AEAD tags prove
+// each block authentic under the file's DEK, and the manifest-recorded
+// digest over those tags proves the file is the exact one this version
+// installed — replacing it with an older validly-sealed version changes
+// the chain. Files without a manifest digest (format v1, encryption off)
+// and wrappers that expose no digest are skipped.
+func (d *DB) verifyDigest(f *manifest.FileMetadata) error {
+	if f.Digest == "" {
+		return nil
+	}
+	name := sstFileName(d.dir, f.FileNum)
+	raw, err := d.fs.Open(name)
+	if err != nil {
+		return err
+	}
+	wrapped, err := d.wrapper.WrapOpen(name, FileKindSST, raw)
+	if err != nil {
+		raw.Close()
+		return err
+	}
+	defer wrapped.Close()
+	dr, ok := wrapped.(interface{ FileDigest() ([]byte, error) })
+	if !ok {
+		return nil
+	}
+	sum, err := dr.FileDigest()
+	if err != nil {
+		return d.typeIntegrityErr(f.FileNum, err)
+	}
+	if got := hex.EncodeToString(sum); got != f.Digest {
+		return &IntegrityError{
+			Path: name, Kind: FileKindSST,
+			Detail: fmt.Sprintf("tag-chain digest %s does not match manifest digest %s (file replaced?)", got, f.Digest),
+		}
+	}
+	return nil
+}
+
 // isCorruptionErr reports whether err proves the file's bytes are wrong (or
 // the file is missing entirely), as opposed to a transient failure to read
-// or decrypt it.
+// or decrypt it. An authentication failure from a sealed (format v2) file
+// proves tampering or rot — the GCM tag cannot fail under the right key
+// unless the ciphertext changed — so vfs.ErrIntegrity counts.
 func isCorruptionErr(err error) bool {
 	return errors.Is(err, ErrCorruption) ||
 		errors.Is(err, sstable.ErrCorruption) ||
 		errors.Is(err, wal.ErrCorrupt) ||
+		errors.Is(err, vfs.ErrIntegrity) ||
 		errors.Is(err, vfs.ErrNotFound)
 }
 
@@ -1040,7 +1195,7 @@ func (d *DB) getAt(key []byte, seq base.SeqNum) ([]byte, error) {
 func (d *DB) tableGet(fileNum uint64, key []byte, seq base.SeqNum) ([]byte, base.Kind, error) {
 	r, release, err := d.tables.get(fileNum)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, d.wrapIntegrityErr(fileNum, err)
 	}
 	defer release()
 	v, kind, err := r.Get(key, seq)
@@ -1048,9 +1203,86 @@ func (d *DB) tableGet(fileNum uint64, key []byte, seq base.SeqNum) ([]byte, base
 		if errors.Is(err, sstable.ErrNotFound) {
 			return nil, 0, ErrNotFound
 		}
-		return nil, 0, err
+		return nil, 0, d.wrapIntegrityErr(fileNum, err)
 	}
 	return v, kind, nil
+}
+
+// typeIntegrityErr types a failed-authentication error as *IntegrityError,
+// attributing it to the SST it came from. Non-integrity errors pass through
+// unchanged.
+func (d *DB) typeIntegrityErr(fileNum uint64, err error) error {
+	if err == nil || !errors.Is(err, vfs.ErrIntegrity) {
+		return err
+	}
+	var ie *IntegrityError
+	if errors.As(err, &ie) {
+		return err
+	}
+	return &IntegrityError{
+		Path:   sstFileName(d.dir, fileNum),
+		Kind:   FileKindSST,
+		Detail: "block failed authentication",
+		Err:    err,
+	}
+}
+
+// wrapIntegrityErr is typeIntegrityErr plus quarantine: the offending SST
+// is dropped from the live version so the tree degrades instead of failing
+// the same read forever. Must be called without d.mu held.
+func (d *DB) wrapIntegrityErr(fileNum uint64, err error) error {
+	if err == nil || !errors.Is(err, vfs.ErrIntegrity) {
+		return err
+	}
+	d.quarantineIntegrity(fileNum)
+	return d.typeIntegrityErr(fileNum, err)
+}
+
+// quarantineIntegrity drops an SST whose contents failed authentication
+// from the live version and moves the file into lost/ (preserving the
+// evidence). Its keys subsequently read as absent — the same degraded
+// semantics as best-effort recovery — instead of every read failing. Files
+// feeding an in-flight compaction are left in place (the compaction will
+// surface its own integrity error); the read that triggered this still
+// fails closed either way.
+func (d *DB) quarantineIntegrity(fileNum uint64) {
+	if d.opts.ReadOnly {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.integrityBad[fileNum] || d.busyFiles[fileNum] {
+		return
+	}
+	level := -1
+	for lvl := range d.current.Levels {
+		for _, f := range d.current.Levels[lvl] {
+			if f.FileNum == fileNum {
+				level = lvl
+				break
+			}
+		}
+	}
+	if level < 0 {
+		return
+	}
+	d.integrityBad[fileNum] = true
+	name := sstFileName(d.dir, fileNum)
+	d.opts.Logger("lsm: quarantining %s: contents failed authentication", name)
+	edit := &manifest.VersionEdit{Deleted: []manifest.DeletedFile{{Level: level, FileNum: fileNum}}}
+	if err := d.applyEditLocked(edit); err != nil {
+		d.opts.Logger("lsm: recording quarantine of %s: %v", name, err)
+		delete(d.integrityBad, fileNum)
+		return
+	}
+	// Retag the zombie applyEditLocked queued: preserve the ciphertext in
+	// lost/ and keep its DEK resolvable for forensics.
+	for i := range d.zombies {
+		if d.zombies[i].fileNum == fileNum {
+			d.zombies[i].quarantine = true
+		}
+	}
+	metrics.Recovery.FilesQuarantined.Add(1)
 }
 
 // NewIter returns an iterator over a consistent snapshot of the database.
@@ -1108,12 +1340,16 @@ func (d *DB) NewIter() (*Iterator, error) {
 	return it, nil
 }
 
+// openTableIter opens an iterator over one SST. Called with d.mu held (from
+// NewIter) or lazily from concat iterators, so integrity failures are typed
+// here but quarantined later, by the read that surfaces them.
 func (d *DB) openTableIter(fileNum uint64) (internalIterator, error) {
 	r, release, err := d.tables.get(fileNum)
 	if err != nil {
-		return nil, err
+		return nil, d.typeIntegrityErr(fileNum, err)
 	}
-	return &sstIterAdapter{it: r.NewIter(), release: release}, nil
+	wrap := func(err error) error { return d.typeIntegrityErr(fileNum, err) }
+	return &sstIterAdapter{it: r.NewIter(), release: release, wrapErr: wrap}, nil
 }
 
 // ---- Flush ----
@@ -1184,6 +1420,21 @@ func (d *DB) flushWorker() {
 	}
 }
 
+// fileDigest extracts the tag-chain digest from a finalized sealed SST
+// handle (the wrapper's encrypting writer exposes it after Finish/Close).
+// Empty when the file carries no authentication: format v1 or no encryption.
+func fileDigest(f vfs.WritableFile) string {
+	dw, ok := f.(interface{ FileDigest() ([]byte, bool) })
+	if !ok {
+		return ""
+	}
+	sum, ok := dw.FileDigest()
+	if !ok {
+		return ""
+	}
+	return hex.EncodeToString(sum)
+}
+
 // writeMemTable persists mem as an L0 table. Returns nil meta for an empty
 // memtable.
 func (d *DB) writeMemTable(mem *memTable) (*manifest.FileMetadata, error) {
@@ -1241,6 +1492,7 @@ func (d *DB) writeMemTable(mem *memTable) (*manifest.FileMetadata, error) {
 		Largest:  w.Largest(),
 		DEKID:    dekID,
 		Seq:      seq,
+		Digest:   fileDigest(wrapped),
 	}
 	if dekID != "" {
 		d.mu.Lock()
@@ -1416,7 +1668,7 @@ func (d *DB) rotateManifestLocked(nv *manifest.Version, logNum uint64) error {
 		restore()
 		return err
 	}
-	if err := installCurrent(d.fs, d.dir, d.manifestNum); err != nil {
+	if err := installCurrent(d.fs, d.dir, d.manifestNum, d.epoch); err != nil {
 		restore()
 		return err
 	}
@@ -1437,6 +1689,15 @@ func (d *DB) deleteObsoleteLocked() {
 	if d.iterCount == 0 {
 		for _, z := range d.zombies {
 			d.tables.evict(z.fileNum)
+			if z.quarantine {
+				// Integrity quarantine: preserve the ciphertext as evidence
+				// and keep its DEK resolvable (no FileDeleted) so scrub can
+				// still examine the file.
+				if err := quarantineFile(d.fs, d.dir, z.name); err != nil {
+					d.opts.Logger("lsm: quarantining %s: %v", z.name, err)
+				}
+				continue
+			}
 			if err := d.fs.Remove(z.name); err != nil && !errors.Is(err, vfs.ErrNotFound) {
 				d.opts.Logger("lsm: removing %s: %v", z.name, err)
 			}

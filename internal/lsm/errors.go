@@ -22,6 +22,23 @@ var ErrCorruption = errors.New("lsm: corruption")
 // recovers every previously-acked write from the WAL and manifest.
 var ErrDegraded = errors.New("lsm: degraded (read-only) mode")
 
+// ErrIntegrity is the sentinel wrapped by every authenticated-read failure:
+// a sealed (format v2) block whose AEAD tag did not verify, or an SST whose
+// tag-chain digest disagrees with the manifest. Unlike a block-checksum
+// mismatch (which CRC32 can miss under an adversary), an integrity failure
+// is cryptographic proof the ciphertext was altered after sealing. Every
+// IntegrityError also wraps ErrCorruption, so existing corruption handling
+// (quarantine, best-effort recovery) applies unchanged.
+var ErrIntegrity = errors.New("lsm: integrity violation")
+
+// ErrEpochRegression is the sentinel wrapped by the fail-closed open error
+// when the store's freshness epoch has moved backwards: the manifest the
+// disk presents carries an epoch older than the floor sealed into the local
+// freshness store, proving the persistent state was rolled back to an
+// earlier (validly-encrypted) snapshot. Recovery refuses to proceed unless
+// Options.AllowRollback acknowledges the regression.
+var ErrEpochRegression = errors.New("lsm: freshness epoch regression (store rolled back)")
+
 // CorruptionError describes one corrupt (or missing-but-referenced)
 // persistent file. It wraps both ErrCorruption and the underlying cause, so
 // errors.Is works against either.
@@ -48,4 +65,37 @@ func (e *CorruptionError) Unwrap() []error {
 		return []error{ErrCorruption, e.Err}
 	}
 	return []error{ErrCorruption}
+}
+
+// IntegrityError describes one file whose contents failed cryptographic
+// authentication: a sealed block's AEAD tag did not verify, or the file's
+// tag-chain digest disagrees with the digest the manifest recorded when the
+// file was installed. It is returned instead of plaintext — a read that
+// fails authentication never yields bytes. It wraps ErrIntegrity,
+// ErrCorruption, and the underlying cause.
+type IntegrityError struct {
+	Path   string
+	Kind   FileKind
+	Detail string
+	Err    error // underlying cause; may be nil
+}
+
+// Error implements error.
+func (e *IntegrityError) Error() string {
+	msg := fmt.Sprintf("lsm: integrity violation in %s %s: %s", e.Kind, e.Path, e.Detail)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap lets errors.Is succeed against ErrIntegrity, ErrCorruption, and
+// the cause. Wrapping ErrCorruption too means every corruption-aware path
+// (best-effort recovery, scrub classification, checker taint rules) treats
+// an authentication failure at least as seriously as a checksum mismatch.
+func (e *IntegrityError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrIntegrity, ErrCorruption, e.Err}
+	}
+	return []error{ErrIntegrity, ErrCorruption}
 }

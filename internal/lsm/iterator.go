@@ -34,6 +34,9 @@ type internalIterator interface {
 type sstIterAdapter struct {
 	it      *sstable.Iter
 	release func()
+	// wrapErr, when set, types errors surfacing from lazy block loads
+	// (e.g. a sealed block failing authentication mid-iteration).
+	wrapErr func(error) error
 }
 
 func (s *sstIterAdapter) First() bool               { return s.it.First() }
@@ -44,7 +47,13 @@ func (s *sstIterAdapter) Last() bool                { return s.it.Last() }
 func (s *sstIterAdapter) Valid() bool               { return s.it.Valid() }
 func (s *sstIterAdapter) Key() []byte               { return s.it.Key() }
 func (s *sstIterAdapter) Value() []byte             { return s.it.Value() }
-func (s *sstIterAdapter) Err() error                { return s.it.Err() }
+func (s *sstIterAdapter) Err() error {
+	err := s.it.Err()
+	if err != nil && s.wrapErr != nil {
+		return s.wrapErr(err)
+	}
+	return err
+}
 
 func (s *sstIterAdapter) Close() error {
 	if s.release != nil {

@@ -31,6 +31,15 @@ type FileMetadata struct {
 	// Seq orders files created by flush/compaction; used by universal and
 	// FIFO compaction to know run recency (higher = newer).
 	Seq uint64 `json:"seq"`
+
+	// Digest is the hex SHA-256 over the file's per-block AEAD tag chain
+	// (format v2), recorded by the version edit that installed the file.
+	// Because the tags are unforgeable without the file's DEK, anchoring
+	// their digest in the manifest extends the manifest's authenticity to
+	// every block of every SST: replacing a file with an older validly-
+	// sealed version changes the chain and is detected. Empty for format
+	// v1 files (which carry no authentication) and when encryption is off.
+	Digest string `json:"digest,omitempty"`
 }
 
 // Overlaps reports whether the file's key range intersects [smallest,
@@ -64,6 +73,14 @@ type VersionEdit struct {
 	LastSeq        *uint64       `json:"last_seq,omitempty"`
 	Added          []AddedFile   `json:"added,omitempty"`
 	Deleted        []DeletedFile `json:"deleted,omitempty"`
+
+	// Epoch, when nonzero, records the store's freshness epoch: a counter
+	// that increases monotonically across manifest generations. Recovery
+	// compares the recovered epoch against the floor sealed in the local
+	// freshness store and fails closed if the disk has moved backwards
+	// (snapshot-rollback detection). Written by the snapshot edit that
+	// starts each manifest file.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Encode serializes the edit for a MANIFEST log record.

@@ -91,6 +91,26 @@ func (NopWrapper) WrapOpenSequential(_ string, _ FileKind, f vfs.SequentialFile)
 // FileDeleted implements FileWrapper.
 func (NopWrapper) FileDeleted(string, string) {}
 
+// FreshnessStore persists the store's rollback-proof epoch floor outside
+// the data directory — in SHIELD deployments, sealed into the passkey-
+// protected secure cache next to the DEKs. Recovery reads the floor before
+// trusting the manifest: a recovered epoch below the floor proves the data
+// directory was rolled back to an earlier snapshot, and open fails closed
+// (ErrEpochRegression) unless Options.AllowRollback. After a successful
+// recovery the DB bumps the epoch past both the floor and the recovered
+// value and seals the new floor.
+type FreshnessStore interface {
+	// EpochFloor returns the highest epoch ever sealed, and whether one has
+	// been sealed at all (a fresh freshness store has no floor and accepts
+	// any manifest epoch).
+	EpochFloor() (uint64, bool)
+
+	// SealEpoch durably records epoch as the new floor. Called after the
+	// manifest carrying the epoch is durable, so a crash between the two
+	// leaves floor <= manifest epoch — safe, never falsely regressive.
+	SealEpoch(epoch uint64) error
+}
+
 // CompactionStyle selects the background-compaction policy.
 type CompactionStyle int
 
@@ -214,6 +234,16 @@ type Options struct {
 	// MaxManifestFileSize rolls the MANIFEST into a fresh snapshot file once
 	// its edit log grows past this many bytes. Default 4 MiB.
 	MaxManifestFileSize int64
+
+	// Freshness, when non-nil, anchors the store's epoch outside the data
+	// directory (see FreshnessStore). nil disables rollback detection.
+	Freshness FreshnessStore
+
+	// AllowRollback downgrades an epoch regression from a fail-closed open
+	// error to a logged warning — the explicit operator acknowledgement
+	// that the store was restored from an older snapshot on purpose (scrub
+	// uses it for disaster recovery). Ignored when Freshness is nil.
+	AllowRollback bool
 
 	// ReadOnly opens the database as a read-only instance (the DS
 	// optimization of launching extra read replicas over shared WAL and

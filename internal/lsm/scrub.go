@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -32,7 +33,46 @@ type ScrubOptions struct {
 
 	// Logger receives progress lines; nil discards.
 	Logger func(format string, args ...any)
+
+	// Freshness, when non-nil, supplies the sealed epoch floor for rollback
+	// detection, the same way Options.Freshness does at open.
+	Freshness FreshnessStore
+
+	// AllowRollback is the disaster-recovery override: instead of failing
+	// closed on an epoch regression, the scrub accepts the rolled-back
+	// state, re-stamps the store with a fresh epoch above the sealed floor,
+	// and seals the new floor — after which normal opens succeed again.
+	// Healthy files in a rolled-back store report verdict "stale-epoch",
+	// not "ok": their contents authenticate but their recency does not.
+	AllowRollback bool
 }
+
+// ScrubVerdict is the per-file integrity verdict of an authenticated scrub.
+type ScrubVerdict string
+
+// Per-file verdicts.
+const (
+	// VerdictOK: every block authenticated (or, for format v1 files, every
+	// checksum verified) and the tag-chain digest matches the manifest.
+	VerdictOK ScrubVerdict = "ok"
+
+	// VerdictTampered: cryptographic proof the bytes changed after sealing —
+	// an AEAD tag failed under the right key, or the tag-chain digest does
+	// not match the digest the manifest anchored. (Unauthenticated v1 files
+	// report tampered on checksum failure; the proof is weaker but the
+	// handling identical.)
+	VerdictTampered ScrubVerdict = "tampered"
+
+	// VerdictStaleEpoch: the file itself authenticates, but the store's
+	// freshness epoch regressed below the sealed floor — the whole tree is
+	// a rolled-back snapshot, so no file in it is known current.
+	VerdictStaleEpoch ScrubVerdict = "stale-epoch"
+
+	// VerdictUndecryptable: the file cannot be verified at all (DEK
+	// unresolvable, KDS unreachable, keyless scrub). Never quarantined: an
+	// undecryptable file is not provably corrupt.
+	VerdictUndecryptable ScrubVerdict = "undecryptable"
+)
 
 // ScrubAction classifies what the scrub did (or would do) with one file.
 type ScrubAction string
@@ -67,10 +107,28 @@ type ScrubReport struct {
 	Skipped          int
 	ManifestRepaired bool
 	Findings         []ScrubFinding
+
+	// Verdicts maps each live SST path to its integrity verdict.
+	Verdicts map[string]ScrubVerdict
+
+	// Epoch is the store's recovered freshness epoch; EpochRegressed is set
+	// when it was below the sealed floor (the store is a rolled-back
+	// snapshot, accepted only under AllowRollback).
+	Epoch          uint64
+	EpochRegressed bool
 }
 
 // Clean reports whether the scrub found nothing wrong at all.
-func (r *ScrubReport) Clean() bool { return len(r.Findings) == 0 }
+func (r *ScrubReport) Clean() bool { return len(r.Findings) == 0 && !r.EpochRegressed }
+
+// Verdict returns the recorded verdict for an SST path, defaulting to
+// undecryptable for files the scrub never reached.
+func (r *ScrubReport) Verdict(path string) ScrubVerdict {
+	if v, ok := r.Verdicts[path]; ok {
+		return v
+	}
+	return VerdictUndecryptable
+}
 
 // String renders a human-readable report.
 func (r *ScrubReport) String() string {
@@ -79,6 +137,26 @@ func (r *ScrubReport) String() string {
 		r.SSTsChecked, r.BlocksVerified, r.WALsChecked, r.WALRecordsRead)
 	fmt.Fprintf(&b, "scrub: quarantined=%d missing/orphans=%d skipped=%d torn_wal_tails=%d manifest_repaired=%v\n",
 		r.Quarantined, r.Orphans, r.Skipped, r.TornWALTails, r.ManifestRepaired)
+	if r.Epoch > 0 || r.EpochRegressed {
+		fmt.Fprintf(&b, "scrub: epoch=%d regressed=%v\n", r.Epoch, r.EpochRegressed)
+	}
+	var counts [4]int
+	for _, v := range r.Verdicts {
+		switch v {
+		case VerdictOK:
+			counts[0]++
+		case VerdictTampered:
+			counts[1]++
+		case VerdictStaleEpoch:
+			counts[2]++
+		case VerdictUndecryptable:
+			counts[3]++
+		}
+	}
+	if len(r.Verdicts) > 0 {
+		fmt.Fprintf(&b, "scrub: verdicts ok=%d tampered=%d stale-epoch=%d undecryptable=%d\n",
+			counts[0], counts[1], counts[2], counts[3])
+	}
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "  %-11s %-8s %s: %s\n", f.Action, f.Kind, f.Path, f.Detail)
 	}
@@ -109,7 +187,9 @@ func Scrub(fsys vfs.FS, dir string, opts ScrubOptions) (*ScrubReport, error) {
 	if opts.Logger == nil {
 		opts.Logger = func(string, ...any) {}
 	}
-	s := &scrubber{fs: fsys, dir: dir, opts: opts, report: &ScrubReport{}}
+	s := &scrubber{fs: fsys, dir: dir, opts: opts, report: &ScrubReport{
+		Verdicts: make(map[string]ScrubVerdict),
+	}}
 
 	// CURRENT -> manifest. A database without a readable CURRENT cannot be
 	// scrubbed (there is nothing to anchor the live file set to).
@@ -117,7 +197,7 @@ func Scrub(fsys vfs.FS, dir string, opts ScrubOptions) (*ScrubReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lsm: scrub: reading CURRENT: %w", err)
 	}
-	manifestName := strings.TrimSpace(string(data))
+	manifestName, _ := parseCurrent(data)
 	manifestNum, ok := parseManifestName(manifestName)
 	if !ok {
 		return nil, &CorruptionError{
@@ -147,13 +227,34 @@ func Scrub(fsys vfs.FS, dir string, opts ScrubOptions) (*ScrubReport, error) {
 			"truncated tail record; salvaged the valid prefix")
 	}
 
+	// Freshness: a recovered epoch below the sealed floor means the whole
+	// tree is a rolled-back snapshot. Fail closed unless AllowRollback, in
+	// which case the repair below re-stamps the store past the floor.
+	s.report.Epoch = st.epoch
+	if opts.Freshness != nil {
+		if floor, sealed := opts.Freshness.EpochFloor(); sealed && st.epoch < floor {
+			s.report.EpochRegressed = true
+			if !opts.AllowRollback {
+				return s.report, fmt.Errorf("%w: recovered epoch %d below sealed floor %d (rerun with AllowRollback to accept)",
+					ErrEpochRegression, st.epoch, floor)
+			}
+			opts.Logger("scrub: accepting rollback: epoch %d below floor %d", st.epoch, floor)
+		}
+	}
+
 	// Verify every live SST.
 	dropped := make(map[uint64]bool)
 	for lvl := range st.ver.Levels {
 		for _, f := range st.ver.Levels[lvl] {
 			name := sstFileName(dir, f.FileNum)
 			s.report.SSTsChecked++
-			switch action, detail := s.checkSST(name); action {
+			action, detail, verdict := s.checkSST(name, f)
+			if verdict == VerdictOK && s.report.EpochRegressed {
+				// Authentic bytes, stale tree.
+				verdict = VerdictStaleEpoch
+			}
+			s.report.Verdicts[name] = verdict
+			switch action {
 			case "":
 				// healthy
 			case ScrubSkipped:
@@ -216,9 +317,10 @@ func Scrub(fsys vfs.FS, dir string, opts ScrubOptions) (*ScrubReport, error) {
 		s.checkWAL(num)
 	}
 
-	// Rewrite the manifest when damage was found in it or files were
-	// dropped, so recovery never sees references to quarantined files.
-	if (manifestDamaged || len(dropped) > 0) && !s.opts.DryRun {
+	// Rewrite the manifest when damage was found in it, files were dropped,
+	// or a rollback was accepted (the repair re-stamps the epoch), so
+	// recovery never sees references to quarantined files or a stale epoch.
+	if (manifestDamaged || len(dropped) > 0 || s.report.EpochRegressed) && !s.opts.DryRun {
 		if err := s.repairManifest(st, manifestName, manifestNum, dropped); err != nil {
 			return s.report, fmt.Errorf("lsm: scrub: rewriting manifest: %w", err)
 		}
@@ -307,15 +409,17 @@ func (s *scrubber) sniffEncrypted(name string) bool {
 	return s.opts.Encrypted(prefix[:n])
 }
 
-// checkSST verifies one table. Returns "" when healthy, otherwise the action
-// to take and a detail string.
-func (s *scrubber) checkSST(name string) (ScrubAction, string) {
+// checkSST verifies one table: block checksums (which for sealed files are
+// AEAD-authenticated reads), then the tag-chain digest against the digest
+// the manifest anchored. Returns "" when healthy, otherwise the action to
+// take, a detail string, and always the per-file verdict.
+func (s *scrubber) checkSST(name string, meta *manifest.FileMetadata) (ScrubAction, string, ScrubVerdict) {
 	raw, err := s.fs.Open(name)
 	if err != nil {
 		if errors.Is(err, vfs.ErrNotFound) {
-			return ScrubMissing, "referenced by the manifest but absent"
+			return ScrubMissing, "referenced by the manifest but absent", VerdictTampered
 		}
-		return ScrubSkipped, "unreadable: " + err.Error()
+		return ScrubSkipped, "unreadable: " + err.Error(), VerdictUndecryptable
 	}
 	// transformed records whether the wrapper actually decrypts this file:
 	// if it does (we hold the key), a downstream checksum failure is genuine
@@ -331,24 +435,50 @@ func (s *scrubber) checkSST(name string) (ScrubAction, string) {
 		if err != nil {
 			return 0, err
 		}
-		return r.VerifyChecksums()
+		n, err := r.VerifyChecksums()
+		if err != nil {
+			return n, err
+		}
+		// Hash-tree anchor: the manifest recorded a tag-chain digest when
+		// this file was installed; a validly-sealed file with a different
+		// chain is an older version spliced back in.
+		if meta.Digest != "" {
+			dr, ok := wrapped.(interface{ FileDigest() ([]byte, error) })
+			if !ok {
+				return n, &IntegrityError{
+					Path: name, Kind: FileKindSST,
+					Detail: fmt.Sprintf("manifest records digest %s but the file is not sealed (replaced with an unauthenticated file?)", meta.Digest),
+				}
+			}
+			sum, err := dr.FileDigest()
+			if err != nil {
+				return n, err
+			}
+			if got := hex.EncodeToString(sum); got != meta.Digest {
+				return n, &IntegrityError{
+					Path: name, Kind: FileKindSST,
+					Detail: fmt.Sprintf("tag-chain digest %s does not match manifest digest %s (file replaced?)", got, meta.Digest),
+				}
+			}
+		}
+		return n, nil
 	}
 	n, err := verify()
 	raw.Close()
 	s.report.BlocksVerified += n
 	metrics.Recovery.ScrubBlocksVerified.Add(n)
 	if err == nil {
-		return "", ""
+		return "", "", VerdictOK
 	}
 	if !isCorruptionErr(err) {
 		// Cannot be read, but not provably corrupt (e.g. DEK unresolvable).
-		return ScrubSkipped, "unverifiable: " + err.Error()
+		return ScrubSkipped, "unverifiable: " + err.Error(), VerdictUndecryptable
 	}
 	if !transformed && s.sniffEncrypted(name) {
 		// Looks corrupt only because we lack the key — never quarantine.
-		return ScrubSkipped, "encrypted with an unavailable key; not verified"
+		return ScrubSkipped, "encrypted with an unavailable key; not verified", VerdictUndecryptable
 	}
-	return ScrubQuarantined, err.Error()
+	return ScrubQuarantined, err.Error(), VerdictTampered
 }
 
 // checkWAL reads one live WAL end to end.
@@ -440,6 +570,17 @@ func (s *scrubber) repairManifest(st *manifestState, oldName string, oldNum uint
 	snap.NextFileNumber = &nf
 	snap.LastSeq = &ls
 	snap.LogNumber = &ln
+	// Re-stamp the epoch. After an accepted rollback the new epoch must
+	// clear the sealed floor, turning the restored snapshot into a fresh,
+	// newer generation that subsequent opens accept without AllowRollback.
+	epoch := st.epoch
+	if s.opts.Freshness != nil {
+		if floor, sealed := s.opts.Freshness.EpochFloor(); sealed && floor > epoch {
+			epoch = floor
+		}
+		epoch++
+	}
+	snap.Epoch = epoch
 	enc, err := snap.Encode()
 	if err != nil {
 		w.Close()
@@ -456,8 +597,13 @@ func (s *scrubber) repairManifest(st *manifestState, oldName string, oldNum uint
 	if err := w.Close(); err != nil {
 		return err
 	}
-	if err := installCurrent(s.fs, s.dir, newNum); err != nil {
+	if err := installCurrent(s.fs, s.dir, newNum, epoch); err != nil {
 		return err
+	}
+	if s.opts.Freshness != nil {
+		if err := s.opts.Freshness.SealEpoch(epoch); err != nil {
+			s.opts.Logger("scrub: sealing epoch %d: %v", epoch, err)
+		}
 	}
 	return quarantineFile(s.fs, s.dir, path.Join(s.dir, oldName))
 }

@@ -240,6 +240,7 @@ func runCompactionShard(fs vfs.FS, wrapper FileWrapper, job CompactionJob,
 		w             *sstable.Writer
 		outName       string
 		outDEKID      string
+		outFile       vfs.WritableFile
 		outFileNum    uint64
 		nextOutNum    = firstNum
 		lastOutNum    = firstNum + maxFiles
@@ -287,6 +288,7 @@ func runCompactionShard(fs vfs.FS, wrapper FileWrapper, job CompactionJob,
 			return err
 		}
 		outDEKID = dekID
+		outFile = wrapped
 		created = append(created, createdOutput{name: outName, dekID: dekID})
 		w = newTableWriter(wrapped, writerOpts)
 		return nil
@@ -315,6 +317,7 @@ func runCompactionShard(fs vfs.FS, wrapper FileWrapper, job CompactionJob,
 			Smallest: w.Smallest(),
 			Largest:  w.Largest(),
 			DEKID:    outDEKID,
+			Digest:   fileDigest(outFile),
 		})
 		res.written += int64(w.FileSize())
 		w = nil

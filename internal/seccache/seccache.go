@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"path"
+	"strconv"
+	"strings"
 	"sync"
 
 	"shield/internal/crypt"
@@ -63,13 +65,18 @@ var errStructural = errors.New("seccache: structurally corrupt cache file")
 // under mu, then writes it under saveMu; snapSeq orders snapshots by the
 // state they observed so a slow older write can never clobber a newer one.
 type Cache struct {
-	fs        vfs.FS
-	path      string
-	aesKey    crypt.DEK
-	hmacKey   []byte
-	salt      [saltSize]byte
-	mu        sync.Mutex
-	entries   map[kds.KeyID]crypt.DEK
+	fs      vfs.FS
+	path    string
+	aesKey  crypt.DEK
+	hmacKey []byte
+	salt    [saltSize]byte
+	mu      sync.Mutex
+	entries map[kds.KeyID]crypt.DEK
+	// epochs holds per-store freshness-epoch floors (rollback detection),
+	// sealed into the same tamper-evident payload as the DEKs: an attacker
+	// who can roll the data directory back cannot roll the floor back
+	// without the passkey.
+	epochs    map[string]uint64
 	snapSeq   uint64
 	hits      int64
 	misses    int64
@@ -88,6 +95,7 @@ func Open(fs vfs.FS, path string, passkey []byte) (*Cache, error) {
 		fs:       fs,
 		path:     path,
 		entries:  make(map[kds.KeyID]crypt.DEK),
+		epochs:   make(map[string]uint64),
 		autosave: true,
 	}
 	// A leftover .tmp means a save crashed between WriteFile and Rename; the
@@ -124,6 +132,7 @@ func Open(fs vfs.FS, path string, passkey []byte) (*Cache, error) {
 // stable from here on.
 func (c *Cache) coldStart(passkey []byte) error {
 	c.entries = make(map[kds.KeyID]crypt.DEK)
+	c.epochs = make(map[string]uint64)
 	iv, err := crypt.NewIV()
 	if err != nil {
 		return err
@@ -185,8 +194,18 @@ func (c *Cache) load(data []byte, passkey []byte) error {
 	if err := json.Unmarshal(plain, &raw); err != nil {
 		return fmt.Errorf("%w: payload decode: %v", ErrBadPasskey, err)
 	}
-	for id, hexKey := range raw {
-		kb, err := hex.DecodeString(hexKey)
+	for id, val := range raw {
+		// Freshness-epoch floors share the sealed payload with the DEKs
+		// under a reserved prefix no KDS key ID uses.
+		if store, ok := strings.CutPrefix(id, epochPrefix); ok {
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("seccache: bad epoch encoding for %s: %w", store, err)
+			}
+			c.epochs[store] = n
+			continue
+		}
+		kb, err := hex.DecodeString(val)
 		if err != nil {
 			return fmt.Errorf("seccache: bad key encoding for %s: %w", id, err)
 		}
@@ -198,6 +217,33 @@ func (c *Cache) load(data []byte, passkey []byte) error {
 		c.entries[kds.KeyID(id)] = dek
 	}
 	return nil
+}
+
+// epochPrefix namespaces freshness-epoch entries inside the sealed payload.
+// KDS key IDs never start with "!", so the two spaces cannot collide.
+const epochPrefix = "!epoch:"
+
+// EpochFloor returns the sealed freshness-epoch floor for the named store,
+// and whether one has ever been sealed.
+func (c *Cache) EpochFloor(store string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.epochs[store]
+	return e, ok
+}
+
+// SealEpoch ratchets the named store's epoch floor up to epoch and persists
+// the cache. Lower values are ignored — the floor never moves backwards,
+// which is the whole point.
+func (c *Cache) SealEpoch(store string, epoch uint64) error {
+	c.mu.Lock()
+	if cur, ok := c.epochs[store]; ok && cur >= epoch {
+		c.mu.Unlock()
+		return nil
+	}
+	c.epochs[store] = epoch
+	c.mu.Unlock()
+	return c.save()
 }
 
 // SetAutosave controls whether mutations persist immediately (default true).
@@ -318,9 +364,12 @@ func (c *Cache) save() error {
 
 // encodeLocked serializes and seals the entry map. Caller holds mu.
 func (c *Cache) encodeLocked() ([]byte, error) {
-	raw := make(map[string]string, len(c.entries))
+	raw := make(map[string]string, len(c.entries)+len(c.epochs))
 	for id, dek := range c.entries {
 		raw[string(id)] = hex.EncodeToString(dek[:])
+	}
+	for store, e := range c.epochs {
+		raw[epochPrefix+store] = strconv.FormatUint(e, 10)
 	}
 	plain, err := json.Marshal(raw)
 	if err != nil {

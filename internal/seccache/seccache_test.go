@@ -367,3 +367,57 @@ func TestCrashDuringSave(t *testing.T) {
 		}
 	}
 }
+
+// TestEpochRatchet: the sealed freshness-epoch floor only moves up. Sealing
+// a lower value is a silent no-op, floors are per store, and the values
+// ride the same sealed (authenticated) payload as the DEKs, so they
+// survive a reopen and fail closed with the rest of the cache.
+func TestEpochRatchet(t *testing.T) {
+	fs := vfs.NewMem()
+	c, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.EpochFloor("db"); ok {
+		t.Fatal("fresh cache claims a sealed floor")
+	}
+	if err := c.SealEpoch("db", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SealEpoch("db", 3); err != nil { // ratchet: ignored
+		t.Fatal(err)
+	}
+	if got, ok := c.EpochFloor("db"); !ok || got != 5 {
+		t.Fatalf("floor = %d, %v after sealing 5 then 3; want 5, true", got, ok)
+	}
+	if err := c.SealEpoch("db", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SealEpoch("other", 2); err != nil { // independent store
+		t.Fatal(err)
+	}
+
+	// The floors persist across a reopen with the right passkey...
+	c2, err := Open(fs, "cache.bin", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.EpochFloor("db"); !ok || got != 9 {
+		t.Fatalf("reopened floor(db) = %d, %v; want 9, true", got, ok)
+	}
+	if got, ok := c2.EpochFloor("other"); !ok || got != 2 {
+		t.Fatalf("reopened floor(other) = %d, %v; want 2, true", got, ok)
+	}
+	if err := c2.SealEpoch("db", 7); err != nil { // still ratcheted
+		t.Fatal(err)
+	}
+	if got, _ := c2.EpochFloor("db"); got != 9 {
+		t.Fatalf("floor moved backwards to %d after reopen", got)
+	}
+
+	// ...and are unreadable without it: a wrong passkey fails the open, so
+	// an attacker cannot quietly lower the floor by rewriting the file.
+	if _, err := Open(fs, "cache.bin", []byte("wrong")); err == nil {
+		t.Fatal("wrong passkey opened the cache holding the epoch floors")
+	}
+}

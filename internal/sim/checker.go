@@ -182,13 +182,22 @@ func (c *checker) checkScanEntry(key, v string) {
 	}
 }
 
-// checkReadError classifies a read-path error. Typed corruption is
-// acceptable only after tampering was injected; transient I/O errors are
-// always acceptable (they do not assert anything false about the data).
+// checkReadError classifies a read-path error. Typed corruption and
+// integrity failures are acceptable only after tampering was injected (a
+// tampered block must surface as exactly this, never as wrong bytes);
+// transient I/O errors are always acceptable (they do not assert anything
+// false about the data).
 func (c *checker) checkReadError(key string, err error) {
+	if c.tainted.Load() {
+		return
+	}
 	var ce *lsm.CorruptionError
-	if errors.As(err, &ce) && !c.tainted.Load() {
+	if errors.As(err, &ce) {
 		c.violate("read of %s reported corruption with no tampering injected: %v", key, err)
+		return
+	}
+	if errors.Is(err, lsm.ErrIntegrity) {
+		c.violate("read of %s failed authentication with no tampering injected: %v", key, err)
 	}
 }
 

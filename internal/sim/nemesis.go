@@ -14,35 +14,39 @@ import (
 type eventKind int
 
 const (
-	evDiskFull     eventKind = iota // shrink the data quota to Used()+arg bytes
-	evDiskFree                      // lift the quota; heal-reopen if degraded
-	evNetFault                      // probabilistic I/O faults on the data path
-	evNetHeal                       // clear fault rules; heal-reopen if degraded
-	evCacheFault                    // fail the next arg secure-cache saves
-	evKDSKill                       // stop KDS replica arg
-	evKDSRestart                    // restart every stopped KDS replica
-	evStoreKill                     // stop the dstore node (dstore runs only)
-	evStoreRestart                  // restart the dstore node; heal if degraded
-	evBitRot                        // flip a bit in one cold SST (taints the run)
-	evConnStorm                     // burst of arg RESP clients, valid + malformed mix
-	evSlowClient                    // arg connections send a partial frame and stall
-	evCrash                         // power loss: snapshot, restore, reopen (arg=1: torn)
+	evDiskFull         eventKind = iota // shrink the data quota to Used()+arg bytes
+	evDiskFree                          // lift the quota; heal-reopen if degraded
+	evNetFault                          // probabilistic I/O faults on the data path
+	evNetHeal                           // clear fault rules; heal-reopen if degraded
+	evCacheFault                        // fail the next arg secure-cache saves
+	evKDSKill                           // stop KDS replica arg
+	evKDSRestart                        // restart every stopped KDS replica
+	evStoreKill                         // stop the dstore node (dstore runs only)
+	evStoreRestart                      // restart the dstore node; heal if degraded
+	evBitRot                            // flip a bit in one cold SST (taints the run)
+	evConnStorm                         // burst of arg RESP clients, valid + malformed mix
+	evSlowClient                        // arg connections send a partial frame and stall
+	evCrash                             // power loss: snapshot, restore, reopen (arg=1: torn)
+	evManifestSnap                      // adversary captures the durable image
+	evManifestRollback                  // adversary restores the captured image (taints)
 )
 
 var eventNames = map[eventKind]string{
-	evDiskFull:     "disk-full",
-	evDiskFree:     "disk-free",
-	evNetFault:     "net-fault",
-	evNetHeal:      "net-heal",
-	evCacheFault:   "cache-fault",
-	evKDSKill:      "kds-kill",
-	evKDSRestart:   "kds-restart",
-	evStoreKill:    "store-kill",
-	evStoreRestart: "store-restart",
-	evBitRot:       "bit-rot",
-	evConnStorm:    "conn-storm",
-	evSlowClient:   "slow-client",
-	evCrash:        "crash",
+	evDiskFull:         "disk-full",
+	evDiskFree:         "disk-free",
+	evNetFault:         "net-fault",
+	evNetHeal:          "net-heal",
+	evCacheFault:       "cache-fault",
+	evKDSKill:          "kds-kill",
+	evKDSRestart:       "kds-restart",
+	evStoreKill:        "store-kill",
+	evStoreRestart:     "store-restart",
+	evBitRot:           "bit-rot",
+	evConnStorm:        "conn-storm",
+	evSlowClient:       "slow-client",
+	evCrash:            "crash",
+	evManifestSnap:     "manifest-snap",
+	evManifestRollback: "manifest-rollback",
 }
 
 // event is one planned nemesis action, firing when the virtual clock
@@ -86,7 +90,29 @@ func planNemesis(cfg Config, rng *rand.Rand) []event {
 		kdsDown   bool
 		storeDown bool
 	)
-	for _, step := range ordered {
+	// The rollback attack needs two ordered moves — capture an image, then
+	// restore it with durable history in between — so leaving it to the
+	// probability rolls would make most schedules skip it. Reserve two of
+	// the drawn steps instead: a third of the way in and two thirds in.
+	// Gated on the flag so every pre-existing seed's plan (and hash) is
+	// unchanged with it off.
+	snapIdx, rbIdx := -1, -1
+	if cfg.Rollback {
+		snapIdx = len(ordered) / 3
+		rbIdx = (2 * len(ordered)) / 3
+		if rbIdx <= snapIdx {
+			rbIdx = snapIdx + 1
+		}
+	}
+	for i, step := range ordered {
+		if i == snapIdx {
+			plan = append(plan, event{step, evManifestSnap, 0})
+			continue
+		}
+		if i == rbIdx {
+			plan = append(plan, event{step, evManifestRollback, 0})
+			continue
+		}
 		// Close any open window first with some probability, so paired
 		// faults actually overlap the workload instead of lasting one op.
 		switch {

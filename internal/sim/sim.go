@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"path"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -63,6 +65,15 @@ type Config struct {
 	// quarantine semantics, so leave it off when hunting strict-durability
 	// bugs.
 	BitRot bool
+
+	// Rollback enables the manifest-rollback nemesis: an adversary captures
+	// the durable image at one point and later restores it wholesale — the
+	// freshness attack the sealed epoch floor exists to catch. The secure
+	// cache lives on a separate device and is NOT rolled back, so a reopen
+	// against the stale tree must fail closed with an epoch-regression
+	// error before the harness overrides it, operator-style, with
+	// AllowRollback. A rolled-back run relaxes the checker like BitRot.
+	Rollback bool
 
 	// ConnStorm fronts the engine with a RESP shield-server on loopback
 	// and adds connection-storm and slow-client events: bursts of clients
@@ -147,6 +158,18 @@ type simulation struct {
 	activeRules []vfs.FaultRule // re-installed after a crash rebuild
 	tainted     bool
 	faultStream uint64 // sub-seed counter for rebuilt RNG streams
+
+	// Rollback nemesis state: the captured durable image, whether a
+	// rollback was actually performed (epoch regression is only legitimate
+	// then), and whether reopen runs with the operator's override.
+	rollbackImg   *vfs.CrashImage
+	rolledBack    bool
+	allowRollback bool
+
+	// tampered maps each bit-rotted file to the SHA-256 of its post-flip
+	// bytes; the end-of-run scrub audit asserts every such file that still
+	// holds those bytes gets a non-ok verdict.
+	tampered map[string][32]byte
 
 	cacheBase *vfs.MemFS
 	cacheFS   *vfs.FaultFS
@@ -385,6 +408,7 @@ func (s *simulation) lsmOptsLocked() lsm.Options {
 		MaxManifestFileSize: 8 << 10, // exercise manifest rotation
 		SyncWrites:          true,    // acked == durable, the checker's axiom
 		BestEffortRecovery:  s.tainted,
+		AllowRollback:       s.allowRollback,
 		Logger: func(format string, args ...any) {
 			s.note("engine: "+format, args...)
 		},
@@ -429,6 +453,20 @@ func (s *simulation) openDBLocked() {
 			// recovery path. The rules are count-limited, so retrying the
 			// open drains them — the operator model for a flaky mount.
 			s.note("open hit an injected transient fault; retrying")
+		case errors.Is(err, lsm.ErrEpochRegression):
+			// Fail-closed rollback detection fired. Legitimate only if the
+			// nemesis actually rolled the image back; the harness then plays
+			// the operator who verified the rollback and overrides it.
+			// Spurious detection is a violation — it would lock users out of
+			// an intact store.
+			if !s.rolledBack {
+				s.checker.violate("reopen reported epoch regression with no rollback injected: %v", err)
+				s.setDBLocked(nil)
+				s.dead.Store(true)
+				return
+			}
+			s.note("rollback detected at reopen (%v); continuing with allow-rollback", err)
+			s.allowRollback = true
 		default:
 			s.checker.violate("reopen failed irrecoverably: %v", err)
 			s.setDBLocked(nil)
@@ -536,6 +574,26 @@ func (s *simulation) fire(ev event, idx int) {
 		}
 	case evBitRot:
 		s.bitRotLocked(ev.arg)
+	case evManifestSnap:
+		// The adversary quietly copies the durable image (manifest, CURRENT,
+		// SSTs — everything but the secure cache, which lives on another
+		// device) for a later replay.
+		s.rollbackImg = s.crash.Snapshot()
+		s.note("manifest-snap: adversary captured the durable image")
+	case evManifestRollback:
+		if s.rollbackImg == nil {
+			s.note("manifest-rollback: no captured image yet; skipped")
+			return
+		}
+		// Replay the stale image wholesale and power-cycle onto it. Acked
+		// writes since the snapshot vanish, so the checker degrades to
+		// taint semantics — but the sealed epoch floor must make the reopen
+		// fail closed first (asserted in openDBLocked).
+		s.tainted = true
+		s.checker.taint()
+		s.rolledBack = true
+		s.note("manifest-rollback: restoring stale durable image")
+		s.crashToLocked(s.rollbackImg, false, subSeed(s.cfg.Seed, 6000+uint64(idx)))
 	case evConnStorm:
 		s.connStormLocked(ev.arg)
 	case evSlowClient:
@@ -583,8 +641,9 @@ func (s *simulation) bitRotLocked(arg int64) {
 	}
 	var ssts []string
 	for _, e := range entries {
+		// List returns base names; tampering needs the full path.
 		if strings.HasSuffix(e.Name, ".sst") {
-			ssts = append(ssts, e.Name)
+			ssts = append(ssts, path.Join(simDir, e.Name))
 		}
 	}
 	if len(ssts) == 0 {
@@ -612,6 +671,14 @@ func (s *simulation) bitRotLocked(arg int64) {
 		f.Sync() //nolint:errcheck
 	}
 	f.Close()
+	// Remember the exact tampered bytes: the end-of-run scrub audit asserts
+	// that a file still holding them never gets an ok verdict. (Compaction
+	// or a rollback may legitimately replace the file; the hash tells the
+	// audit which assertions still apply.)
+	if s.tampered == nil {
+		s.tampered = make(map[string][32]byte)
+	}
+	s.tampered[name] = sha256.Sum256(data)
 	s.note("bit-rot: flipped bit %d of %s (%d bytes)", off, name, len(data))
 }
 
@@ -622,6 +689,15 @@ func (s *simulation) bitRotLocked(arg int64) {
 //
 //shield:nolockio stackMu is the simulation's crash barrier: the whole point is that no workload op may overlap the power cycle; every device is an in-memory fake
 func (s *simulation) crashLocked(torn bool, tornSeed int64) {
+	s.crashToLocked(s.crash.Snapshot(), torn, tornSeed)
+}
+
+// crashToLocked is crashLocked generalized over the image the machine comes
+// back up on: the current durable snapshot for power loss, an older captured
+// snapshot for the manifest-rollback nemesis.
+//
+//shield:nolockio stackMu is the simulation's crash barrier: the whole point is that no workload op may overlap the power cycle; every device is an in-memory fake
+func (s *simulation) crashToLocked(img *vfs.CrashImage, torn bool, tornSeed int64) {
 	s.crashes.Add(1)
 	if s.db != nil {
 		old := s.db
@@ -634,7 +710,6 @@ func (s *simulation) crashLocked(torn bool, tornSeed int64) {
 		s.storeUp = false
 	}
 
-	img := s.crash.Snapshot()
 	s.crash = vfs.NewCrashFrom(img, torn, tornSeed)
 	s.quota = vfs.NewQuota(s.crash, s.quotaLimit)
 	if err := s.quota.ChargeDir(simDir); err != nil {
@@ -793,6 +868,51 @@ func (s *simulation) finalVerify() {
 		s.checker.checkReadError("<final-scan>", err)
 	}
 	it.Close() //nolint:errcheck
+
+	s.scrubAuditLocked()
+}
+
+// scrubAuditLocked closes the engine and runs the offline scrub over the
+// final image: every file the nemesis tampered with that still holds the
+// tampered bytes must come back with a non-ok verdict. Tampering may
+// legitimately lose data (quarantine) but must never pass an audit —
+// that holds even in a tainted run.
+//
+//shield:nolockio runs after every worker has exited; stackMu is held only as the crash barrier and the devices are in-memory fakes
+func (s *simulation) scrubAuditLocked() {
+	if len(s.tampered) == 0 && !s.rolledBack {
+		return
+	}
+	if s.db != nil {
+		s.db.Close() //nolint:errcheck
+		s.setDBLocked(nil)
+	}
+	cfg := core.Config{
+		Mode:  core.ModeSHIELD,
+		FS:    s.dataFSLocked(),
+		KDS:   s.kdsClient,
+		Cache: s.cache,
+	}
+	rep, err := core.Scrub(simDir, cfg, lsm.ScrubOptions{AllowRollback: true})
+	if err != nil {
+		s.checker.violate("final scrub failed: %v", err)
+		return
+	}
+	s.note("final scrub: epoch=%d regressed=%v ssts=%d findings=%d",
+		rep.Epoch, rep.EpochRegressed, rep.SSTsChecked, len(rep.Findings))
+	for name, sum := range s.tampered {
+		data, rerr := vfs.ReadFile(s.dataFSLocked(), name)
+		if rerr != nil || sha256.Sum256(data) != sum {
+			// Quarantined, rewritten by compaction, or rolled away — the
+			// tampered bytes are gone and there is nothing to assert.
+			continue
+		}
+		if v := rep.Verdict(name); v == lsm.VerdictOK {
+			s.checker.violate("final scrub passed tampered file %s as %s", name, v)
+		} else {
+			s.note("final scrub: tampered %s verdict=%s", name, v)
+		}
+	}
 }
 
 // teardown closes every live component of the stack.

@@ -54,6 +54,50 @@ func TestSmokeBitRot(t *testing.T) {
 	requirePass(t, r)
 }
 
+// TestSmokeRollback runs tamper-plus-rollback seeds: the nemesis captures
+// the durable image mid-run and later restores it (the freshness attack),
+// alongside bit flips in cold SSTs. The run must pass with zero violations:
+// flipped blocks surface as authentication failures or quarantine-absence
+// (never wrong bytes), the stale image is detected fail-closed at reopen
+// via the sealed epoch floor before the harness overrides it, and the
+// end-of-run scrub audit gives every still-tampered file a non-ok verdict.
+// Seed 1 at these settings both flips a bit and detects the rollback.
+func TestSmokeRollback(t *testing.T) {
+	var detected bool
+	for seed := uint64(1); seed <= 3; seed++ {
+		r := Run(Config{Seed: seed, Ops: 400, BitRot: true, Rollback: true})
+		t.Logf("rollback seed %d: hash=%s tainted=%v acked=%d crashes=%d", seed, r.Hash, r.Tainted, r.Acked, r.Crashes)
+		requirePass(t, r)
+		var rb bool
+		for _, l := range r.Plan {
+			rb = rb || strings.Contains(l, "manifest-rollback")
+		}
+		if !rb {
+			t.Errorf("seed %d planned no manifest-rollback event:\n  %s", seed, strings.Join(r.Plan, "\n  "))
+		}
+		for _, n := range r.Notes {
+			detected = detected || strings.Contains(n, "rollback detected at reopen")
+		}
+	}
+	if !detected {
+		t.Error("no seed detected the rollback fail-closed at reopen; the epoch floor never engaged")
+	}
+}
+
+// TestRollbackOffKeepsPlans pins the gating contract: enabling the rollback
+// nemesis must not disturb the schedule any pre-existing seed derives with
+// it off, so old hashes stay replayable.
+func TestRollbackOffKeepsPlans(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		plain := Run(Config{Seed: seed, Ops: 300})
+		for _, l := range plain.Plan {
+			if strings.Contains(l, "manifest-snap") || strings.Contains(l, "manifest-rollback") {
+				t.Fatalf("seed %d planned a rollback event with Rollback off: %s", seed, l)
+			}
+		}
+	}
+}
+
 // TestSmokeConnStorm runs seeds with the RESP serving layer fronting the
 // engine: connection storms and slow clients fire between crashes, and the
 // post-event health probes (a wedged server is a violation) must pass.

@@ -1,10 +1,11 @@
 // Package all registers the full shield-vet analyzer suite in the order the
 // invariants were learned: encryption boundary, crash durability, key
-// hygiene, tail latency, error routing.
+// hygiene, tail latency, error routing, authenticated reads.
 package all
 
 import (
 	"shield/internal/vet/analysis"
+	"shield/internal/vet/analyzers/authread"
 	"shield/internal/vet/analyzers/errclass"
 	"shield/internal/vet/analyzers/keyhygiene"
 	"shield/internal/vet/analyzers/lockio"
@@ -19,4 +20,5 @@ var Analyzers = []*analysis.Analyzer{
 	keyhygiene.Analyzer,
 	lockio.Analyzer,
 	errclass.Analyzer,
+	authread.Analyzer,
 }

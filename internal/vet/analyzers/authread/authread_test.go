@@ -1,0 +1,12 @@
+package authread_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/authread"
+	"shield/internal/vet/vettest"
+)
+
+func TestAuthRead(t *testing.T) {
+	vettest.Run(t, "testdata", authread.Analyzer, "a")
+}

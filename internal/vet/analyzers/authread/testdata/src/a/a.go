@@ -1,0 +1,45 @@
+// Package a exercises the authread analyzer: calls to the unauthenticated
+// v1 CTR reader are flagged unless annotated with a justification; the
+// sealed v2 reader is always fine.
+package a
+
+// DEK models crypt.DEK.
+type DEK [16]byte
+
+// File models vfs.RandomAccessFile.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	Size() (int64, error)
+	Close() error
+}
+
+// Reader is an opaque handle.
+type Reader struct{}
+
+// NewDecryptingReaderAt models the unauthenticated crypt v1 reader.
+func NewDecryptingReaderAt(f File, key DEK, iv [16]byte, headerLen int64) (*Reader, error) {
+	return &Reader{}, nil
+}
+
+// NewSealedReaderAt models the authenticated crypt v2 reader.
+func NewSealedReaderAt(f File, key DEK, headerLen int64) (*Reader, error) {
+	return &Reader{}, nil
+}
+
+func unauthenticatedRead(f File, key DEK, iv [16]byte) (*Reader, error) {
+	return NewDecryptingReaderAt(f, key, iv, 0) // want `NewDecryptingReaderAt reads without authentication`
+}
+
+func sealedReadIsFine(f File, key DEK) (*Reader, error) {
+	return NewSealedReaderAt(f, key, 0)
+}
+
+func suppressedWithReason(f File, key DEK, iv [16]byte) (*Reader, error) {
+	//shield:noauthread format v1 compatibility: files written before sealing existed
+	return NewDecryptingReaderAt(f, key, iv, 0)
+}
+
+func bareDirectiveDoesNotSuppress(f File, key DEK, iv [16]byte) (*Reader, error) {
+	//shield:noauthread
+	return NewDecryptingReaderAt(f, key, iv, 0) // want `NewDecryptingReaderAt reads without authentication`
+}

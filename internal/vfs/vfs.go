@@ -27,6 +27,14 @@ var ErrExist = errors.New("vfs: file already exists")
 // immediately.
 var ErrNoSpace = errors.New("vfs: no space left on device")
 
+// ErrIntegrity reports that an authenticated read failed verification: the
+// bytes on storage are not the bytes that were written (tampering, bit-rot,
+// or a spliced/rolled-back file). It lives at the vfs seam so the encryption
+// layer (which detects it) and the engine (which classifies it) agree on the
+// sentinel without depending on each other. Decryption layers MUST return it
+// instead of unauthenticated plaintext.
+var ErrIntegrity = errors.New("vfs: integrity check failed (content does not authenticate)")
+
 // WritableFile is an append-only file handle. LSM files (WAL, SST, MANIFEST)
 // are written strictly sequentially.
 type WritableFile interface {
