@@ -25,10 +25,18 @@ fmt:
 vet:
 	go vet ./...
 
-# The repo's own analysis suite (cmd/shield-vet): nofs, syncdir, keyhygiene,
-# lockio, errclass. Stdlib-only — no downloads, works offline.
+# The repo's own analysis suite (cmd/shield-vet), ten analyzers: nofs,
+# syncdir, keyhygiene, lockio, errclass, authread (persistence and keys,
+# DESIGN.md §9) plus lockorder, atomics, goroleak, noncebound (concurrency
+# and crypto misuse, §14). Stdlib-only — no downloads, works offline.
+# Packages analyze on a worker pool; output is identical at any -parallel.
 shield-vet:
 	go run ./cmd/shield-vet ./...
+
+# Audit the suppression inventory: list every //shield:no* directive with
+# its reason, failing on stale ones (directives that suppress no finding).
+shield-vet-suppressions:
+	go run ./cmd/shield-vet -suppressions ./...
 
 # Seeded whole-stack fault simulation (cmd/shield-sim, DESIGN.md §10).
 # `sim` is the quick local gate; `sim-long` widens the fault matrix with the

@@ -1,0 +1,5 @@
+// Package typeerr is a shield-vet driver-test fixture that does not
+// type-check: the driver must refuse to analyze it and exit 2.
+package typeerr
+
+var oops int = "not an int"

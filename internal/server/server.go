@@ -209,9 +209,7 @@ func (s *Server) Serve() error {
 		}
 		metrics.Serve.ConnsOpened.Add(1)
 		metrics.Serve.ConnsOpen.Add(1)
-		s.wg.Add(1)
 		go func() {
-			defer s.wg.Done()
 			defer metrics.Serve.ConnsOpen.Add(-1)
 			defer s.untrack(conn)
 			s.handle(conn)
@@ -227,6 +225,12 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve()
 }
 
+// track registers conn and accounts its future handler in s.wg inside the
+// same connMu critical section as the closed check. Doing the Add here —
+// not after track returns — orders it before Close's drain: Close snapshots
+// the registry under connMu (openConns) before it starts wg.Wait, so a
+// handler can no longer slip its Add in after the Wait already observed a
+// zero counter and let Close return with the handler still live.
 func (s *Server) track(conn net.Conn) bool {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
@@ -234,14 +238,19 @@ func (s *Server) track(conn net.Conn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
 	return true
 }
 
+// untrack is the handler-side release for track: deregister, close, and
+// only then drop the wg count so Close cannot return before the conn is
+// actually off the books.
 func (s *Server) untrack(conn net.Conn) {
 	s.connMu.Lock()
 	delete(s.conns, conn)
 	s.connMu.Unlock()
 	conn.Close() //nolint:errcheck // idempotent; the handler may have closed already
+	s.wg.Done()
 }
 
 // Close drains and shuts down: stop accepting, wake idle readers so their

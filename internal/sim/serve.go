@@ -80,7 +80,9 @@ func (s *simulation) startServerLocked() error {
 	}
 	s.srv = srv
 	s.srvAddr = srv.Addr()
-	go srv.Serve() //nolint:errcheck // exits nil on Close; accept errors surface via the health probe
+	s.srvDone = make(chan error, 1)
+	done := s.srvDone
+	go func() { done <- srv.Serve() }()
 	return nil
 }
 
@@ -161,9 +163,9 @@ func (s *simulation) slowClientLocked(arg int64) {
 
 // probeServerLocked is the post-event health check: a fresh connection
 // must get +PONG. A server that stopped answering after a client-chaos
-// event is wedged, and that is a checker violation.
-//
-//shield:nolockio stackMu is the nemesis barrier; the probe is one loopback round trip
+// event is wedged, and that is a checker violation. (Its I/O-under-lock
+// findings report at the lock-holding callers, which carry their own
+// lockio audits.)
 func (s *simulation) probeServerLocked(after string) {
 	cl, err := resp.Dial(s.srvAddr, 2*time.Second)
 	if err != nil {
@@ -187,6 +189,13 @@ func (s *simulation) stopServerLocked() {
 	s.slowConns = nil
 	if s.srv != nil {
 		s.srv.Close() //nolint:errcheck // Close only returns nil
+		// Join the accept loop. Serve returns nil after Close; anything
+		// else means the loop died mid-run and every later probe failure
+		// was a symptom, so surface the root cause.
+		if err := <-s.srvDone; err != nil {
+			s.checker.violate("server accept loop died: %v", err)
+		}
 		s.srv = nil
+		s.srvDone = nil
 	}
 }

@@ -189,6 +189,7 @@ type simulation struct {
 	// swappable engine handle, plus the stalled connections the
 	// slow-client event leaves open. All mutated under stackMu exclusive.
 	srv       *server.Server
+	srvDone   chan error // receives Serve's result; drained by stopServerLocked
 	srvEngine *swapEngine
 	srvAddr   string
 	slowConns []net.Conn

@@ -44,6 +44,13 @@ type Pass struct {
 	// comment silences the finding.
 	Report func(Diagnostic)
 
+	// SuppressionUsed, if set, is invoked whenever a directive silences a
+	// finding, identified by the directive comment's own file:line and
+	// normalized name ("nofs", "nosyncdir", ...). The shield-vet
+	// -suppressions audit uses it to find stale directives that no longer
+	// suppress anything.
+	SuppressionUsed func(file string, line int, name string)
+
 	directives map[string][]directive // filename -> sorted by line
 	funcDocs   []funcDoc
 }
@@ -75,6 +82,7 @@ type funcDoc struct {
 	start, end int // line span of the function body
 	names      []string
 	reasons    []string
+	lines      []int // comment line of each directive, for usage tracking
 }
 
 // DirectivePrefix introduces a suppression comment: //shield:no<analyzer> <why>.
@@ -114,6 +122,7 @@ func (p *Pass) initDirectives() {
 				continue
 			}
 			var names, reasons []string
+			var lines []int
 			for _, c := range fd.Doc.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				if !strings.HasPrefix(text, DirectivePrefix) {
@@ -122,6 +131,7 @@ func (p *Pass) initDirectives() {
 				name, reason, _ := strings.Cut(strings.TrimPrefix(text, DirectivePrefix), " ")
 				names = append(names, name)
 				reasons = append(reasons, strings.TrimSpace(reason))
+				lines = append(lines, p.Fset.Position(c.Pos()).Line)
 			}
 			if len(names) == 0 {
 				continue
@@ -130,7 +140,7 @@ func (p *Pass) initDirectives() {
 			end := p.Fset.Position(fd.Body.End())
 			p.funcDocs = append(p.funcDocs, funcDoc{
 				file: start.Filename, start: start.Line, end: end.Line,
-				names: names, reasons: reasons,
+				names: names, reasons: reasons, lines: lines,
 			})
 		}
 	}
@@ -139,22 +149,24 @@ func (p *Pass) initDirectives() {
 // Suppressed reports whether a diagnostic of this pass's analyzer at pos is
 // silenced by a //shield:no<name> directive with a non-empty justification.
 // A directive without a justification does not suppress — the invariant is
-// that every exemption documents why it is safe.
+// that every exemption documents why it is safe. When a directive fires, the
+// SuppressionUsed hook (if any) is told which one.
 func (p *Pass) Suppressed(pos token.Pos) bool {
 	p.initDirectives()
-	// nofs already carries its "no": the directive is //shield:nofs, not
-	// //shield:nonofs.
-	want := "no" + p.Analyzer.Name
-	if strings.HasPrefix(p.Analyzer.Name, "no") {
-		want = p.Analyzer.Name
-	}
+	want := DirectiveName(p.Analyzer.Name)
 	position := p.Fset.Position(pos)
 	for _, d := range p.directives[position.Filename] {
 		if d.name != want {
 			continue
 		}
 		if d.line == position.Line || d.line == position.Line-1 {
-			return d.reason != ""
+			if d.reason == "" {
+				return false
+			}
+			if p.SuppressionUsed != nil {
+				p.SuppressionUsed(position.Filename, d.line, d.name)
+			}
+			return true
 		}
 	}
 	for _, fd := range p.funcDocs {
@@ -163,11 +175,60 @@ func (p *Pass) Suppressed(pos token.Pos) bool {
 		}
 		for i, n := range fd.names {
 			if n == want && fd.reasons[i] != "" {
+				if p.SuppressionUsed != nil {
+					p.SuppressionUsed(fd.file, fd.lines[i], n)
+				}
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// DirectiveName maps an analyzer name to its suppression-directive name:
+// //shield:no<analyzer>, except nofs, which already carries its "no" (the
+// directive is //shield:nofs, not //shield:nonofs). The exception is
+// exact-match: noncebound's directive is //shield:nononcebound.
+func DirectiveName(analyzer string) string {
+	if analyzer == "nofs" {
+		return analyzer
+	}
+	return "no" + analyzer
+}
+
+// Directive is one //shield:no<analyzer> comment found in a file, for the
+// shield-vet -suppressions audit.
+type Directive struct {
+	File   string
+	Line   int
+	Name   string // as written, e.g. "nosyncdir"
+	Reason string
+}
+
+// ScanDirectives enumerates every shield: directive in files, in file order.
+// Doc-comment directives are included once (doc comments are also members of
+// ast.File.Comments).
+func ScanDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimPrefix(text, DirectivePrefix), " ")
+				pos := fset.Position(c.Pos())
+				out = append(out, Directive{
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Name:   name,
+					Reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // InTestFile reports whether pos is inside a _test.go file. All shield-vet

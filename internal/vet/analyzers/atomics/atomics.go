@@ -1,0 +1,259 @@
+// Package atomics enforces the discipline that makes sync/atomic sound:
+//
+//  1. Mixed access: a variable or struct field that is accessed through a
+//     sync/atomic function anywhere (atomic.AddInt64(&s.n, 1)) must be
+//     accessed atomically everywhere. A single plain read or write
+//     re-introduces the data race the atomic calls were meant to remove —
+//     exactly the class of the block-cache stat bug fixed in the serving PR.
+//  2. No copying: a value whose type is (or contains, transitively through
+//     struct fields and arrays) one of the sync/atomic types
+//     (atomic.Int64, atomic.Pointer[T], atomic.Value, ...) must not be
+//     copied: methods need pointer receivers, and assignments or by-value
+//     arguments that duplicate an existing value tear the atomic's
+//     internal state. Composite literals and direct constructor returns
+//     are fine — a copy is only dangerous once the value is shared.
+//
+// Sites that are provably single-threaded (initialization before the value
+// escapes) can be annotated //shield:noatomics <reason>.
+package atomics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"shield/internal/vet/analysis"
+	"shield/internal/vet/vetutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomics",
+	Doc:  "fields touched by sync/atomic must be accessed atomically everywhere, and values containing atomic types must not be copied",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkMixedAccess(pass)
+	checkCopies(pass)
+	return nil
+}
+
+// --- mixed atomic / plain access ---
+
+// checkMixedAccess finds objects passed by address to sync/atomic functions,
+// then flags every other (non-atomic) use of those objects.
+func checkMixedAccess(pass *analysis.Pass) {
+	atomicObjs := map[types.Object][]token.Pos{} // object -> atomic-use positions
+	atomicArgs := map[ast.Node]bool{}            // the exact &x / &x.f operand nodes
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := vetutil.Callee(pass.TypesInfo, call)
+			if fn == nil || vetutil.PkgPath(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if obj := referredObject(pass, u.X); obj != nil {
+					atomicObjs[obj] = append(atomicObjs[obj], call.Pos())
+					atomicArgs[ast.Unparen(u.X)] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var obj types.Object
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicArgs[n] {
+					return false
+				}
+				if sel, ok := pass.TypesInfo.Selections[e]; ok {
+					obj = sel.Obj()
+				}
+			case *ast.Ident:
+				if atomicArgs[n] {
+					return false
+				}
+				obj = pass.TypesInfo.Uses[e]
+			default:
+				return true
+			}
+			if obj == nil {
+				return true
+			}
+			if _, ok := atomicObjs[obj]; !ok {
+				return true
+			}
+			if pass.InTestFile(n.Pos()) {
+				return false
+			}
+			pass.Reportf(n.Pos(),
+				"non-atomic access to %s, which is accessed with sync/atomic elsewhere (e.g. %s): mixing plain and atomic access is a data race",
+				obj.Name(), pass.Fset.Position(atomicObjs[obj][0]))
+			return false
+		})
+	}
+}
+
+// referredObject resolves the field or variable an atomic call's &-operand
+// refers to. Only package-level vars and struct fields are tracked: locals
+// cannot be shared without also being visible here.
+func referredObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.IndexExpr:
+		return referredObject(pass, e.X)
+	}
+	return nil
+}
+
+// --- copy discipline for atomic-bearing types ---
+
+func checkCopies(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			// Value receiver on an atomic-bearing type.
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				rt := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+				if rt != nil {
+					if _, isPtr := rt.Underlying().(*types.Pointer); !isPtr {
+						if name := containsAtomic(rt, nil); name != "" {
+							pass.Reportf(fd.Recv.List[0].Type.Pos(),
+								"method %s has a value receiver of type %s, which contains %s: every call copies the atomic state; use a pointer receiver",
+								fd.Name.Name, rt, name)
+						}
+					}
+				}
+			}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						// Assigning to _ discards the value; nothing shared
+						// is torn.
+						if len(n.Lhs) == len(n.Rhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+								continue
+							}
+						}
+						checkCopySource(pass, rhs)
+					}
+				case *ast.CallExpr:
+					if vetutil.Callee(pass.TypesInfo, n) != nil || isConversion(pass, n) {
+						for _, arg := range n.Args {
+							checkCopySource(pass, arg)
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, r := range n.Results {
+						checkCopySource(pass, r)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCopySource flags e when evaluating it copies an existing
+// atomic-bearing value: a variable, field selection, dereference, or index —
+// not a composite literal, address-of, or call result.
+func checkCopySource(pass *analysis.Pass, e ast.Expr) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	// Using a variable of pointer type copies the pointer, not the value.
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	// Method expressions / package selectors resolve to non-values.
+	if !tv.IsValue() {
+		return
+	}
+	if name := containsAtomic(tv.Type, nil); name != "" {
+		if pass.InTestFile(e.Pos()) {
+			return
+		}
+		pass.Reportf(e.Pos(),
+			"copying a value of type %s, which contains %s: copies tear atomic state and split the counter; pass a pointer",
+			tv.Type, name)
+	}
+}
+
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// containsAtomic reports the first sync/atomic type found inside t
+// (transitively through named types, struct fields, and arrays), or "".
+func containsAtomic(t types.Type, seen map[types.Type]bool) string {
+	if t == nil {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return "atomic." + obj.Name()
+		}
+	}
+	if alias, ok := t.(*types.Alias); ok {
+		return containsAtomic(types.Unalias(alias), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := containsAtomic(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen)
+	}
+	return ""
+}

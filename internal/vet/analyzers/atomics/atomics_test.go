@@ -1,0 +1,12 @@
+package atomics_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/atomics"
+	"shield/internal/vet/vettest"
+)
+
+func TestAtomics(t *testing.T) {
+	vettest.Run(t, "testdata", atomics.Analyzer, "a")
+}

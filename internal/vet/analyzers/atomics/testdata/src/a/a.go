@@ -1,0 +1,121 @@
+// Package a exercises the atomics analyzer: mixed atomic/plain access to the
+// same field, copying values that contain sync/atomic types, value
+// receivers, and the suppression forms.
+package a
+
+import "sync/atomic"
+
+// --- mixed access: s.hits is atomic in Add, plain in Reset/Snapshot.
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) Add() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) Reset() {
+	s.hits = 0 // want `non-atomic access to hits`
+}
+
+func (s *stats) Snapshot() int64 {
+	return s.hits // want `non-atomic access to hits`
+}
+
+// misses is only ever plain; no finding.
+func (s *stats) MissesPlain() int64 {
+	s.misses++
+	return s.misses
+}
+
+// consistent atomic access is fine.
+func (s *stats) Load() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// --- package-level var.
+
+var gauge int64
+
+func bump() {
+	atomic.AddInt64(&gauge, 1)
+}
+
+func read() int64 {
+	return gauge // want `non-atomic access to gauge`
+}
+
+// --- copying atomic-bearing values.
+
+type counters struct {
+	n atomic.Int64
+}
+
+type wrapper struct {
+	c counters
+}
+
+// value receiver copies the atomic state.
+func (c counters) Bad() int64 { // want `value receiver`
+	return c.n.Load()
+}
+
+// pointer receiver is the correct form.
+func (c *counters) Good() int64 {
+	return c.n.Load()
+}
+
+func copies(c *counters, w wrapper) {
+	cp := *c // want `copying a value of type a\.counters`
+	_ = cp
+	cw := w // want `copying a value of type a\.wrapper`
+	_ = cw
+	use(w) // want `copying a value of type a\.wrapper`
+}
+
+func use(wrapper) {}
+
+// composite literals and pointers are not copies of shared state.
+func fresh() *counters {
+	c := counters{}
+	p := &c
+	return p
+}
+
+// a plain struct with no atomics copies freely.
+type plain struct{ n int64 }
+
+func copyPlain(p plain) plain {
+	q := p
+	return q
+}
+
+// --- atomic.Value / atomic.Pointer receivers must not be copied either.
+
+type handle struct {
+	v atomic.Value
+}
+
+func copyHandle(h *handle) {
+	hv := *h // want `copying a value of type a\.handle`
+	_ = hv
+}
+
+// --- suppression with a reason silences; bare directive does not.
+
+type boot struct {
+	ready int64
+}
+
+func initBoot(b *boot) {
+	atomic.StoreInt64(&b.ready, 1)
+	//shield:noatomics single-threaded constructor; the value has not escaped yet
+	b.ready = 0
+}
+
+func initBootBare(b *boot) {
+	//shield:noatomics
+	b.ready = 1 // want `non-atomic access to ready`
+}

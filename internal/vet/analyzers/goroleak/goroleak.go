@@ -1,0 +1,276 @@
+// Package goroleak flags unaccounted goroutines launched from functions
+// that can fail: a `go` statement inside a function with an error result
+// must be joined, cancellable, or registered — otherwise an early error
+// return strands the goroutine, which is exactly how the flush-waiter wedge
+// happened (a waiter goroutine parked forever on a channel nobody would
+// ever close).
+//
+// A goroutine counts as accounted when any of these signals is present:
+//
+//   - a sync.WaitGroup is involved: the goroutine body calls Done (or any
+//     WaitGroup method), or the enclosing function calls Add before the
+//     launch — directly, or one call level down (a registration helper
+//     like track() that performs the Add under its own lock);
+//   - the body can be cancelled: it references a context.Context, or it
+//     receives from a channel declared outside the body (a done/quit
+//     channel);
+//   - the body joins back: it sends on or closes a captured channel — the
+//     result has somewhere to go — or the goroutine call is passed a
+//     channel or context argument;
+//   - a `go` of a named same-package function is checked against that
+//     function's body, one level deep.
+//
+// The check is a necessary-condition approximation: it cannot prove the
+// join happens on *every* return path, but a goroutine with no signal at
+// all has no path that reclaims it. Deliberate fire-and-forget launches
+// (self-terminating workers) carry //shield:nogoroleak <reason>.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"shield/internal/vet/analysis"
+	"shield/internal/vet/vetutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines launched in error-returning functions must be joined, cancellable, or WaitGroup-registered",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Index same-package function bodies for one-level `go namedFunc()`.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if !hasErrorResult(pass, fd) {
+				continue
+			}
+			checkFunc(pass, fd, decls)
+		}
+	}
+	return nil
+}
+
+func hasErrorResult(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		if t := pass.TypesInfo.Types[r.Type].Type; t != nil && vetutil.IsErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if accounted(pass, fd, g, decls) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine launched in error-returning %s with no join, cancellation, or WaitGroup registration: an early error return strands it; account for it or annotate //shield:nogoroleak <reason>",
+			fd.Name.Name)
+		return true
+	})
+}
+
+func accounted(pass *analysis.Pass, fd *ast.FuncDecl, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	// A WaitGroup.Add before the launch accounts for any goroutine shape:
+	// wg.Add(1); go worker(). The Add may be one call level down — a
+	// registration helper that Adds under its own lock (the track() shape).
+	if addBefore(pass, fd, g, decls) {
+		return true
+	}
+	// A channel or context handed to the goroutine is a cancellation/join
+	// handle regardless of what the body looks like.
+	for _, arg := range g.Call.Args {
+		if t := pass.TypesInfo.Types[arg].Type; isChanOrContext(t) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return bodyAccounted(pass, lit.Body, lit)
+	}
+	// go namedFunc(...) / go x.method(...): follow one level into a
+	// same-package body.
+	if fn := vetutil.Callee(pass.TypesInfo, g.Call); fn != nil {
+		if callee, ok := decls[fn]; ok {
+			return bodyAccounted(pass, callee.Body, nil)
+		}
+	}
+	return false
+}
+
+// addBefore reports a WaitGroup.Add call in fd positioned before the launch,
+// either directly or inside a same-package callee (one level).
+func addBefore(pass *analysis.Pass, fd *ast.FuncDecl, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if isWaitGroupCall(pass, call, "Add") {
+			found = true
+		} else if fn := vetutil.Callee(pass.TypesInfo, call); fn != nil {
+			if callee, ok := decls[fn]; ok && callsWaitGroupAdd(pass, callee.Body) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsWaitGroupAdd reports whether body contains a WaitGroup.Add call.
+func callsWaitGroupAdd(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(pass, call, "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyAccounted scans a goroutine body for any accounting signal. lit, when
+// non-nil, is the enclosing function literal: channel operations only count
+// when the channel is captured or a parameter (a channel both created and
+// consumed inside the body cannot be observed from outside).
+func bodyAccounted(pass *analysis.Pass, body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupCall(pass, n, "") {
+				found = true
+			}
+			// close(ch) on an external channel is a completion broadcast.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if externalChan(pass, n.Args[0], body, lit) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-ch: receiving from an external channel means the goroutine
+			// can be told to stop (or is consuming a bounded stream).
+			if n.Op.String() == "<-" && externalChan(pass, n.X, body, lit) {
+				found = true
+			}
+		case *ast.SendStmt:
+			// ch <- v: the result is delivered to a joiner.
+			if externalChan(pass, n.Chan, body, lit) {
+				found = true
+			}
+		case *ast.Ident:
+			// Any reference to a context.Context (ctx.Done, ctx.Err,
+			// passing it on) makes the goroutine cancellable.
+			if t := identType(pass, n); isContext(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// externalChan reports whether e is a channel whose declaration lives
+// outside body — a captured done/result channel, a parameter, or a field.
+func externalChan(pass *analysis.Pass, e ast.Expr, body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	// Fields and non-ident expressions are external by construction.
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return true
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	// Declared inside the goroutine body: internal plumbing, not a join.
+	if body.Pos() <= obj.Pos() && obj.Pos() <= body.End() {
+		return false
+	}
+	return true
+}
+
+func identType(pass *analysis.Pass, id *ast.Ident) types.Type {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj.Type()
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj.Type()
+	}
+	return nil
+}
+
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+	}
+	return false
+}
+
+func isChanOrContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContext(t) {
+		return true
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isWaitGroupCall reports a method call on sync.WaitGroup; method filters to
+// one name when non-empty.
+func isWaitGroupCall(pass *analysis.Pass, call *ast.CallExpr, method string) bool {
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil || vetutil.PkgPath(fn) != "sync" {
+		return false
+	}
+	if method != "" && fn.Name() != method {
+		return false
+	}
+	recv := vetutil.ReceiverType(pass.TypesInfo, call)
+	return vetutil.IsNamed(recv, "WaitGroup")
+}

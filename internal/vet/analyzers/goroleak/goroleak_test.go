@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/goroleak"
+	"shield/internal/vet/vettest"
+)
+
+func TestGoroleak(t *testing.T) {
+	vettest.Run(t, "testdata", goroleak.Analyzer, "a")
+}

@@ -1,0 +1,166 @@
+// Package a exercises the goroleak analyzer: unaccounted goroutines in
+// error-returning functions are flagged; WaitGroup registration, captured
+// cancellation channels/contexts, join handshakes, and suppressions are not.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+type engine struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// --- fire-and-forget in an error-returning function: flagged.
+
+func (e *engine) startBad() error {
+	go func() { // want `no join, cancellation, or WaitGroup registration`
+		for {
+		}
+	}()
+	return nil
+}
+
+// a named-function launch with an unaccounted body is flagged too.
+func spin() {
+	for {
+	}
+}
+
+func (e *engine) startNamedBad() error {
+	go spin() // want `no join, cancellation, or WaitGroup registration`
+	return nil
+}
+
+// --- functions without an error result are out of scope.
+
+func (e *engine) startVoid() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+// --- WaitGroup forms.
+
+func (e *engine) startWG() error {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+	}()
+	return nil
+}
+
+func (e *engine) worker() {}
+
+func (e *engine) startNamedWG() error {
+	e.wg.Add(1)
+	go e.worker()
+	return nil
+}
+
+// the Add may sit one call level down, in a registration helper that
+// guards it with its own lock (the connection-track shape).
+func (e *engine) register() bool {
+	e.wg.Add(1)
+	return true
+}
+
+func (e *engine) startViaRegister() error {
+	if !e.register() {
+		return nil
+	}
+	go func() {
+		defer e.wg.Done()
+	}()
+	return nil
+}
+
+// the body calling Done is enough even without a visible Add here.
+func (e *engine) doneWorker() {
+	defer e.wg.Done()
+}
+
+func (e *engine) startNamedDone() error {
+	go e.doneWorker()
+	return nil
+}
+
+// --- cancellation via captured channel or context.
+
+func (e *engine) startQuit() error {
+	go func() {
+		select {
+		case <-e.quit:
+			return
+		}
+	}()
+	return nil
+}
+
+func (e *engine) startCtx(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+	}()
+	return nil
+}
+
+// passing the context (or a channel) into the goroutine call accounts it.
+func pump(ctx context.Context) {}
+
+func (e *engine) startCtxArg(ctx context.Context) error {
+	go pump(ctx)
+	return nil
+}
+
+// --- join handshake: sending the result on a captured channel.
+
+func (e *engine) startJoin() (err error) {
+	ch := make(chan error, 1)
+	go func() {
+		ch <- nil
+	}()
+	return <-ch
+}
+
+// closing a captured channel is a completion broadcast.
+func (e *engine) startClose() error {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+	return nil
+}
+
+// a channel created *inside* the goroutine is internal plumbing, not a join.
+func (e *engine) startInternalChan() error {
+	go func() { // want `no join, cancellation, or WaitGroup registration`
+		in := make(chan int, 1)
+		in <- 1
+		<-in
+	}()
+	return nil
+}
+
+// --- suppression with a reason; a bare directive does not suppress.
+
+func (e *engine) startDetached() error {
+	//shield:nogoroleak self-terminating: the loop exits when the pool is drained, holding no references
+	go func() {
+		for {
+		}
+	}()
+	return nil
+}
+
+func (e *engine) startDetachedBare() error {
+	//shield:nogoroleak
+	go func() { // want `no join, cancellation, or WaitGroup registration`
+		for {
+		}
+	}()
+	return nil
+}

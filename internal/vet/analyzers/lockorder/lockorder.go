@@ -1,0 +1,423 @@
+// Package lockorder builds a per-package lock-acquisition graph and reports
+// cycles — the static shadow of the deadlock the race detector can only find
+// if the schedule cooperates.
+//
+// A lock is identified by where it lives, not which instance is locked:
+//   - a struct-field mutex is "Type.field" (DB.mu, shard.mu);
+//   - a package-level mutex var is "pkg.name";
+//   - a function-local mutex is "local name" (it can only participate in
+//     intra-function edges).
+//
+// An edge A → B is recorded when B is acquired while A is held:
+//   - intra-function: B.Lock()/B.RLock() between A.Lock() and its matching
+//     positional unlock (or to the end of the function when the unlock is
+//     deferred);
+//   - one call level deep: a call to a same-package function g inside A's
+//     critical section contributes A → L for every lock L that g itself
+//     acquires. Deeper nesting is out of scope — the repo's convention is
+//     that lock-holding helpers are *Locked-suffixed and acquire nothing.
+//
+// Findings:
+//   - a cycle in the graph (A → B somewhere, B → A somewhere else) is
+//     reported at every acquisition edge on the cycle, so both sites show up
+//     in review;
+//   - re-acquiring the same lock expression while it is held (directly or
+//     via a one-level callee) is reported as a self-deadlock — sync.Mutex is
+//     not reentrant, and a recursive RLock deadlocks against a queued
+//     writer.
+//
+// Function literals are their own scopes: a closure built inside a critical
+// section runs when it is *called*, not where it is written, so its lock
+// events neither extend the enclosing region nor count as nested
+// acquisitions (the iterator-onClose pattern — capture d.mu.Lock in a
+// cleanup closure while holding d.mu — is legal). Each literal's body is
+// analyzed independently. Likewise, a callee that *releases* the caller's
+// lock before re-acquiring it (the boundary hand-off pattern) is simulated
+// event-by-event, not flagged as a blind re-acquisition.
+//
+// Two instances of the same type locked in sequence (hand-over-hand) share
+// an identity; if a design genuinely orders instances dynamically, annotate
+// the site with //shield:nolockorder <reason>.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"shield/internal/vet/analysis"
+	"shield/internal/vet/vetutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "no lock-order cycles or recursive acquisitions in the per-package mutex-acquisition graph",
+	Run:  run,
+}
+
+// acq is one Lock/RLock/Unlock/RUnlock event inside a function.
+type acq struct {
+	pos      token.Pos
+	expr     string // printed receiver expression, e.g. "d.mu"
+	id       string // lock identity, e.g. "DB.mu"
+	op       string
+	deferred bool
+}
+
+// edge is one "B acquired while A held" observation.
+type edge struct {
+	from, to string
+	pos      token.Pos
+	via      string // "" for a direct acquisition, else the callee name
+}
+
+func run(pass *analysis.Pass) error {
+	// Index this package's function bodies so call edges can be followed one
+	// level. Function literals are separate bodies: a closure's lock events
+	// happen when the closure runs, not where it is defined.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var bodies []*ast.BlockStmt
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			bodies = append(bodies, fd.Body)
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					bodies = append(bodies, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+
+	acqsOf := map[*ast.BlockStmt][]acq{}
+	for _, b := range bodies {
+		acqsOf[b] = lockEvents(pass, b)
+	}
+
+	var edges []edge
+	for _, b := range bodies {
+		edges = append(edges, funcEdges(pass, b, acqsOf[b], decls, acqsOf)...)
+	}
+
+	// Self-deadlocks were reported during edge collection; what remains is
+	// cycle detection over the identity graph.
+	reportCycles(pass, edges)
+	return nil
+}
+
+// lockEvents extracts the lock events of one function body, in source order.
+// Nested function literals are skipped — they are separate bodies.
+func lockEvents(pass *analysis.Pass, body *ast.BlockStmt) []acq {
+	var events []acq
+	ast.Inspect(body, func(n ast.Node) bool {
+		deferred := false
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			call = n.Call
+			deferred = true
+		case *ast.CallExpr:
+			call = n
+		default:
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		op := sel.Sel.Name
+		switch op {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		fn := vetutil.Callee(pass.TypesInfo, call)
+		if fn == nil || vetutil.PkgPath(fn) != "sync" {
+			return true
+		}
+		events = append(events, acq{
+			pos:      call.Pos(),
+			expr:     types.ExprString(sel.X),
+			id:       lockIdentity(pass, sel.X),
+			op:       op,
+			deferred: deferred,
+		})
+		return !deferred
+	})
+	return events
+}
+
+// lockIdentity names the lock behind a Lock-call receiver expression.
+func lockIdentity(pass *analysis.Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok {
+			if owner := namedOf(sel.Recv()); owner != "" {
+				return owner + "." + e.Sel.Name
+			}
+		}
+		// Package-qualified var: pkg.mu.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			return "local " + v.Name()
+		}
+	}
+	return types.ExprString(e)
+}
+
+func namedOf(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+// region is one held-lock span: from the acquisition to its matching
+// positional unlock, or to the end of the body when the unlock is deferred
+// or absent.
+type region struct {
+	a          acq
+	start, end token.Pos
+}
+
+func heldRegions(body *ast.BlockStmt, events []acq) []region {
+	var regions []region
+	for _, e := range events {
+		if e.deferred || (e.op != "Lock" && e.op != "RLock") {
+			continue
+		}
+		end := body.End()
+		unlock := "Unlock"
+		if e.op == "RLock" {
+			unlock = "RUnlock"
+		}
+		for _, u := range events {
+			if u.op == unlock && !u.deferred && u.expr == e.expr && u.pos > e.pos && u.pos < end {
+				end = u.pos
+			}
+		}
+		regions = append(regions, region{a: e, start: e.pos, end: end})
+	}
+	return regions
+}
+
+// funcEdges computes the acquisition edges contributed by one function body,
+// reporting self-deadlocks on the spot.
+func funcEdges(pass *analysis.Pass, body *ast.BlockStmt, events []acq,
+	decls map[*types.Func]*ast.FuncDecl, acqsOf map[*ast.BlockStmt][]acq) []edge {
+
+	regions := heldRegions(body, events)
+	if len(regions) == 0 {
+		return nil
+	}
+	var edges []edge
+
+	// Direct nested acquisitions.
+	for _, e := range events {
+		if e.op != "Lock" && e.op != "RLock" {
+			continue
+		}
+		for _, r := range regions {
+			if e.pos <= r.start || e.pos >= r.end || e.pos == r.a.pos {
+				continue
+			}
+			if e.id == r.a.id {
+				if e.expr == r.a.expr {
+					pass.Reportf(e.pos,
+						"%s of %s while %s is already held: sync mutexes are not reentrant, this self-deadlocks (held since %s)",
+						e.op, e.expr, e.expr, line(pass, r.a.pos))
+				}
+				continue // same identity, different instance: unorderable statically
+			}
+			edges = append(edges, edge{from: r.a.id, to: e.id, pos: e.pos})
+		}
+	}
+
+	// One call level: a same-package callee's own acquisitions happen with
+	// the caller's locks held. The callee's events are replayed in source
+	// order so a hand-off — the callee releasing the caller's lock before
+	// re-acquiring it — is not mistaken for a blind re-acquisition, and
+	// locks taken after the release contribute no edge.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := vetutil.Callee(pass.TypesInfo, call)
+		if fn == nil || vetutil.PkgPath(fn) == "sync" {
+			return true
+		}
+		callee, ok := decls[fn]
+		if !ok {
+			return true
+		}
+		for _, r := range regions {
+			if call.Pos() <= r.start || call.Pos() >= r.end {
+				continue
+			}
+			held := true
+			for _, e := range acqsOf[callee.Body] {
+				switch e.op {
+				case "Unlock", "RUnlock":
+					if !e.deferred && e.id == r.a.id {
+						held = false
+					}
+					continue
+				}
+				if !held {
+					if e.id == r.a.id {
+						held = true // hand-off: callee re-took the caller's lock
+					}
+					continue
+				}
+				if e.id == r.a.id {
+					pass.Reportf(call.Pos(),
+						"call to %s while holding %s: %s acquires %s again, which self-deadlocks on the same instance",
+						fn.Name(), r.a.expr, fn.Name(), e.expr)
+					continue
+				}
+				edges = append(edges, edge{from: r.a.id, to: e.id, pos: call.Pos(), via: fn.Name()})
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+// reportCycles finds strongly connected components of the lock graph and
+// reports every edge inside one.
+func reportCycles(pass *analysis.Pass, edges []edge) {
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	scc := tarjan(adj)
+	comp := map[string]int{}
+	for i, c := range scc {
+		for _, n := range c {
+			comp[n] = i
+		}
+	}
+	reported := map[string]bool{}
+	for _, e := range edges {
+		ci, ok := comp[e.from]
+		if !ok || comp[e.to] != ci || len(scc[ci]) < 2 {
+			continue
+		}
+		cyc := append([]string(nil), scc[ci]...)
+		sort.Strings(cyc)
+		key := fmt.Sprintf("%d:%s:%s", e.pos, e.from, e.to)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		via := ""
+		if e.via != "" {
+			via = " (via call to " + e.via + ")"
+		}
+		pass.Reportf(e.pos,
+			"acquiring %s while holding %s%s completes a lock-order cycle {%s}: another path takes these locks in the opposite order, which can deadlock",
+			e.to, e.from, via, strings.Join(cyc, ", "))
+	}
+}
+
+// tarjan returns the strongly connected components of adj.
+func tarjan(adj map[string][]string) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	for n, outs := range adj {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		for _, m := range outs {
+			if !seen[m] {
+				seen[m] = true
+				nodes = append(nodes, m)
+			}
+		}
+	}
+	sort.Strings(nodes) // deterministic traversal
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		outs := append([]string(nil), adj[v]...)
+		sort.Strings(outs)
+		for _, w := range outs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return out
+}
+
+func line(pass *analysis.Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf("line %d", p.Line)
+}

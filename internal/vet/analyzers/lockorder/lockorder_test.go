@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/lockorder"
+	"shield/internal/vet/vettest"
+)
+
+func TestLockOrder(t *testing.T) {
+	vettest.Run(t, "testdata", lockorder.Analyzer, "a")
+}

@@ -1,0 +1,236 @@
+// Package a exercises the lockorder analyzer: lock-order cycles across
+// functions, one-level call edges, recursive acquisition of the same lock
+// expression, and the suppression forms.
+package a
+
+import "sync"
+
+type DB struct {
+	mu    sync.Mutex
+	sched sync.Mutex
+}
+
+type Cache struct {
+	mu sync.Mutex
+}
+
+// --- cycle via two functions taking two struct-field locks in opposite
+// order; both closing edges are reported.
+
+func (d *DB) muThenSched() {
+	d.mu.Lock()
+	d.sched.Lock() // want `lock-order cycle`
+	d.sched.Unlock()
+	d.mu.Unlock()
+}
+
+func (d *DB) schedThenMu() {
+	d.sched.Lock()
+	defer d.sched.Unlock()
+	d.mu.Lock() // want `lock-order cycle`
+	d.mu.Unlock()
+}
+
+// --- consistent nesting is not a cycle.
+
+type pair struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (p *pair) nestOnce() {
+	p.outer.Lock()
+	p.inner.Lock()
+	p.inner.Unlock()
+	p.outer.Unlock()
+}
+
+func (p *pair) nestAgain() {
+	p.outer.Lock()
+	defer p.outer.Unlock()
+	p.inner.Lock()
+	defer p.inner.Unlock()
+}
+
+// --- sequential (non-nested) acquisitions create no edge.
+
+func (d *DB) sequential() {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.sched.Lock()
+	d.sched.Unlock()
+}
+
+// --- recursive acquisition of the same expression self-deadlocks.
+
+func (c *Cache) relock() {
+	c.mu.Lock()
+	c.mu.Lock() // want `self-deadlocks`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// recursive RLock is included: it deadlocks against a queued writer.
+type R struct {
+	mu sync.RWMutex
+}
+
+func (r *R) rrlock() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.mu.RLock() // want `self-deadlocks`
+	r.mu.RUnlock()
+}
+
+// --- one call level: callee acquisitions count as held-lock edges.
+
+type Reg struct {
+	mu    sync.Mutex
+	cache *Cache
+}
+
+func (g *Reg) lockCache() {
+	g.cache.mu.Lock()
+	g.cache.mu.Unlock()
+}
+
+func (g *Reg) regThenCacheViaCall() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lockCache() // want `lock-order cycle`
+}
+
+func (g *Reg) cacheThenReg(c *Cache) {
+	c.mu.Lock()
+	g.mu.Lock() // want `lock-order cycle`
+	g.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// calling a helper that re-locks the held lock is the classic wrapped
+// self-deadlock.
+func (d *DB) lockedHelper() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func (d *DB) callsHelperUnderMu() {
+	d.mu.Lock()
+	d.lockedHelper() // want `self-deadlocks`
+	d.mu.Unlock()
+}
+
+// calling the helper after unlocking is fine.
+func (d *DB) callsHelperOutside() {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.lockedHelper()
+}
+
+// --- package-level mutex identity.
+
+var gmu sync.Mutex
+
+type T struct {
+	mu sync.Mutex
+}
+
+func (t *T) globalThenField() {
+	gmu.Lock()
+	t.mu.Lock() // want `lock-order cycle`
+	t.mu.Unlock()
+	gmu.Unlock()
+}
+
+func (t *T) fieldThenGlobal() {
+	t.mu.Lock()
+	gmu.Lock() // want `lock-order cycle`
+	gmu.Unlock()
+	t.mu.Unlock()
+}
+
+// --- a closure built under the lock runs when called, not where written:
+// its lock events are its own scope, not nested acquisitions.
+
+type iter struct {
+	onClose func()
+}
+
+func (d *DB) newIterOnClose() *iter {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &iter{onClose: func() {
+		d.mu.Lock()
+		d.mu.Unlock()
+	}}
+}
+
+// the closure body is still analyzed on its own.
+func (d *DB) badClosure() func() {
+	return func() {
+		d.mu.Lock()
+		d.mu.Lock() // want `self-deadlocks`
+		d.mu.Unlock()
+		d.mu.Unlock()
+	}
+}
+
+// --- hand-off: a callee that releases the caller's lock before re-taking
+// it is not a re-acquisition, and locks taken in the released window
+// contribute no edge (so sideThenMu below closes no cycle).
+
+type H struct {
+	mu   sync.Mutex
+	side sync.Mutex
+}
+
+func (h *H) handOff() {
+	h.mu.Unlock()
+	h.side.Lock()
+	h.side.Unlock()
+	h.mu.Lock()
+}
+
+func (h *H) syncWithHandOff() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handOff()
+}
+
+func (h *H) sideThenMu() {
+	h.side.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.side.Unlock()
+}
+
+// --- suppression forms.
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) abOrder() {
+	s.a.Lock()
+	//shield:nolockorder audited: b-holders never take a; the cycle is an artifact of identity merging
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) baOrder() {
+	s.b.Lock()
+	s.a.Lock() //shield:nolockorder same audit as abOrder
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// a bare directive (no reason) does not suppress.
+func (s *S) bareDirective() {
+	s.a.Lock()
+	//shield:nolockorder
+	s.a.Lock() // want `self-deadlocks`
+	s.a.Unlock()
+	s.a.Unlock()
+}

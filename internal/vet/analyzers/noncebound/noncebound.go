@@ -1,0 +1,271 @@
+// Package noncebound enforces SHIELD's AEAD discipline at the crypto seam.
+// GCM security collapses completely on a (key, nonce) reuse — two sealings
+// under the same pair leak the XOR of the plaintexts and enable tag forgery
+// — so nonce handling is not left to call-site judgment:
+//
+//  1. Cipher constructions (cipher.NewGCM, NewCTR, NewCBC*, ...) are
+//     confined to internal/crypt. Everything outside composes the audited
+//     Sealer/Stream abstractions, which bind nonces structurally.
+//  2. Raw AEAD Seal/Open calls (cipher.AEAD receivers) are likewise
+//     confined to internal/crypt: a caller-fabricated nonce bypasses the
+//     prefix‖block-index schedule.
+//  3. A crypt.NewSealer nonce prefix must have audited provenance in the
+//     calling function: fresh randomness from a crypt helper (crypt.NewIV)
+//     for the write path, or bytes recovered by a header parser (a function
+//     whose name contains "Header") for the reopen path. Literals and
+//     locally fabricated prefixes are rejected, and the same prefix
+//     variable must not feed two Sealer constructions in one function —
+//     one Sealer per (file, prefix).
+//
+// The analyzer skips package crypt itself (the primitives legitimately
+// handle raw nonces) and, like the whole suite, test files. Audited
+// exceptions carry //shield:nononcebound <reason>.
+package noncebound
+
+import (
+	"go/ast"
+	"go/types"
+
+	"shield/internal/vet/analysis"
+	"shield/internal/vet/vetutil"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "noncebound",
+	Doc:  "cipher construction and raw AEAD use stay inside internal/crypt; Sealer nonce prefixes come from crypt randomness or parsed headers, never literals, never reused in a scope",
+	Run:  run,
+}
+
+// cipherConstructors are the crypto/cipher mode constructors that mint a
+// nonce-consuming primitive.
+var cipherConstructors = map[string]bool{
+	"NewCTR": true, "NewGCM": true, "NewGCMWithNonceSize": true,
+	"NewGCMWithTagSize": true, "NewCBCEncrypter": true, "NewCBCDecrypter": true,
+	"NewCFBEncrypter": true, "NewCFBDecrypter": true, "NewOFB": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if vetutil.PathIs(pass.Pkg.Path(), "crypt") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Sealer constructions seen in this function, keyed by the nonce-prefix
+	// root object, to catch prefix reuse across constructions.
+	seen := map[types.Object]ast.Expr{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := vetutil.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		pkg := vetutil.PkgPath(fn)
+
+		if pkg == "crypto/cipher" && cipherConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"cipher.%s outside internal/crypt: cipher modes are constructed only behind the audited Sealer/Stream seam, where nonce schedules are bound structurally",
+				fn.Name())
+			return true
+		}
+		if (fn.Name() == "Seal" || fn.Name() == "Open") && isAEADReceiver(pass, call) {
+			pass.Reportf(call.Pos(),
+				"raw AEAD %s outside internal/crypt: a caller-supplied nonce bypasses the prefix‖block-index schedule; use crypt.Sealer",
+				fn.Name())
+			return true
+		}
+		if fn.Name() == "NewSealer" && vetutil.PathIs(pkg, "crypt") && len(call.Args) >= 2 {
+			checkNoncePrefix(pass, fd, call.Args[1], seen)
+		}
+		return true
+	})
+}
+
+func isAEADReceiver(pass *analysis.Pass, call *ast.CallExpr) bool {
+	recv := vetutil.ReceiverType(pass.TypesInfo, call)
+	if recv == nil {
+		return false
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "crypto/cipher" && obj.Name() == "AEAD"
+}
+
+func checkNoncePrefix(pass *analysis.Pass, fd *ast.FuncDecl, arg ast.Expr, seen map[types.Object]ast.Expr) {
+	if isLiteral(arg) {
+		pass.Reportf(arg.Pos(),
+			"caller-fabricated nonce prefix for crypt.NewSealer: a fixed prefix reuses (key, nonce) pairs across files, which breaks GCM; use crypt.NewIV")
+		return
+	}
+	root := rootIdent(arg)
+	if root == nil {
+		pass.Reportf(arg.Pos(),
+			"nonce prefix for crypt.NewSealer has unverifiable provenance: derive it from crypt.NewIV (create) or a parsed file header (reopen), or annotate //shield:nononcebound <reason>")
+		return
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[root]
+	}
+	if obj != nil {
+		if prev, dup := seen[obj]; dup {
+			pass.Reportf(arg.Pos(),
+				"nonce prefix %s already fed a Sealer construction in this function (at %s): sealing two files under one (key, prefix) reuses every block nonce",
+				root.Name, pass.Fset.Position(prev.Pos()))
+			return
+		}
+		seen[obj] = arg
+	}
+
+	switch provenance(pass, fd, root, obj) {
+	case provOK:
+	case provBad:
+		pass.Reportf(arg.Pos(),
+			"nonce prefix %s is not derived from crypt randomness or a parsed header: fabricated prefixes risk (key, nonce) reuse; use crypt.NewIV or annotate //shield:nononcebound <reason>",
+			root.Name)
+	}
+	return
+}
+
+type prov int
+
+const (
+	provOK prov = iota
+	provBad
+)
+
+// provenance classifies how the nonce-prefix root variable got its value
+// inside fd: assignment from a crypt helper or a header parser is OK;
+// anything else visible is suspect. A root with no visible assignment (a
+// parameter or field) is accepted — the defining site is checked where it
+// assigns.
+func provenance(pass *analysis.Pass, fd *ast.FuncDecl, root *ast.Ident, obj types.Object) prov {
+	if obj == nil {
+		return provOK
+	}
+	verdict := provOK
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := pass.TypesInfo.Defs[id]
+			if lobj == nil {
+				lobj = pass.TypesInfo.Uses[id]
+			}
+			if lobj != obj {
+				continue
+			}
+			// Which RHS feeds this LHS: 1:1 assignments align by index; a
+			// multi-value call covers every LHS.
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if !assignedFromTrusted(pass, rhs) {
+				verdict = provBad
+			}
+		}
+		return true
+	})
+	return verdict
+}
+
+// assignedFromTrusted reports whether rhs is a call to a crypt helper
+// (crypt.NewIV and friends) or to a header parser (name contains "Header" —
+// parseHeader/readHeader recover the prefix a previous writer drew from
+// crypt randomness).
+func assignedFromTrusted(pass *analysis.Pass, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := vetutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if vetutil.PathIs(vetutil.PkgPath(fn), "crypt") {
+		return true
+	}
+	return containsFold(fn.Name(), "header")
+}
+
+func containsFold(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		match := true
+		for j := 0; j < len(sub); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != sub[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// isLiteral reports a compile-time-fabricated value: basic literals,
+// composite literals, and conversions of them ([]byte("prefix")).
+func isLiteral(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit, *ast.CompositeLit:
+		return true
+	case *ast.CallExpr: // conversions like []byte("x")
+		if len(e.Args) == 1 {
+			return isLiteral(e.Args[0])
+		}
+	case *ast.SliceExpr:
+		return isLiteral(e.X)
+	}
+	return false
+}
+
+// rootIdent digs the base identifier out of the prefix expression:
+// iv[:8], iv, (iv) all resolve to iv; selectors (h.iv) resolve to the field
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SliceExpr:
+		return rootIdent(e.X)
+	case *ast.IndexExpr:
+		return rootIdent(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.CallExpr:
+		if len(e.Args) == 1 {
+			return rootIdent(e.Args[0])
+		}
+	}
+	return nil
+}

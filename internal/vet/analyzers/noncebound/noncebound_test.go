@@ -1,0 +1,12 @@
+package noncebound_test
+
+import (
+	"testing"
+
+	"shield/internal/vet/analyzers/noncebound"
+	"shield/internal/vet/vettest"
+)
+
+func TestNoncebound(t *testing.T) {
+	vettest.Run(t, "testdata", noncebound.Analyzer, "a")
+}

@@ -1,0 +1,125 @@
+// Package a exercises the noncebound analyzer: cipher constructions and raw
+// AEAD calls outside crypt, fabricated / reused / underived Sealer nonce
+// prefixes, the trusted write (crypt.NewIV) and reopen (parsed header)
+// provenances, and the suppression forms.
+package a
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+
+	"crypt"
+)
+
+// --- cipher constructions outside internal/crypt are flagged.
+
+func rawGCM(key []byte) cipher.AEAD {
+	block, _ := aes.NewCipher(key)
+	aead, _ := cipher.NewGCM(block) // want `cipher\.NewGCM outside internal/crypt`
+	return aead
+}
+
+func rawCTR(key, iv []byte) cipher.Stream {
+	block, _ := aes.NewCipher(key)
+	return cipher.NewCTR(block, iv) // want `cipher\.NewCTR outside internal/crypt`
+}
+
+// --- raw AEAD Seal/Open outside crypt is flagged even on a received AEAD.
+
+func sealWith(aead cipher.AEAD, nonce, plain []byte) []byte {
+	return aead.Seal(nil, nonce, plain, nil) // want `raw AEAD Seal outside internal/crypt`
+}
+
+func openWith(aead cipher.AEAD, nonce, ct []byte) ([]byte, error) {
+	return aead.Open(nil, nonce, ct, nil) // want `raw AEAD Open outside internal/crypt`
+}
+
+// --- Sealer nonce-prefix provenance.
+
+// write path: fresh randomness from the crypt helper is the trusted form.
+func sealFresh(key crypt.DEK, hdr []byte) (*crypt.Sealer, error) {
+	iv, err := crypt.NewIV()
+	if err != nil {
+		return nil, err
+	}
+	return crypt.NewSealer(key, iv[:8], hdr)
+}
+
+// reopen path: a prefix recovered by a header parser is trusted.
+func parseHeader(b []byte) ([16]byte, int) {
+	var iv [16]byte
+	copy(iv[:], b)
+	return iv, 16
+}
+
+func sealReopen(key crypt.DEK, raw []byte) (*crypt.Sealer, error) {
+	iv, hdrLen := parseHeader(raw)
+	return crypt.NewSealer(key, iv[:8], raw[:hdrLen])
+}
+
+// a literal prefix is fabricated.
+func sealLiteral(key crypt.DEK, hdr []byte) (*crypt.Sealer, error) {
+	return crypt.NewSealer(key, []byte("prefix00"), hdr) // want `caller-fabricated nonce prefix`
+}
+
+// a prefix from an arbitrary local derivation is not trusted.
+func makeNonce() []byte { return make([]byte, 8) }
+
+func sealDerived(key crypt.DEK, hdr []byte) (*crypt.Sealer, error) {
+	nonce := makeNonce()
+	return crypt.NewSealer(key, nonce, hdr) // want `not derived from crypt randomness or a parsed header`
+}
+
+// a call result used directly has no checkable root.
+func sealOpaque(key crypt.DEK, hdr []byte) (*crypt.Sealer, error) {
+	return crypt.NewSealer(key, makeNonce(), hdr) // want `unverifiable provenance`
+}
+
+// a prefix parameter is accepted: the assigning site is checked where it
+// assigns.
+func sealParam(key crypt.DEK, prefix, hdr []byte) (*crypt.Sealer, error) {
+	return crypt.NewSealer(key, prefix, hdr)
+}
+
+// --- reuse of one prefix across two constructions in a scope.
+
+func sealTwice(key crypt.DEK, hdr []byte) error {
+	iv, err := crypt.NewIV()
+	if err != nil {
+		return err
+	}
+	if _, err := crypt.NewSealer(key, iv[:8], hdr); err != nil {
+		return err
+	}
+	_, err = crypt.NewSealer(key, iv[:8], hdr) // want `already fed a Sealer construction`
+	return err
+}
+
+// distinct prefixes are fine.
+func sealTwo(key crypt.DEK, hdr []byte) error {
+	iv1, err := crypt.NewIV()
+	if err != nil {
+		return err
+	}
+	if _, err := crypt.NewSealer(key, iv1[:8], hdr); err != nil {
+		return err
+	}
+	iv2, err := crypt.NewIV()
+	if err != nil {
+		return err
+	}
+	_, err = crypt.NewSealer(key, iv2[:8], hdr)
+	return err
+}
+
+// --- suppression with a reason; bare directives do not suppress.
+
+func sealKAT(key crypt.DEK, hdr []byte) (*crypt.Sealer, error) {
+	//shield:nononcebound known-answer self-check sealing a constant vector; nothing persisted under this prefix
+	return crypt.NewSealer(key, []byte("kat-vec0"), hdr)
+}
+
+func sealKATBare(key crypt.DEK, hdr []byte) (*crypt.Sealer, error) {
+	//shield:nononcebound
+	return crypt.NewSealer(key, []byte("kat-vec1"), hdr) // want `caller-fabricated nonce prefix`
+}

@@ -1,0 +1,24 @@
+// Package crypt models the shield crypt seam for the noncebound fixtures:
+// the analyzer recognizes it by import-path suffix, exactly like the real
+// shield/internal/crypt.
+package crypt
+
+// DEK is a data-encryption key.
+type DEK [16]byte
+
+// Sealer models the audited per-file AEAD wrapper.
+type Sealer struct{ _ [0]byte }
+
+// NewIV models the crypt randomness helper the nonce prefix must come from.
+func NewIV() ([16]byte, error) {
+	var iv [16]byte
+	return iv, nil
+}
+
+// NewSealer models the real constructor: (key, noncePrefix, aad).
+func NewSealer(key DEK, noncePrefix []byte, aad []byte) (*Sealer, error) {
+	_ = key
+	_ = noncePrefix
+	_ = aad
+	return &Sealer{}, nil
+}

@@ -4,15 +4,17 @@
 // Resolution is deliberately simple because the module has no external
 // dependencies: an import path inside the module maps to a directory under
 // the module root; fixture roots (testdata/src) are consulted next; anything
-// else is assumed to be standard library and delegated to the stdlib's
-// "source" importer, which type-checks GOROOT packages from source and
-// needs no pre-built export data or network access.
+// else is assumed to be standard library, resolved with go/build (which
+// evaluates build constraints) and type-checked from GOROOT source with
+// IgnoreFuncBodies — analyzers only need the exported API of imports, and
+// skipping std function bodies cuts load time severalfold. No pre-built
+// export data or network access is needed.
 package load
 
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
+	"go/build"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -20,6 +22,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed, type-checked package.
@@ -39,6 +42,12 @@ type Package struct {
 // Loader loads packages for analysis. Test files (_test.go) are not loaded:
 // every shield-vet analyzer exempts test code, so skipping them avoids
 // type-checking external test packages entirely.
+//
+// LoadDir is safe for concurrent use: each package — standard library
+// included — is parsed and type-checked exactly once (concurrent requests
+// for the same path wait on the first), and all imports resolve through the
+// same cache. This is what lets the shield-vet driver fan packages out over
+// a worker pool.
 type Loader struct {
 	Fset       *token.FileSet
 	ModulePath string
@@ -49,8 +58,17 @@ type Loader struct {
 	// like "vfs" or "dstore" with short import paths.
 	FixtureRoots []string
 
-	pkgs map[string]*Package
-	std  types.ImporterFrom
+	mu   sync.Mutex
+	pkgs map[string]*entry
+	ctxt build.Context
+}
+
+// entry is one package's load slot: the first requester does the work,
+// everyone else waits on done.
+type entry struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader creates a loader rooted at the module containing dir (found by
@@ -64,13 +82,17 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
+	// Std packages are resolved with cgo disabled so go/build selects the
+	// pure-Go fallback files; cgo variants would reference generated
+	// symbols that do not exist when type-checking from source.
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
 	return &Loader{
-		Fset:       fset,
+		Fset:       token.NewFileSet(),
 		ModulePath: modPath,
 		ModuleDir:  root,
-		pkgs:       make(map[string]*Package),
-		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       make(map[string]*entry),
+		ctxt:       ctxt,
 	}, nil
 }
 
@@ -96,25 +118,116 @@ func findModule(dir string) (root, modPath string, err error) {
 
 // Import implements types.Importer, so a Loader can be handed straight to
 // types.Config. Module-internal paths and fixture paths recurse into this
-// loader; everything else goes to the source importer (stdlib).
+// loader; everything else is resolved against GOROOT.
 func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.importWithChain(path, l.ModuleDir, nil)
+}
+
+// chainImporter threads the current goroutine's import stack through
+// types.Config.Check so same-goroutine import cycles are reported instead
+// of deadlocking on their own load entry. It implements ImporterFrom so the
+// type checker hands us the importing file's directory, which go/build
+// needs to resolve GOROOT-vendored paths (e.g. golang.org/x/net inside net).
+type chainImporter struct {
+	l     *Loader
+	chain []string
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	return c.l.importWithChain(path, c.l.ModuleDir, c.chain)
+}
+
+func (c chainImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	return c.l.importWithChain(path, srcDir, c.chain)
+}
+
+func (l *Loader) importWithChain(path, srcDir string, chain []string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	if p, ok := l.pkgs[path]; ok {
-		if p.Types == nil {
+	for _, p := range chain {
+		if p == path {
 			return nil, fmt.Errorf("load: import cycle through %s", path)
 		}
-		return p.Types, nil
 	}
 	if dir, ok := l.dirFor(path); ok {
-		p, err := l.load(path, dir)
+		p, err := l.load(path, dir, chain)
 		if err != nil {
 			return nil, err
 		}
 		return p.Types, nil
 	}
-	return l.std.ImportFrom(path, l.ModuleDir, 0)
+	return l.stdImport(path, srcDir, chain)
+}
+
+// stdImport type-checks a GOROOT package from source, memoized in the same
+// concurrent cache as module packages. go/build evaluates build constraints
+// and vendor redirections; function bodies are skipped (IgnoreFuncBodies) —
+// importers only need the exported API, and std bodies dominate load time.
+func (l *Loader) stdImport(path, srcDir string, chain []string) (*types.Package, error) {
+	bp, err := l.ctxt.Import(path, srcDir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: resolve %s: %w", path, err)
+	}
+	p, err := l.loadStd(bp, chain)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// loadStd is the std-package twin of load: same entry memoization (keyed by
+// the canonical import path, so vendored aliases collapse), but parsing
+// skips comments and type-checking skips function bodies.
+func (l *Loader) loadStd(bp *build.Package, chain []string) (*Package, error) {
+	path := bp.ImportPath
+	for _, p := range chain {
+		if p == path {
+			return nil, fmt.Errorf("load: import cycle through %s", path)
+		}
+	}
+	l.mu.Lock()
+	if e, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	l.pkgs[path] = e
+	l.mu.Unlock()
+
+	e.pkg, e.err = l.doLoadStd(bp, append(chain, path))
+	close(e.done)
+	return e.pkg, e.err
+}
+
+func (l *Loader) doLoadStd(bp *build.Package, chain []string) (*Package, error) {
+	p := &Package{Path: bp.ImportPath, Dir: bp.Dir, Fset: l.Fset}
+	for _, n := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(bp.Dir, n), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", bp.ImportPath, err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("load %s: no buildable Go files in %s", bp.ImportPath, bp.Dir)
+	}
+	conf := types.Config{
+		Importer:         chainImporter{l: l, chain: chain},
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(bp.ImportPath, l.Fset, p.Files, nil)
+	if tpkg == nil {
+		return nil, fmt.Errorf("load %s: %w", bp.ImportPath, err)
+	}
+	if len(p.TypeErrors) > 0 {
+		return nil, fmt.Errorf("load %s: %w", bp.ImportPath, p.TypeErrors[0])
+	}
+	p.Types = tpkg
+	return p, nil
 }
 
 // dirFor resolves an import path to a directory, if it is module-internal or
@@ -149,20 +262,14 @@ func hasGoFiles(dir string) bool {
 }
 
 // LoadDir loads the package in dir, deriving its import path from the module
-// root or fixture roots.
+// root or fixture roots. Safe for concurrent use.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
 	path := l.importPathOf(abs)
-	if p, ok := l.pkgs[path]; ok {
-		if p.Types == nil {
-			return nil, fmt.Errorf("load %s: previous load failed", path)
-		}
-		return p, nil
-	}
-	return l.load(path, abs)
+	return l.load(path, abs, nil)
 }
 
 func (l *Loader) importPathOf(abs string) string {
@@ -180,9 +287,27 @@ func (l *Loader) importPathOf(abs string) string {
 	return filepath.ToSlash(abs)
 }
 
-func (l *Loader) load(path, dir string) (*Package, error) {
+// load returns the cached package for path, or parses and type-checks it.
+// The first requester populates the entry; concurrent requesters block on
+// its done channel. chain is the requesting goroutine's import stack.
+func (l *Loader) load(path, dir string, chain []string) (*Package, error) {
+	l.mu.Lock()
+	if e, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.pkg, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	l.pkgs[path] = e
+	l.mu.Unlock()
+
+	e.pkg, e.err = l.doLoad(path, dir, append(chain, path))
+	close(e.done)
+	return e.pkg, e.err
+}
+
+func (l *Loader) doLoad(path, dir string, chain []string) (*Package, error) {
 	p := &Package{Path: path, Dir: dir, Fset: l.Fset}
-	l.pkgs[path] = p // reserve before type-checking to detect cycles
 
 	ents, err := os.ReadDir(dir) //shield:nofs source-tree walk, same as findModule above
 	if err != nil {
@@ -220,7 +345,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
 	conf := types.Config{
-		Importer: l,
+		Importer: chainImporter{l: l, chain: chain},
 		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
 	}
 	tpkg, err := conf.Check(path, l.Fset, p.Files, p.Info)
