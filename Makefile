@@ -6,7 +6,7 @@
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long tamper-test fuzz bench-json server-test
+.PHONY: all build test race vet shield-vet staticcheck govulncheck lint-extra fmt sim sim-long tamper-test replication-test fuzz bench-json server-test
 
 all: build vet shield-vet test
 
@@ -68,6 +68,17 @@ sim-long:
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -dstore
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -bitrot
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -dstore -bitrot
+
+# Replication gate (DESIGN.md §15): the replica-set and orchestrator unit
+# and integration tests under the race detector, the core quorum-loss
+# degradation tests, then a nodeloss sim sweep — three storage nodes behind
+# a quorum-2 replica set with offloaded compactions, replica kills
+# overlapping in-flight writes, worker kills mid-lease, and the end-of-run
+# byte-identical replica audit.
+replication-test:
+	go test -race ./internal/dstore/ ./internal/compactsvc/ ./internal/netretry/
+	go test -race -run 'Replica|Quorum' ./internal/core/
+	go run ./cmd/shield-sim -seeds $(SIM_SEEDS) -nodeloss
 
 # Adversarial gate (DESIGN.md §13): seeded bit flips plus a manifest
 # rollback every run. Tampering must surface only as typed integrity

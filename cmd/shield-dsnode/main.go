@@ -3,12 +3,15 @@
 //
 // The compaction worker holds its own KDS identity: it resolves input-file
 // DEKs via the DEK-IDs in file headers and encrypts its outputs under fresh
-// DEKs, exactly as in the paper's offloaded-compaction case study.
+// DEKs, exactly as in the paper's offloaded-compaction case study. The
+// worker dials the compute node's compaction orchestrator and polls for
+// leased jobs, so any number of storage nodes can serve one compute node
+// without compute-side reconfiguration.
 //
 // Usage:
 //
 //	shield-dsnode -addr :7700 -dir /data/shield \
-//	  -compactor :7701 -kds 10.0.0.5:7601 -server-id worker-1 \
+//	  -orchestrator 10.0.0.4:7701 -kds 10.0.0.5:7601 -server-id worker-1 \
 //	  -latency 200us -bandwidth 131072000
 package main
 
@@ -30,15 +33,15 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7700", "dstore listen address")
-		dir       = flag.String("dir", "", "backing directory (empty = in-memory)")
-		latency   = flag.Duration("latency", 0, "emulated per-op link latency")
-		bandwidth = flag.Int64("bandwidth", 0, "emulated link bandwidth, bytes/sec (0 = unlimited)")
-		compactor = flag.String("compactor", "", "also run an offloaded-compaction worker on this address")
-		kdsAddrs  = flag.String("kds", "", "comma-separated KDS replica addresses (enables SHIELD-aware compaction)")
-		serverID  = flag.String("server-id", "dsnode-1", "this node's KDS identity")
-		cachePath = flag.String("dek-cache", "", "secure DEK cache path for the worker (empty = none)")
-		cachePass = flag.String("dek-passkey", "", "passkey sealing the DEK cache")
+		addr         = flag.String("addr", "127.0.0.1:7700", "dstore listen address")
+		dir          = flag.String("dir", "", "backing directory (empty = in-memory)")
+		latency      = flag.Duration("latency", 0, "emulated per-op link latency")
+		bandwidth    = flag.Int64("bandwidth", 0, "emulated link bandwidth, bytes/sec (0 = unlimited)")
+		orchestrator = flag.String("orchestrator", "", "compute node's compaction orchestrator to poll for offloaded jobs")
+		kdsAddrs     = flag.String("kds", "", "comma-separated KDS replica addresses (enables SHIELD-aware compaction)")
+		serverID     = flag.String("server-id", "dsnode-1", "this node's KDS identity")
+		cachePath    = flag.String("dek-cache", "", "secure DEK cache path for the worker (empty = none)")
+		cachePass    = flag.String("dek-passkey", "", "passkey sealing the DEK cache")
 	)
 	flag.Parse()
 
@@ -60,8 +63,8 @@ func main() {
 	}
 	log.Printf("dstore listening on %s (latency=%v bandwidth=%dB/s)", storage.Addr(), *latency, *bandwidth)
 
-	var worker *compactsvc.Server
-	if *compactor != "" {
+	var worker *compactsvc.Worker
+	if *orchestrator != "" {
 		var wrapper lsm.FileWrapper = lsm.NopWrapper{}
 		if *kdsAddrs != "" {
 			client := kds.NewClient(*serverID, splitComma(*kdsAddrs)...)
@@ -78,11 +81,8 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		worker, err = compactsvc.NewServer(storage.LocalFS(), wrapper, *compactor)
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("compaction worker listening on %s (identity %q)", worker.Addr(), *serverID)
+		worker = compactsvc.NewWorker(storage.LocalFS(), wrapper, *serverID, *orchestrator, compactsvc.WorkerConfig{})
+		log.Printf("compaction worker polling %s (identity %q)", *orchestrator, *serverID)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -11,6 +11,7 @@
 //	shield-sim -seeds 20 -dstore -bitrot # widen the fault matrix
 //	shield-sim -seeds 20 -connstorm      # add RESP serving-layer chaos
 //	shield-sim -seeds 20 -bitrot -rollback # adversarial tamper + rollback
+//	shield-sim -seeds 20 -nodeloss       # replicated fleet: replica + worker kills
 //
 // Every run prints its schedule hash; the same seed and flags produce the
 // same hash (the reproducibility witness). On failure the reducer shrinks
@@ -39,6 +40,7 @@ func main() {
 		bitrot    = flag.Bool("bitrot", false, "enable bit-rot (tamper) events")
 		rollback  = flag.Bool("rollback", false, "enable the manifest-rollback nemesis (adversary restores a stale durable image)")
 		connstorm = flag.Bool("connstorm", false, "front the engine with a RESP server and add connection-storm/slow-client events")
+		nodeloss  = flag.Bool("nodeloss", false, "replicate the data path across three storage nodes (quorum 2) with offloaded compactions; kill replicas mid-write and workers mid-lease")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-run watchdog")
 		verbose   = flag.Bool("v", false, "verbose event and engine logging")
 		reduce    = flag.Bool("reduce", true, "on failure, shrink to the shortest failing schedule prefix")
@@ -59,6 +61,7 @@ func main() {
 			BitRot:    *bitrot,
 			Rollback:  *rollback,
 			ConnStorm: *connstorm,
+			NodeLoss:  *nodeloss,
 			Timeout:   *timeout,
 		}
 		if *verbose {
@@ -99,12 +102,12 @@ func main() {
 				if k == 0 {
 					evFlag = -1 // 0 means "full schedule" to the flag
 				}
-				fmt.Printf("\nreplay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d -events=%d%s%s%s%s\n",
-					s, *ops, *workers, evFlag, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -rollback", *rollback), boolFlag(" -connstorm", *connstorm))
+				fmt.Printf("\nreplay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d -events=%d%s%s%s%s%s\n",
+					s, *ops, *workers, evFlag, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -rollback", *rollback), boolFlag(" -connstorm", *connstorm), boolFlag(" -nodeloss", *nodeloss))
 			} else {
 				fmt.Println("failure did not reproduce during reduction (interleaving-dependent); replay the full seed:")
-				fmt.Printf("replay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d%s%s%s%s\n",
-					s, *ops, *workers, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -rollback", *rollback), boolFlag(" -connstorm", *connstorm))
+				fmt.Printf("replay: go run ./cmd/shield-sim -seed=%d -ops=%d -workers=%d%s%s%s%s%s\n",
+					s, *ops, *workers, boolFlag(" -dstore", *dstore), boolFlag(" -bitrot", *bitrot), boolFlag(" -rollback", *rollback), boolFlag(" -connstorm", *connstorm), boolFlag(" -nodeloss", *nodeloss))
 			}
 		}
 		return false

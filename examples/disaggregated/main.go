@@ -1,13 +1,16 @@
 // Disaggregated: run the LSM-KVS on a compute node against a storage node
-// over TCP, with DEKs issued by a network KDS — the paper's disaggregated-
-// storage deployment (Section 6.4), on loopback.
+// over TCP, with DEKs issued by a network KDS and compactions offloaded
+// through a lease-based orchestrator to a storage-side worker — the
+// paper's disaggregated-storage deployment (Section 6.4), on loopback.
 //
 // Topology (all in one process for the demo, but every arrow is a real TCP
 // connection):
 //
 //	compute node ──vfs over TCP──▶ storage node (dstore, 1 Gbps emulated)
-//	      │
-//	      └───────DEK requests────▶ KDS (authorization + one-time issue)
+//	      │                              ▲ local FS
+//	      │ orchestrator ◀──poll/lease── compaction worker (storage-side)
+//	      │                              │
+//	      └───────DEK requests────▶ KDS ◀┘ (authorization + one-time issue)
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"log"
 	"time"
 
+	"shield/internal/compactsvc"
 	"shield/internal/core"
 	"shield/internal/dstore"
 	"shield/internal/kds"
@@ -36,8 +40,13 @@ func main() {
 
 	// --- KDS: one replicated store behind a TCP front end. Only enrolled
 	// servers may request DEKs; a breached server is revoked here.
-	kdsStore := kds.NewStore(kds.DefaultPolicy())
+	// One-time provisioning sized for the fleet: the compute node fetches
+	// DEKs the worker created (and vice versa), so the budget is 2.
+	policy := kds.DefaultPolicy()
+	policy.MaxFetches = 2
+	kdsStore := kds.NewStore(policy)
 	kdsStore.Authorize("compute-1")
+	kdsStore.Authorize("compaction-worker-1")
 	kdsSrv, err := kds.NewServer(kdsStore, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -65,7 +74,40 @@ func main() {
 		Cache:         cache,
 		WALBufferSize: 512,
 	}
-	db, err := core.Open("db", cfg, lsm.Options{MemtableSize: 1 << 20})
+
+	// --- Compaction offload: the compute node runs an orchestrator that
+	// leases jobs out; a worker co-located with the storage node polls for
+	// them and executes with ITS OWN KDS identity and secure cache, so
+	// compaction I/O never crosses the compute-storage link.
+	orch, err := compactsvc.NewOrchestrator(remoteFS, "127.0.0.1:0", compactsvc.OrchestratorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer orch.Close()
+	workerKDS := kds.NewClient("compaction-worker-1", kdsSrv.Addr())
+	defer workerKDS.Close()
+	workerCache, err := seccache.Open(vfs.NewMem(), "worker-cache.bin", []byte("worker-passkey"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	workerWrapper, err := core.Config{
+		Mode:  core.ModeSHIELD,
+		FS:    storage.LocalFS(),
+		KDS:   workerKDS,
+		Cache: workerCache,
+	}.BuildWrapper()
+	if err != nil {
+		log.Fatal(err)
+	}
+	worker := compactsvc.NewWorker(storage.LocalFS(), workerWrapper, "compaction-worker-1", orch.Addr(),
+		compactsvc.WorkerConfig{PollEvery: 5 * time.Millisecond})
+	defer worker.Close()
+	fmt.Println("orchestrator on", orch.Addr())
+
+	db, err := core.Open("db", cfg, lsm.Options{
+		MemtableSize: 256 << 10,
+		Compactor:    orch,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,6 +126,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d KV-pairs over the wire in %v\n", n, time.Since(start).Round(time.Millisecond))
+
+	if err := db.CompactRange(); err != nil {
+		log.Fatal(err)
+	}
+	jobs, bytesIn, bytesOut := worker.Stats()
+	fmt.Printf("offloaded %d compaction job(s) to the storage-side worker (%.1f MiB in, %.1f MiB out)\n",
+		jobs, float64(bytesIn)/(1<<20), float64(bytesOut)/(1<<20))
 
 	v, err := db.Get([]byte("sensor/012345"))
 	if err != nil {

@@ -1,8 +1,11 @@
 // Offloaded-compaction: the paper's Section 5.6 case study end to end.
-// Compactions run on a worker co-located with the storage node; the worker
-// identifies itself to the KDS, reads the DEK-ID from each input file's
-// plaintext header, fetches the DEK (one-time provisioning), merges, and
-// writes outputs under fresh DEKs — rotating keys as a side effect.
+// Compactions are enqueued into an orchestrator on the compute node; a
+// worker co-located with the storage node polls it for leased jobs, reads
+// the DEK-ID from each input file's plaintext header, fetches the DEK
+// (one-time provisioning), merges, and writes outputs under fresh DEKs —
+// rotating keys as a side effect. If the worker died mid-job its lease
+// would expire, its partial outputs would be swept, and the job would be
+// reclaimed by another worker.
 package main
 
 import (
@@ -55,13 +58,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	worker, err := compactsvc.NewServer(storage.LocalFS(), workerWrapper, "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer worker.Close()
-	fmt.Println("compaction worker on", worker.Addr())
-
 	// Compute node.
 	remoteFS, err := dstore.Dial(storage.Addr(), 4)
 	if err != nil {
@@ -74,8 +70,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	compactClient := compactsvc.NewClient(worker.Addr())
-	defer compactClient.Close()
+
+	// Orchestrator on the compute node; the storage-side worker dials it.
+	orch, err := compactsvc.NewOrchestrator(remoteFS, "127.0.0.1:0", compactsvc.OrchestratorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer orch.Close()
+	worker := compactsvc.NewWorker(storage.LocalFS(), workerWrapper, "worker-1", orch.Addr(),
+		compactsvc.WorkerConfig{PollEvery: 5 * time.Millisecond})
+	defer worker.Close()
+	fmt.Println("compaction orchestrator on", orch.Addr())
 
 	cfg := core.Config{
 		Mode:          core.ModeSHIELD,
@@ -88,7 +93,7 @@ func main() {
 		MemtableSize:        512 << 10,
 		BaseLevelSize:       2 << 20,
 		L0CompactionTrigger: 2,
-		Compactor:           compactClient, // ship compactions to the worker
+		Compactor:           orch, // enqueue compactions for the worker pool
 	}
 	db, err := core.Open("db", cfg, opts)
 	if err != nil {

@@ -1,242 +1,57 @@
 // Package compactsvc implements offloaded compaction (the paper's Section
-// 5.6 case study, modeled on Disaggregated-RocksDB / CaaS-LSM): a worker
-// co-located with the storage node executes compaction jobs shipped from
-// the compute node, reading and writing SST files locally instead of over
-// the network.
+// 5.6 case study, modeled on Disaggregated-RocksDB / CaaS-LSM) as an
+// orchestrated worker pool rather than a single point-to-point worker.
 //
-// The worker is a separate "server" in the threat model: it holds its own
-// KDS identity and secure DEK cache, and resolves input-file DEKs through
-// the DEK-IDs embedded in file headers — the metadata-enabled sharing path.
-// Output files get fresh DEKs from the KDS under the worker's identity.
+// The compute node runs an Orchestrator that implements lsm.Compactor: the
+// engine enqueues compaction jobs into it and blocks for the result. Workers
+// — co-located with storage nodes, each with its own KDS identity and secure
+// DEK cache — dial the orchestrator and poll for work. A claimed job carries
+// a lease: the worker heartbeats to keep it, and a worker that dies mid-job
+// has its lease expire, its partial outputs swept, and the job reclaimed by
+// another worker. Output-file numbers are fenced per attempt (each lease
+// writes into a disjoint sub-range of the job's reserved numbers), so a
+// zombie worker that keeps writing after losing its lease can never collide
+// with the reclaiming worker, and its orphans are removable by number range
+// alone.
+//
+// A job whose every attempt is lost fails with lsm.ErrJobLost, which the
+// engine treats exactly like a local ENOSPC abort: inputs retained, manifest
+// untouched, compactions halted until the next successful flush.
+//
+// Workers resolve input-file DEKs through the DEK-IDs embedded in file
+// headers — the metadata-enabled sharing path — and encrypt outputs under
+// fresh DEKs fetched under their own identity.
 package compactsvc
 
-import (
-	"bufio"
-	"encoding/json"
-	"fmt"
-	"net"
-	"strings"
-	"sync"
-	"time"
-
-	"shield/internal/lsm"
-	"shield/internal/metrics"
-	"shield/internal/netretry"
-	"shield/internal/vfs"
-)
-
-// Server executes compaction jobs against a local filesystem.
-type Server struct {
-	fs      vfs.FS
-	wrapper lsm.FileWrapper
-	ln      net.Listener
-
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-
-	jobs     int64
-	bytesIn  int64
-	bytesOut int64
-}
-
-// NewServer starts a compaction worker on addr. fs is the storage node's
-// local filesystem; wrapper is the worker's own encryption codec (a SHIELD
-// wrapper with the worker's KDS identity, or lsm.NopWrapper for plaintext).
-func NewServer(fs vfs.FS, wrapper lsm.FileWrapper, addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("compactsvc: listen: %w", err)
-	}
-	if wrapper == nil {
-		wrapper = lsm.NopWrapper{}
-	}
-	s := &Server{fs: fs, wrapper: wrapper, ln: ln, conns: make(map[net.Conn]struct{})}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-// Addr returns the listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// Stats reports jobs executed and bytes moved by this worker.
-func (s *Server) Stats() (jobs, bytesRead, bytesWritten int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.jobs, s.bytesIn, s.bytesOut
-}
-
-// Close stops the worker.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	err := s.ln.Close()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-	return err
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.serveConn(conn)
-	}
-}
-
-type wireResult struct {
-	Err    string               `json:"err,omitempty"`
-	Result lsm.CompactionResult `json:"result"`
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
-	for {
-		var job lsm.CompactionJob
-		if err := dec.Decode(&job); err != nil {
-			return
-		}
-		var out wireResult
-		res, err := lsm.RunCompaction(s.fs, s.wrapper, job)
-		if err != nil {
-			out.Err = err.Error()
-		} else {
-			out.Result = res
-			s.mu.Lock()
-			s.jobs++
-			s.bytesIn += res.BytesRead
-			s.bytesOut += res.BytesWritten
-			s.mu.Unlock()
-		}
-		if err := enc.Encode(&out); err != nil {
-			return
-		}
-	}
-}
-
-// Client ships compaction jobs to a remote worker. It implements
-// lsm.Compactor, so it plugs into lsm.Options.Compactor directly.
+// The wire protocol is JSON over TCP, worker-initiated: the worker dials the
+// orchestrator and issues request/response rounds on a persistent
+// connection. Three operations:
 //
-// Jobs are idempotent — RunCompaction writes fresh output files and the
-// engine installs them only on success — so the client retries freely on
-// transport errors, with per-attempt deadlines so a hung worker cannot
-// wedge the engine's background compaction goroutine.
-type Client struct {
-	addr string
-
-	// JobTimeout bounds one job attempt end to end (dial + execute +
-	// response). Compactions move real data, so the default is generous
-	// (2 minutes). Set before first use.
-	JobTimeout time.Duration
-
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
-}
-
-const (
-	compactAttempts    = 3
-	compactDialTimeout = time.Second
-	compactJobTimeout  = 2 * time.Minute
-	compactBackoffBase = 10 * time.Millisecond
-	compactBackoffMax  = 500 * time.Millisecond
-)
-
-// NewClient returns a Compactor that executes on the worker at addr.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
-
-// Close releases the connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close() //shield:nolockio teardown must hold the state lock so a racing Compact cannot resurrect the conn; Close does not block
-		c.conn = nil
-		return err
-	}
-	return nil
-}
-
-// Compact implements lsm.Compactor.
+//	poll       → claim the oldest pending job; empty response if none
+//	heartbeat  → extend the lease on a claimed job
+//	complete   → deliver the job's result (or execution error)
 //
-//shield:nolockio mu is the request queue: one compaction at a time over the shared connection is the design, and the engine runs compactions on a single background goroutine anyway
-func (c *Client) Compact(job lsm.CompactionJob) (lsm.CompactionResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	timeout := c.JobTimeout
-	if timeout <= 0 {
-		timeout = compactJobTimeout
-	}
-	var lastErr error
-	for attempt := 0; attempt < compactAttempts; attempt++ {
-		if attempt > 0 {
-			metrics.Net.Retries.Add(1)
-			netretry.Sleep(netretry.Delay(attempt-1, compactBackoffBase, compactBackoffMax), nil)
-		}
-		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.addr, compactDialTimeout)
-			if err != nil {
-				lastErr = fmt.Errorf("compactsvc: dial %s: %w", c.addr, err)
-				continue
-			}
-			c.conn = conn
-			c.enc = json.NewEncoder(conn)
-			c.dec = json.NewDecoder(bufio.NewReader(conn))
-		}
-		c.conn.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck
-		err := c.enc.Encode(&job)
-		if err == nil {
-			var out wireResult
-			if err = c.dec.Decode(&out); err == nil {
-				c.conn.SetDeadline(time.Time{}) //nolint:errcheck
-				if out.Err != "" {
-					if strings.Contains(out.Err, vfs.ErrNoSpace.Error()) {
-						// Restore the sentinel: the engine halts compactions
-						// (inputs were retained remotely) instead of
-						// poisoning itself.
-						return lsm.CompactionResult{}, fmt.Errorf("compactsvc: remote: %w: %s", vfs.ErrNoSpace, out.Err)
-					}
-					return lsm.CompactionResult{}, fmt.Errorf("compactsvc: remote: %s", out.Err)
-				}
-				return out.Result, nil
-			}
-		}
-		if netretry.IsTimeout(err) {
-			metrics.Net.Timeouts.Add(1)
-		}
-		c.conn.Close()
-		c.conn = nil
-		lastErr = err
-	}
-	return lsm.CompactionResult{}, fmt.Errorf("compactsvc: request failed after %d attempts: %w", compactAttempts, lastErr)
+// A heartbeat or complete against a lease the orchestrator no longer
+// honors is answered with Stale, telling a zombie worker its work was
+// reassigned (the orchestrator sweeps the zombie attempt's fenced output
+// range itself).
+
+import "shield/internal/lsm"
+
+type wireRequest struct {
+	Op     string                `json:"op"` // "poll" | "heartbeat" | "complete"
+	Worker string                `json:"worker"`
+	JobID  uint64                `json:"job_id,omitempty"`
+	Lease  uint64                `json:"lease,omitempty"`
+	Err    string                `json:"err,omitempty"`
+	Result *lsm.CompactionResult `json:"result,omitempty"`
+}
+
+type wireResponse struct {
+	Err   string             `json:"err,omitempty"`
+	Job   *lsm.CompactionJob `json:"job,omitempty"`
+	JobID uint64             `json:"job_id,omitempty"`
+	Lease uint64             `json:"lease,omitempty"`
+	TTLMs int64              `json:"ttl_ms,omitempty"`
+	Stale bool               `json:"stale,omitempty"`
 }

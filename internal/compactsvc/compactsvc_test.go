@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"shield/internal/lsm"
 	"shield/internal/lsm/base"
@@ -11,6 +12,19 @@ import (
 	"shield/internal/lsm/sstable"
 	"shield/internal/vfs"
 )
+
+// startPair stands up an orchestrator and one polling worker on fs.
+func startPair(t *testing.T, fs vfs.FS) (*Orchestrator, *Worker) {
+	t.Helper()
+	orch, err := NewOrchestrator(fs, "127.0.0.1:0", OrchestratorConfig{LeaseTTL: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { orch.Close() })
+	w := NewWorker(fs, lsm.NopWrapper{}, "w1", orch.Addr(), WorkerConfig{PollEvery: 2 * time.Millisecond})
+	t.Cleanup(func() { w.Close() })
+	return orch, w
+}
 
 // buildInput writes one SST on fs and returns its metadata.
 func buildInput(t *testing.T, fs vfs.FS, fileNum uint64, lo, hi int) manifest.FileMetadata {
@@ -49,13 +63,7 @@ func TestRemoteJobExecution(t *testing.T) {
 	m1 := buildInput(t, fs, 1, 0, 500)
 	m2 := buildInput(t, fs, 2, 250, 750)
 
-	srv, err := NewServer(fs, lsm.NopWrapper{}, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	client := NewClient(srv.Addr())
-	defer client.Close()
+	orch, _ := startPair(t, fs)
 
 	job := lsm.CompactionJob{
 		Dir: "db",
@@ -71,7 +79,7 @@ func TestRemoteJobExecution(t *testing.T) {
 		BlockSize:          4096,
 		BloomBitsPerKey:    10,
 	}
-	res, err := client.Compact(job)
+	res, err := orch.Compact(job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,23 +118,18 @@ func TestRemoteJobExecution(t *testing.T) {
 		t.Fatalf("wrong version won the merge: %q", v)
 	}
 
-	jobs, _, _ := srv.Stats()
-	if jobs != 1 {
-		t.Fatalf("server recorded %d jobs", jobs)
+	if st := orch.Stats(); st.Completed != 1 || st.Enqueued != 1 {
+		t.Fatalf("orchestrator recorded %+v, want 1 enqueued and completed", st)
 	}
 }
 
 func TestRemoteJobErrorPropagates(t *testing.T) {
 	fs := vfs.NewMem()
-	srv, err := NewServer(fs, lsm.NopWrapper{}, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	client := NewClient(srv.Addr())
-	defer client.Close()
+	orch, _ := startPair(t, fs)
 
-	// Job references a missing input file.
+	// Job references a missing input file. The orchestrator retries a
+	// non-ENOSPC execution error (it may be worker-local), so the terminal
+	// error arrives only after the attempt budget is spent.
 	job := lsm.CompactionJob{
 		Dir: "db",
 		Inputs: []lsm.JobLevel{{Level: 0, Files: []manifest.FileMetadata{{
@@ -139,27 +142,21 @@ func TestRemoteJobErrorPropagates(t *testing.T) {
 		MaxOutputFiles:     4,
 		TargetFileSize:     1 << 20,
 	}
-	if _, err := client.Compact(job); err == nil {
+	if _, err := orch.Compact(job); err == nil {
 		t.Fatal("missing-input job succeeded")
 	}
-	// The connection remains usable after a remote error.
+	// The worker remains usable after a remote error.
 	m := buildInput(t, fs, 1, 0, 10)
 	job.Inputs = []lsm.JobLevel{{Level: 0, Files: []manifest.FileMetadata{m}}}
-	if _, err := client.Compact(job); err != nil {
-		t.Fatalf("client broken after remote error: %v", err)
+	if _, err := orch.Compact(job); err != nil {
+		t.Fatalf("worker broken after remote error: %v", err)
 	}
 }
 
-func TestClientReconnects(t *testing.T) {
+func TestWorkerReconnects(t *testing.T) {
 	fs := vfs.NewMem()
 	m := buildInput(t, fs, 1, 0, 10)
-	srv, err := NewServer(fs, lsm.NopWrapper{}, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	client := NewClient(srv.Addr())
-	defer client.Close()
+	orch, w := startPair(t, fs)
 
 	job := lsm.CompactionJob{
 		Dir:                "db",
@@ -169,16 +166,19 @@ func TestClientReconnects(t *testing.T) {
 		MaxOutputFiles:     4,
 		TargetFileSize:     1 << 20,
 	}
-	if _, err := client.Compact(job); err != nil {
+	if _, err := orch.Compact(job); err != nil {
 		t.Fatal(err)
 	}
-	// Force-close the client's connection; the next job must redial.
-	client.mu.Lock()
-	client.conn.Close()
-	client.mu.Unlock()
+	// Force-close the worker's connection; the next poll must redial.
+	w.connMu.Lock()
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	w.connMu.Unlock()
 	job.FirstOutputFileNum = 20
-	if _, err := client.Compact(job); err != nil {
-		t.Fatalf("client did not recover from dropped connection: %v", err)
+	if _, err := orch.Compact(job); err != nil {
+		t.Fatalf("worker did not recover from dropped connection: %v", err)
 	}
 }
 
@@ -192,13 +192,7 @@ func TestRemoteSubcompactedJob(t *testing.T) {
 	m1 := buildInput(t, fs, 1, 0, 500)
 	m2 := buildInput(t, fs, 2, 250, 750)
 
-	srv, err := NewServer(fs, lsm.NopWrapper{}, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	client := NewClient(srv.Addr())
-	defer client.Close()
+	orch, _ := startPair(t, fs)
 
 	job := lsm.CompactionJob{
 		Dir: "db",
@@ -215,7 +209,7 @@ func TestRemoteSubcompactedJob(t *testing.T) {
 		BloomBitsPerKey:    10,
 		MaxSubcompactions:  3,
 	}
-	res, err := client.Compact(job)
+	res, err := orch.Compact(job)
 	if err != nil {
 		t.Fatal(err)
 	}

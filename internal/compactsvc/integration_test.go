@@ -1,8 +1,10 @@
 package compactsvc_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"shield/internal/compactsvc"
 	"shield/internal/core"
@@ -56,13 +58,8 @@ func TestOffloadedCompactionEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	worker, err := compactsvc.NewServer(storage.LocalFS(), workerWrapper, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer worker.Close()
-
-	// Compute node: DB over the remote FS, compactions shipped to the worker.
+	// Compute node: DB over the remote FS, compactions enqueued into an
+	// orchestrator that the storage-side worker polls.
 	remoteFS, err := dstore.Dial(storage.Addr(), 4)
 	if err != nil {
 		t.Fatal(err)
@@ -71,8 +68,14 @@ func TestOffloadedCompactionEndToEnd(t *testing.T) {
 	computeKDS := kds.NewClient("compute-1", kdsSrv.Addr())
 	defer computeKDS.Close()
 
-	compactClient := compactsvc.NewClient(worker.Addr())
-	defer compactClient.Close()
+	orch, err := compactsvc.NewOrchestrator(remoteFS, "127.0.0.1:0", compactsvc.OrchestratorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+	worker := compactsvc.NewWorker(storage.LocalFS(), workerWrapper, "compaction-worker-1", orch.Addr(),
+		compactsvc.WorkerConfig{PollEvery: 5 * time.Millisecond})
+	defer worker.Close()
 
 	// The compute node keeps a durable secure cache: with one-time DEK
 	// provisioning, a restart must resolve worker-created DEKs from the
@@ -94,7 +97,7 @@ func TestOffloadedCompactionEndToEnd(t *testing.T) {
 		BaseLevelSize:       128 << 10,
 		TargetFileSize:      64 << 10,
 		L0CompactionTrigger: 2,
-		Compactor:           compactClient,
+		Compactor:           orch,
 	}
 	db, err := core.Open("db", cfg, opts)
 	if err != nil {
@@ -167,19 +170,19 @@ func TestOffloadedCompactionPlaintext(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer storage.Close()
-	worker, err := compactsvc.NewServer(storage.LocalFS(), lsm.NopWrapper{}, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer worker.Close()
-
 	remoteFS, err := dstore.Dial(storage.Addr(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer remoteFS.Close()
-	compactClient := compactsvc.NewClient(worker.Addr())
-	defer compactClient.Close()
+	orch, err := compactsvc.NewOrchestrator(remoteFS, "127.0.0.1:0", compactsvc.OrchestratorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+	worker := compactsvc.NewWorker(storage.LocalFS(), lsm.NopWrapper{}, "worker-1", orch.Addr(),
+		compactsvc.WorkerConfig{PollEvery: 5 * time.Millisecond})
+	defer worker.Close()
 
 	opts := lsm.Options{
 		FS:                  remoteFS,
@@ -187,7 +190,7 @@ func TestOffloadedCompactionPlaintext(t *testing.T) {
 		BaseLevelSize:       128 << 10,
 		TargetFileSize:      64 << 10,
 		L0CompactionTrigger: 2,
-		Compactor:           compactClient,
+		Compactor:           orch,
 	}
 	db, err := lsm.Open("db", opts)
 	if err != nil {
@@ -208,5 +211,72 @@ func TestOffloadedCompactionPlaintext(t *testing.T) {
 	}
 	if _, err := db.Get([]byte("k000001")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEngineHaltsOnLostJob loses a compaction job (no worker ever claims
+// it) and checks the engine treats it like a local ENOSPC abort: the
+// CompactRange caller sees lsm.ErrJobLost, the write and read paths stay
+// healthy — no degraded mode — and once a worker appears a retry succeeds.
+func TestEngineHaltsOnLostJob(t *testing.T) {
+	fs := vfs.NewMem()
+	orch, err := compactsvc.NewOrchestrator(fs, "127.0.0.1:0", compactsvc.OrchestratorConfig{
+		LeaseTTL:   30 * time.Millisecond,
+		JobTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+
+	opts := lsm.Options{
+		FS:                  fs,
+		MemtableSize:        64 << 10,
+		BaseLevelSize:       128 << 10,
+		TargetFileSize:      64 << 10,
+		L0CompactionTrigger: 100, // only manual compaction offloads jobs
+		Compactor:           orch,
+	}
+	db, err := lsm.Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 3000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i%1000)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No worker pool: the job times out unclaimed.
+	err = db.CompactRange()
+	if !errors.Is(err, lsm.ErrJobLost) {
+		t.Fatalf("CompactRange with no workers returned %v, want ErrJobLost", err)
+	}
+
+	// Inputs retained, engine not poisoned: both paths still work.
+	if err := db.Put([]byte("post-loss"), []byte("ok")); err != nil {
+		t.Fatalf("write path poisoned after lost job: %v", err)
+	}
+	if _, err := db.Get([]byte("k000001")); err != nil {
+		t.Fatalf("read path broken after lost job: %v", err)
+	}
+
+	// A worker joins the pool; the retry drains the same inputs.
+	worker := compactsvc.NewWorker(fs, lsm.NopWrapper{}, "late-worker", orch.Addr(),
+		compactsvc.WorkerConfig{PollEvery: 2 * time.Millisecond})
+	defer worker.Close()
+	if err := db.CompactRange(); err != nil {
+		t.Fatalf("CompactRange after worker joined: %v", err)
+	}
+	if v, err := db.Get([]byte("post-loss")); err != nil || string(v) != "ok" {
+		t.Fatalf("after recovery: %q, %v", v, err)
+	}
+	jobs, _, _ := worker.Stats()
+	if jobs == 0 {
+		t.Fatal("late worker executed no jobs")
 	}
 }

@@ -1,0 +1,323 @@
+package compactsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"shield/internal/lsm"
+	"shield/internal/lsm/manifest"
+	"shield/internal/vfs"
+)
+
+// fakeWorker speaks the wire protocol by hand, so tests can claim a job and
+// then misbehave: never heartbeat (a dead worker) or complete long after the
+// lease was revoked (a zombie).
+type fakeWorker struct {
+	t    *testing.T
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+func dialFake(t *testing.T, addr string) *fakeWorker {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &fakeWorker{t: t, conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+}
+
+func (f *fakeWorker) round(req *wireRequest) *wireResponse {
+	f.t.Helper()
+	f.conn.SetDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	if err := f.enc.Encode(req); err != nil {
+		f.t.Fatal(err)
+	}
+	var resp wireResponse
+	if err := f.dec.Decode(&resp); err != nil {
+		f.t.Fatal(err)
+	}
+	return &resp
+}
+
+// claim polls until a job is handed out.
+func (f *fakeWorker) claim(name string) *wireResponse {
+	f.t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		resp := f.round(&wireRequest{Op: "poll", Worker: name})
+		if resp.Job != nil {
+			return resp
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	f.t.Fatal("no job offered within 2s")
+	return nil
+}
+
+func testJob(m1, m2 manifest.FileMetadata) lsm.CompactionJob {
+	return lsm.CompactionJob{
+		Dir:                "db",
+		Inputs:             []lsm.JobLevel{{Level: 0, Files: []manifest.FileMetadata{m2, m1}}},
+		OutputLevel:        1,
+		Bottommost:         true,
+		SmallestSnapshot:   1 << 60,
+		FirstOutputFileNum: 10,
+		MaxOutputFiles:     30,
+		TargetFileSize:     1 << 20,
+		BlockSize:          4096,
+		BloomBitsPerKey:    10,
+	}
+}
+
+// TestLeaseExpiryReclaimAndStaleComplete is the tentpole scenario: a worker
+// claims a job and dies (stops heartbeating). Its lease expires, the partial
+// output it left in its fenced number range is swept, the job is reclaimed
+// and finished by a healthy worker in a disjoint range — and when the dead
+// worker turns out to be a zombie and delivers its result anyway, the
+// orchestrator answers Stale and discards it.
+func TestLeaseExpiryReclaimAndStaleComplete(t *testing.T) {
+	fs := vfs.NewMem()
+	m1 := buildInput(t, fs, 1, 0, 500)
+	m2 := buildInput(t, fs, 2, 250, 750)
+
+	orch, err := NewOrchestrator(fs, "127.0.0.1:0", OrchestratorConfig{
+		LeaseTTL:    100 * time.Millisecond,
+		MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+
+	type result struct {
+		res lsm.CompactionResult
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		res, err := orch.Compact(testJob(m1, m2))
+		resCh <- result{res, err}
+	}()
+
+	// The doomed worker claims attempt 1 and gets its fenced third of the
+	// 30 reserved output numbers.
+	fake := dialFake(t, orch.Addr())
+	claim := fake.claim("doomed")
+	if claim.Job.FirstOutputFileNum != 10 || claim.Job.MaxOutputFiles != 10 {
+		t.Fatalf("attempt 1 fencing: got [%d,+%d), want [10,+10)",
+			claim.Job.FirstOutputFileNum, claim.Job.MaxOutputFiles)
+	}
+	// It writes one partial output, then dies (no heartbeats).
+	partial := lsm.TableFileName("db", claim.Job.FirstOutputFileNum)
+	if err := vfs.WriteFile(fs, partial, []byte("partial garbage")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy worker picks up the reclaimed job.
+	w := NewWorker(fs, lsm.NopWrapper{}, "healthy", orch.Addr(), WorkerConfig{PollEvery: 2 * time.Millisecond})
+	defer w.Close()
+
+	r := <-resCh
+	if r.err != nil {
+		t.Fatalf("reclaimed job failed: %v", r.err)
+	}
+	if len(r.res.Outputs) == 0 {
+		t.Fatal("no outputs")
+	}
+	for _, out := range r.res.Outputs {
+		if out.FileNum < 20 || out.FileNum >= 30 {
+			t.Fatalf("attempt 2 output %d outside its fenced range [20,30)", out.FileNum)
+		}
+	}
+
+	// The dead attempt's partial output was swept by the janitor.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := fs.Stat(partial); errors.Is(err, vfs.ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead attempt's partial output was not swept")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The zombie wakes up and delivers: told Stale, result discarded.
+	done := fake.round(&wireRequest{
+		Op: "complete", Worker: "doomed",
+		JobID: claim.JobID, Lease: claim.Lease,
+		Result: &lsm.CompactionResult{},
+	})
+	if !done.Stale {
+		t.Fatal("zombie complete was not answered Stale")
+	}
+
+	st := orch.Stats()
+	if st.Expired == 0 {
+		t.Fatalf("no lease expiry recorded: %+v", st)
+	}
+	if st.StaleCompletes != 1 {
+		t.Fatalf("stale completes = %d, want 1", st.StaleCompletes)
+	}
+	if st.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", st.Completed)
+	}
+	wj, _, _ := w.Stats()
+	if wj != 1 {
+		t.Fatalf("healthy worker jobs = %d, want 1", wj)
+	}
+}
+
+// TestHeartbeatKeepsSlowJobAlive pins a job open well past the lease TTL:
+// as long as the worker heartbeats, the janitor must not reclaim it.
+func TestHeartbeatKeepsSlowJobAlive(t *testing.T) {
+	fs := vfs.NewMem()
+	m1 := buildInput(t, fs, 1, 0, 500)
+	m2 := buildInput(t, fs, 2, 250, 750)
+
+	orch, err := NewOrchestrator(fs, "127.0.0.1:0", OrchestratorConfig{
+		LeaseTTL:    60 * time.Millisecond,
+		MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+
+	gate := make(chan struct{})
+	slow := &gateFS{FS: fs, gate: gate}
+	w := NewWorker(slow, lsm.NopWrapper{}, "slow", orch.Addr(), WorkerConfig{PollEvery: 2 * time.Millisecond})
+	defer w.Close()
+
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := orch.Compact(testJob(m1, m2))
+		resCh <- err
+	}()
+
+	// Hold the job open for several TTLs; heartbeats must keep the lease.
+	time.Sleep(300 * time.Millisecond)
+	if st := orch.Stats(); st.Expired != 0 || st.Leased != 1 {
+		t.Fatalf("lease lost under active heartbeats: %+v", st)
+	}
+	close(gate)
+	if err := <-resCh; err != nil {
+		t.Fatalf("slow job failed: %v", err)
+	}
+	if st := orch.Stats(); st.Expired != 0 || st.Completed != 1 {
+		t.Fatalf("after completion: %+v", st)
+	}
+}
+
+// gateFS blocks the first SST read until the gate opens, simulating a
+// healthy-but-slow worker.
+type gateFS struct {
+	vfs.FS
+	gate chan struct{}
+}
+
+func (g *gateFS) Open(name string) (vfs.RandomAccessFile, error) {
+	f, err := g.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{RandomAccessFile: f, gate: g.gate}, nil
+}
+
+type gateFile struct {
+	vfs.RandomAccessFile
+	gate chan struct{}
+}
+
+func (f *gateFile) ReadAt(p []byte, off int64) (int, error) {
+	<-f.gate
+	return f.RandomAccessFile.ReadAt(p, off)
+}
+
+// TestUnclaimedJobFailsWithJobLost: with no worker pool at all, the job
+// deadline converts into lsm.ErrJobLost — the engine-side halt signal —
+// instead of wedging the engine's compaction goroutine forever.
+func TestUnclaimedJobFailsWithJobLost(t *testing.T) {
+	fs := vfs.NewMem()
+	m1 := buildInput(t, fs, 1, 0, 20)
+	m2 := buildInput(t, fs, 2, 10, 30)
+
+	orch, err := NewOrchestrator(fs, "127.0.0.1:0", OrchestratorConfig{
+		LeaseTTL:   40 * time.Millisecond,
+		JobTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+
+	_, err = orch.Compact(testJob(m1, m2))
+	if !errors.Is(err, lsm.ErrJobLost) {
+		t.Fatalf("unclaimed job returned %v, want ErrJobLost", err)
+	}
+	if st := orch.Stats(); st.Failed != 1 {
+		t.Fatalf("failed = %d, want 1: %+v", st.Failed, st)
+	}
+}
+
+// TestExhaustedAttemptsFailWithJobLost: every attempt claimed by a worker
+// that dies. After MaxAttempts lease expiries the job is terminal with
+// lsm.ErrJobLost and every fenced range was swept.
+func TestExhaustedAttemptsFailWithJobLost(t *testing.T) {
+	fs := vfs.NewMem()
+	m1 := buildInput(t, fs, 1, 0, 20)
+	m2 := buildInput(t, fs, 2, 10, 30)
+
+	orch, err := NewOrchestrator(fs, "127.0.0.1:0", OrchestratorConfig{
+		LeaseTTL:    50 * time.Millisecond,
+		MaxAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := orch.Compact(testJob(m1, m2))
+		resCh <- err
+	}()
+
+	fake := dialFake(t, orch.Addr())
+	var partials []string
+	for attempt := 0; attempt < 2; attempt++ {
+		claim := fake.claim("serial-killer")
+		p := lsm.TableFileName("db", claim.Job.FirstOutputFileNum)
+		if err := vfs.WriteFile(fs, p, []byte("junk")); err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+		// Die: no heartbeat, wait for the reclaim.
+	}
+
+	err = <-resCh
+	if !errors.Is(err, lsm.ErrJobLost) {
+		t.Fatalf("exhausted job returned %v, want ErrJobLost", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for _, p := range partials {
+		for {
+			if _, err := fs.Stat(p); errors.Is(err, vfs.ErrNotFound) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("partial %s not swept", p)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if st := orch.Stats(); st.Expired != 2 || st.Failed != 1 {
+		t.Fatalf("stats after exhaustion: %+v", st)
+	}
+}

@@ -265,11 +265,15 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 			return nil, fmt.Errorf("dstore: %w (not retried: permanent)", err)
 		}
 		if !retryable(req) {
-			return nil, fmt.Errorf("dstore: %w (not retried: non-idempotent)", err)
+			return nil, netretry.Transport(fmt.Errorf("dstore: %w (not retried: non-idempotent)", err))
 		}
 	}
-	return nil, fmt.Errorf("dstore: request failed after %d attempts: %w",
-		c.cfg.MaxAttempts, lastErr)
+	// Exhausted attempts on dial/send/receive failures: the node itself is
+	// unreachable or resetting. The transport class tells replica-set callers
+	// this is a node-health event (demote, fail over) rather than an answer
+	// from a live node, which must never trigger failover.
+	return nil, netretry.Transport(fmt.Errorf("dstore: request failed after %d attempts: %w",
+		c.cfg.MaxAttempts, lastErr))
 }
 
 // mapRemoteError restores vfs sentinel errors across the wire.
@@ -374,6 +378,21 @@ func (c *Client) Digest(name string, headerLen int64) ([]byte, error) {
 	}
 	return resp.Data, nil
 }
+
+// Sum returns the storage node's SHA-256 of the whole named file plus its
+// size. Replica re-sync uses it as the diff predicate: two replicas whose
+// (size, sum) agree hold byte-identical copies, so only divergent files are
+// shipped during a rejoin.
+func (c *Client) Sum(name string) ([]byte, int64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpSum, Name: name})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Data, resp.Size, nil
+}
+
+// Addr returns the storage node address this client dials.
+func (c *Client) Addr() string { return c.addr }
 
 // Stat implements vfs.FS.
 func (c *Client) Stat(name string) (vfs.FileInfo, error) {

@@ -11,6 +11,7 @@
 package dstore
 
 import (
+	"crypto/sha256"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -42,6 +43,7 @@ const (
 	OpStat
 	OpSyncDir
 	OpDigest
+	OpSum
 )
 
 // Request is the wire request. A single struct keeps gob simple.
@@ -395,6 +397,18 @@ func (s *Server) handle(req *Request) *Response {
 		}
 		resp.Data = d
 		resp.N = len(data) - int(req.Off)
+	case OpSum:
+		// Content fingerprint for replica re-sync: SHA-256 of the whole file
+		// plus its size, computed node-side so the diff pass that decides
+		// what a rejoining replica is missing costs one small RPC per file
+		// instead of shipping every body across the link.
+		data, err := vfs.ReadFile(s.stats, req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		sum := sha256.Sum256(data)
+		resp.Data = sum[:]
+		resp.Size = int64(len(data))
 	default:
 		return fail(fmt.Errorf("dstore: unknown op %d", req.Op))
 	}

@@ -1,0 +1,1218 @@
+package dstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+	"time"
+
+	"shield/internal/metrics"
+	"shield/internal/netretry"
+	"shield/internal/vfs"
+)
+
+// ErrNoQuorum reports that a replicated operation could not reach its write
+// quorum (mutations) or any live replica (reads). It is a transient
+// availability condition, not a data error: the caller's degraded-mode
+// handling applies, and the operation may succeed once replicas rejoin.
+var ErrNoQuorum = errors.New("dstore: replica quorum unavailable")
+
+// ReplicaConfig tunes a ReplicaSet. The zero value of each field selects
+// the default noted on it.
+type ReplicaConfig struct {
+	// WriteQuorum is the number of replicas that must acknowledge a
+	// mutation before it is acknowledged to the caller (default: majority,
+	// n/2+1).
+	WriteQuorum int
+
+	// Client configures each per-replica connection (pool size, deadlines,
+	// retry budget).
+	Client Config
+
+	// Dirs are the namespace roots the reconcile/re-sync passes walk. The
+	// vfs contract exposes no recursive listing, so the set must name every
+	// directory the engine stores files under; directories later created
+	// through the ReplicaSet's MkdirAll are tracked automatically.
+	Dirs []string
+
+	// ResyncEvery is the poll interval of the background re-sync loop that
+	// heals stale replicas (default 200ms).
+	ResyncEvery time.Duration
+}
+
+// replica is one member of the set: a storage-node client plus the
+// replication state the set maintains for it. Connectivity health
+// (up/suspect/down with backoff gating) lives in the netretry endpoint;
+// `stale` is the data-completeness flag — a stale replica may be missing
+// acknowledged mutations and is excluded from reads and from quorum counting
+// until a re-sync pass proves it identical to a live replica again.
+type replica struct {
+	addr string
+	ep   *netretry.Endpoint
+	cfg  Config
+
+	mu    sync.Mutex
+	c     *Client // nil until dialed (or after a failed dial)
+	stale bool
+}
+
+// client returns the replica's client, dialing it if necessary.
+func (r *replica) client() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c != nil {
+		return r.c, nil
+	}
+	c, err := DialConfig(r.addr, r.cfg)
+	if err != nil {
+		r.ep.Failure()
+		return nil, netretry.Transport(err)
+	}
+	r.c = c
+	return c, nil
+}
+
+func (r *replica) isStale() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stale
+}
+
+func (r *replica) setStale(v bool) {
+	r.mu.Lock()
+	r.stale = v
+	r.mu.Unlock()
+}
+
+// fail charges err to the replica after a failed branch of a replicated
+// mutation: transport errors also demote the connectivity health (the node
+// may be gone). Either way the replica's copy is now missing an
+// acknowledged mutation, so it leaves the read/quorum set until re-synced.
+func (r *replica) fail(err error) {
+	if netretry.IsTransport(err) {
+		r.ep.Failure()
+	}
+	r.setStale(true)
+}
+
+// ReplicaSet is a vfs.FS that replicates a namespace across N storage
+// nodes. Mutations fan out to every in-sync replica and are acknowledged
+// once WriteQuorum replicas applied them; a replica whose branch fails is
+// demoted to stale (its copy is incomplete) and healed by a background
+// re-sync pass, so the surviving in-sync replicas always hold every
+// acknowledged write — which is what makes read-any safe. Reads go to one
+// in-sync replica and fail over on transport errors; application errors
+// are answers from a live node and never trigger failover.
+type ReplicaSet struct {
+	cfg    ReplicaConfig
+	quorum int
+	reps   []*replica
+	group  *netretry.Group
+
+	// opMu is the re-sync promotion barrier: mutations hold it shared
+	// while selecting fan-out targets and applying branches; the re-sync
+	// pass takes it exclusively for its final verify-and-promote step, so
+	// no mutation can slip between "replica proven identical" and "replica
+	// marked in-sync".
+	opMu sync.RWMutex
+
+	mu       sync.Mutex
+	dirs     map[string]struct{}
+	writers  map[*replicatedWritable]struct{}
+	readPref int // index of the last replica that served a read
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// DialReplicaSet connects to the given storage nodes and reconciles their
+// contents: every file under cfg.Dirs is fingerprinted on every reachable
+// replica, the majority version wins (ties break toward the larger file —
+// more acknowledged bytes), and minority replicas are repaired before the
+// set is returned. At least WriteQuorum replicas must be reachable.
+func DialReplicaSet(cfg ReplicaConfig, addrs ...string) (*ReplicaSet, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("dstore: replica set needs at least one address")
+	}
+	if cfg.WriteQuorum <= 0 {
+		cfg.WriteQuorum = len(addrs)/2 + 1
+	}
+	if cfg.WriteQuorum > len(addrs) {
+		return nil, fmt.Errorf("dstore: write quorum %d exceeds %d replicas", cfg.WriteQuorum, len(addrs))
+	}
+	if cfg.ResyncEvery <= 0 {
+		cfg.ResyncEvery = 200 * time.Millisecond
+	}
+	cfg.Client = cfg.Client.withDefaults()
+
+	rs := &ReplicaSet{
+		cfg:     cfg,
+		quorum:  cfg.WriteQuorum,
+		group:   netretry.NewGroup(cfg.Client.BackoffBase, cfg.Client.BackoffMax, addrs...),
+		dirs:    make(map[string]struct{}),
+		writers: make(map[*replicatedWritable]struct{}),
+		done:    make(chan struct{}),
+	}
+	for i, a := range addrs {
+		rs.reps = append(rs.reps, &replica{addr: a, ep: rs.group.Endpoints()[i], cfg: cfg.Client})
+	}
+	for _, d := range cfg.Dirs {
+		rs.addDir(d)
+	}
+
+	reachable := 0
+	for _, r := range rs.reps {
+		if _, err := r.client(); err != nil {
+			r.setStale(true) // unreachable at birth: rejoin via re-sync
+		} else {
+			reachable++
+		}
+	}
+	if reachable < rs.quorum {
+		rs.Close()
+		return nil, fmt.Errorf("%w: %d of %d replicas reachable, quorum %d",
+			ErrNoQuorum, reachable, len(addrs), rs.quorum)
+	}
+	if err := rs.reconcile(); err != nil {
+		rs.Close()
+		return nil, err
+	}
+	rs.wg.Add(1)
+	go rs.resyncLoop()
+	return rs, nil
+}
+
+// Replicas reports the address, connectivity health, and sync state of
+// every member, for INFO surfaces and tests.
+func (rs *ReplicaSet) Replicas() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, len(rs.reps))
+	for _, r := range rs.reps {
+		out = append(out, ReplicaStatus{
+			Addr:   r.addr,
+			Health: r.ep.Health(),
+			InSync: !r.isStale(),
+		})
+	}
+	return out
+}
+
+// ReplicaStatus is one replica's point-in-time state.
+type ReplicaStatus struct {
+	Addr   string
+	Health netretry.Health
+	InSync bool
+}
+
+// Close stops the re-sync loop and releases every replica connection.
+//
+//shield:nolockio per-replica mu only guards the client pointer; closing the pooled conns is teardown after the re-sync loop has already drained, nothing contends
+func (rs *ReplicaSet) Close() error {
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return nil
+	}
+	rs.closed = true
+	close(rs.done)
+	rs.mu.Unlock()
+	rs.wg.Wait()
+	for _, r := range rs.reps {
+		r.mu.Lock()
+		if r.c != nil {
+			r.c.Close()
+			r.c = nil
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+func (rs *ReplicaSet) addDir(dir string) {
+	dir = path.Clean(dir)
+	rs.mu.Lock()
+	for dir != "." && dir != "/" {
+		rs.dirs[dir] = struct{}{}
+		dir = path.Dir(dir)
+	}
+	rs.mu.Unlock()
+}
+
+func (rs *ReplicaSet) dirList() []string {
+	rs.mu.Lock()
+	out := make([]string, 0, len(rs.dirs))
+	for d := range rs.dirs {
+		out = append(out, d)
+	}
+	rs.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// openWriterNames returns the paths with a live replicated write handle.
+// Those files are mid-append: their replica copies are kept converged by
+// handle adoption, not by the file-diff pass, which must skip them.
+func (rs *ReplicaSet) openWriterNames() map[string]struct{} {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make(map[string]struct{}, len(rs.writers))
+	for w := range rs.writers {
+		out[w.name] = struct{}{}
+	}
+	return out
+}
+
+// inSync returns the replicas eligible for mutations and reads: dialed (or
+// dialable) and not stale.
+func (rs *ReplicaSet) inSync() []*replica {
+	var out []*replica
+	for _, r := range rs.reps {
+		if !r.isStale() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// readOrder returns the in-sync replicas with the sticky read preference
+// first, so sequential reads stay on one node until it fails.
+func (rs *ReplicaSet) readOrder() []*replica {
+	rs.mu.Lock()
+	pref := rs.readPref
+	rs.mu.Unlock()
+	n := len(rs.reps)
+	var out []*replica
+	for i := 0; i < n; i++ {
+		r := rs.reps[(pref+i)%n]
+		if !r.isStale() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (rs *ReplicaSet) setReadPref(r *replica) {
+	rs.mu.Lock()
+	for i, cand := range rs.reps {
+		if cand == r {
+			if i != rs.readPref {
+				rs.readPref = i
+				rs.group.Promote(r.ep)
+			}
+			break
+		}
+	}
+	rs.mu.Unlock()
+}
+
+// advanceReadPref rotates the sticky read preference off a replica that
+// just failed a read, so the next open does not begin by re-probing it.
+func (rs *ReplicaSet) advanceReadPref(r *replica) {
+	rs.mu.Lock()
+	if len(rs.reps) > 0 && rs.reps[rs.readPref] == r {
+		rs.readPref = (rs.readPref + 1) % len(rs.reps)
+	}
+	rs.mu.Unlock()
+	rs.group.Advance(r.ep)
+}
+
+// readAny runs fn against in-sync replicas in preference order until one
+// gives an answer. Transport failures demote connectivity health and fail
+// over to the next replica; an application error is a live node's answer
+// and is returned as-is (failing over on it could mask an integrity
+// refusal with a replica that has not detected the problem yet).
+func (rs *ReplicaSet) readAny(fn func(c *Client) error) error {
+	var lastErr error
+	for _, r := range rs.readOrder() {
+		c, err := r.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := fn(c); err != nil {
+			if netretry.IsTransport(err) {
+				r.ep.Failure()
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		r.ep.Success()
+		rs.setReadPref(r)
+		return nil
+	}
+	if lastErr == nil {
+		return fmt.Errorf("%w: no in-sync replica", ErrNoQuorum)
+	}
+	return fmt.Errorf("%w: %w", ErrNoQuorum, lastErr)
+}
+
+// branchOutcome is one replica's result for a fanned-out mutation.
+type branchOutcome struct {
+	rep *replica
+	err error
+}
+
+// fanOut applies fn to every target concurrently and collects per-replica
+// outcomes.
+func fanOut(targets []*replica, fn func(r *replica) error) []branchOutcome {
+	out := make([]branchOutcome, len(targets))
+	var wg sync.WaitGroup
+	for i, r := range targets {
+		out[i].rep = r
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			out[i].err = fn(r)
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+// consistentRefusal reports whether every outcome failed with the same
+// application-level sentinel: the replicas agree the operation cannot be
+// done (remove of a missing file, create under a full namespace, ...), so
+// no copy diverged and nobody should be demoted.
+func consistentRefusal(outcomes []branchOutcome) error {
+	if len(outcomes) == 0 {
+		return nil
+	}
+	for _, sentinel := range []error{vfs.ErrNotFound, vfs.ErrExist, vfs.ErrNoSpace} {
+		all := true
+		for _, o := range outcomes {
+			if o.err == nil || netretry.IsTransport(o.err) || !errors.Is(o.err, sentinel) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return outcomes[0].err
+		}
+	}
+	return nil
+}
+
+// settle converts fan-out outcomes into the operation's result: all-success
+// is success; a consistent refusal passes through undemoted; otherwise every
+// failed branch demotes its replica and the operation succeeds iff the
+// successes reach quorum.
+func (rs *ReplicaSet) settle(outcomes []branchOutcome) error {
+	succ := 0
+	var firstErr error
+	for _, o := range outcomes {
+		if o.err == nil {
+			succ++
+		} else if firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	if succ == len(outcomes) {
+		return nil
+	}
+	if err := consistentRefusal(outcomes); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		if o.err != nil {
+			o.rep.fail(o.err)
+		}
+	}
+	if succ >= rs.quorum {
+		return nil
+	}
+	metrics.Net.QuorumShortfalls.Add(1)
+	return fmt.Errorf("%w: %d of %d acks (quorum %d): %w",
+		ErrNoQuorum, succ, len(outcomes), rs.quorum, firstErr)
+}
+
+// mutate fans a namespace mutation out to every in-sync replica under the
+// promotion barrier's shared lock.
+func (rs *ReplicaSet) mutate(fn func(c *Client) error) error {
+	rs.opMu.RLock()
+	defer rs.opMu.RUnlock()
+	targets := rs.inSync()
+	if len(targets) < rs.quorum {
+		metrics.Net.QuorumShortfalls.Add(1)
+		return fmt.Errorf("%w: %d in-sync replicas, quorum %d", ErrNoQuorum, len(targets), rs.quorum)
+	}
+	return rs.settle(fanOut(targets, func(r *replica) error {
+		c, err := r.client()
+		if err != nil {
+			return err
+		}
+		return fn(c)
+	}))
+}
+
+// Create implements vfs.FS: the returned handle appends to every in-sync
+// replica and acknowledges once the write quorum has the bytes.
+//
+//shield:nolockio opMu (shared) is the promotion barrier; see mutate
+func (rs *ReplicaSet) Create(name string) (vfs.WritableFile, error) {
+	rs.opMu.RLock()
+	defer rs.opMu.RUnlock()
+	targets := rs.inSync()
+	if len(targets) < rs.quorum {
+		metrics.Net.QuorumShortfalls.Add(1)
+		return nil, fmt.Errorf("%w: %d in-sync replicas, quorum %d", ErrNoQuorum, len(targets), rs.quorum)
+	}
+	files := make([]vfs.WritableFile, len(targets))
+	outcomes := make([]branchOutcome, len(targets))
+	var wg sync.WaitGroup
+	for i, r := range targets {
+		outcomes[i].rep = r
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			c, err := r.client()
+			if err != nil {
+				outcomes[i].err = err
+				return
+			}
+			f, err := c.Create(name)
+			if err != nil {
+				outcomes[i].err = err
+				return
+			}
+			files[i] = f
+		}(i, r)
+	}
+	wg.Wait()
+	if err := rs.settle(outcomes); err != nil {
+		for _, f := range files {
+			if f != nil {
+				f.Close()
+			}
+		}
+		return nil, err
+	}
+	w := &replicatedWritable{rs: rs, name: name}
+	for i, o := range outcomes {
+		if o.err == nil && files[i] != nil {
+			w.branches = append(w.branches, wbranch{rep: o.rep, f: files[i]})
+		}
+	}
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		for _, b := range w.branches {
+			b.f.Close()
+		}
+		return nil, ErrClosed
+	}
+	rs.writers[w] = struct{}{}
+	rs.mu.Unlock()
+	return w, nil
+}
+
+// openAny opens name on the first in-sync replica that answers, in sticky
+// preference order, recording which replica serves the handle so a later
+// failover can charge it.
+func (rs *ReplicaSet) openAny(name string) (*replica, vfs.RandomAccessFile, int64, error) {
+	var lastErr error
+	for _, r := range rs.readOrder() {
+		c, err := r.client()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		f, err := c.Open(name)
+		if err != nil {
+			if netretry.IsTransport(err) {
+				r.ep.Failure()
+				lastErr = err
+				continue
+			}
+			return nil, nil, 0, err
+		}
+		size, err := f.Size()
+		if err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		r.ep.Success()
+		rs.setReadPref(r)
+		return r, f, size, nil
+	}
+	if lastErr == nil {
+		return nil, nil, 0, fmt.Errorf("%w: no in-sync replica", ErrNoQuorum)
+	}
+	return nil, nil, 0, fmt.Errorf("%w: %w", ErrNoQuorum, lastErr)
+}
+
+// Open implements vfs.FS with read-any-failover semantics.
+func (rs *ReplicaSet) Open(name string) (vfs.RandomAccessFile, error) {
+	rep, f, size, err := rs.openAny(name)
+	if err != nil {
+		return nil, err
+	}
+	return &replicatedRandom{rs: rs, name: name, rep: rep, f: f, size: size}, nil
+}
+
+// OpenSequential implements vfs.FS via positional reads.
+func (rs *ReplicaSet) OpenSequential(name string) (vfs.SequentialFile, error) {
+	r, err := rs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteSequential{r: r}, nil
+}
+
+// Remove implements vfs.FS.
+func (rs *ReplicaSet) Remove(name string) error {
+	return rs.mutate(func(c *Client) error { return c.Remove(name) })
+}
+
+// Rename implements vfs.FS.
+func (rs *ReplicaSet) Rename(oldname, newname string) error {
+	return rs.mutate(func(c *Client) error { return c.Rename(oldname, newname) })
+}
+
+// List implements vfs.FS.
+func (rs *ReplicaSet) List(dir string) ([]vfs.FileInfo, error) {
+	var infos []vfs.FileInfo
+	err := rs.readAny(func(c *Client) error {
+		var err error
+		infos, err = c.List(dir)
+		return err
+	})
+	return infos, err
+}
+
+// MkdirAll implements vfs.FS and registers the directory with the
+// re-sync walker.
+func (rs *ReplicaSet) MkdirAll(dir string) error {
+	if err := rs.mutate(func(c *Client) error { return c.MkdirAll(dir) }); err != nil {
+		return err
+	}
+	rs.addDir(dir)
+	return nil
+}
+
+// SyncDir implements vfs.FS.
+func (rs *ReplicaSet) SyncDir(dir string) error {
+	return rs.mutate(func(c *Client) error { return c.SyncDir(dir) })
+}
+
+// Stat implements vfs.FS.
+func (rs *ReplicaSet) Stat(name string) (vfs.FileInfo, error) {
+	var info vfs.FileInfo
+	err := rs.readAny(func(c *Client) error {
+		var err error
+		info, err = c.Stat(name)
+		return err
+	})
+	return info, err
+}
+
+// Digest returns the tag-chain digest of a sealed file from any in-sync
+// replica (read-any with failover), for callers that only need one answer.
+func (rs *ReplicaSet) Digest(name string, headerLen int64) ([]byte, error) {
+	var d []byte
+	err := rs.readAny(func(c *Client) error {
+		var err error
+		d, err = c.Digest(name, headerLen)
+		return err
+	})
+	return d, err
+}
+
+// DigestAll audits a sealed file on every in-sync replica and requires the
+// answers to agree: a replica acknowledged as holding the bytes that now
+// reports a different tag chain has been tampered with (or silently
+// corrupted), which replication must surface, never paper over. Replicas
+// that are stale (entitled to lag) or unreachable (cannot be audited) are
+// skipped; at least one replica must answer.
+func (rs *ReplicaSet) DigestAll(name string, headerLen int64) ([]byte, error) {
+	type answer struct {
+		addr   string
+		digest []byte
+	}
+	var answers []answer
+	for _, r := range rs.inSync() {
+		c, err := r.client()
+		if err != nil {
+			continue
+		}
+		d, err := c.Digest(name, headerLen)
+		if err != nil {
+			if netretry.IsTransport(err) {
+				r.ep.Failure()
+				continue
+			}
+			return nil, err
+		}
+		answers = append(answers, answer{addr: r.addr, digest: d})
+	}
+	if len(answers) == 0 {
+		return nil, fmt.Errorf("%w: no replica answered digest audit of %s", ErrNoQuorum, name)
+	}
+	for _, a := range answers[1:] {
+		if !bytes.Equal(a.digest, answers[0].digest) {
+			return nil, fmt.Errorf("dstore: replica divergence on %s: %s and %s disagree on tag-chain digest (%x vs %x)",
+				name, answers[0].addr, a.addr, answers[0].digest, a.digest)
+		}
+	}
+	return answers[0].digest, nil
+}
+
+// wbranch is one replica's leg of a replicated write handle.
+type wbranch struct {
+	rep *replica
+	f   vfs.WritableFile
+}
+
+// replicatedWritable appends to every in-sync replica. Each branch keeps
+// its own packet buffer and per-handle sequence numbers, so server-side
+// dedup still protects every replica independently against re-delivered
+// packets. A branch whose replica fails is dropped and the replica demoted;
+// the handle stays usable while the surviving branches reach quorum.
+type replicatedWritable struct {
+	rs   *ReplicaSet
+	name string
+
+	mu       sync.Mutex
+	branches []wbranch
+	closed   bool
+}
+
+// apply runs op on every branch, drops the branches that failed (demoting
+// their replicas), and enforces quorum on the survivors.
+func (w *replicatedWritable) apply(op func(f vfs.WritableFile) error) error {
+	outcomes := make([]branchOutcome, len(w.branches))
+	var wg sync.WaitGroup
+	for i := range w.branches {
+		outcomes[i].rep = w.branches[i].rep
+		wg.Add(1)
+		go func(i int, f vfs.WritableFile) {
+			defer wg.Done()
+			outcomes[i].err = op(f)
+		}(i, w.branches[i].f)
+	}
+	wg.Wait()
+	if err := consistentRefusal(outcomes); err != nil {
+		return err
+	}
+	var firstErr error
+	kept := w.branches[:0]
+	for i, o := range outcomes {
+		if o.err == nil {
+			kept = append(kept, w.branches[i])
+			continue
+		}
+		if firstErr == nil {
+			firstErr = o.err
+		}
+		o.rep.fail(o.err)
+		w.branches[i].f.Close()
+	}
+	w.branches = kept
+	if firstErr == nil {
+		return nil
+	}
+	if len(w.branches) >= w.rs.quorum {
+		return nil
+	}
+	metrics.Net.QuorumShortfalls.Add(1)
+	return fmt.Errorf("%w: %d of %d write branches alive (quorum %d): %w",
+		ErrNoQuorum, len(w.branches), len(outcomes), w.rs.quorum, firstErr)
+}
+
+// Write implements io.Writer: bytes are accepted by every branch's packet
+// buffer (and shipped when a packet fills). Reported n follows the branch
+// buffers' contract: bytes are accepted locally even when a branch errors.
+func (w *replicatedWritable) Write(p []byte) (int, error) {
+	w.rs.opMu.RLock()
+	defer w.rs.opMu.RUnlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	err := w.apply(func(f vfs.WritableFile) error { return vfs.WriteFull(f, p) })
+	return len(p), err
+}
+
+// Sync flushes every branch to durable storage on its replica.
+//
+//shield:nolockio opMu (shared) is the promotion barrier and mu serializes branch I/O against handle adoption by the re-sync pass
+func (w *replicatedWritable) Sync() error {
+	w.rs.opMu.RLock()
+	defer w.rs.opMu.RUnlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.apply(func(f vfs.WritableFile) error { return f.Sync() })
+}
+
+// Close closes every branch and unregisters the handle.
+//
+//shield:nolockio opMu (shared) is the promotion barrier and mu serializes branch I/O against handle adoption by the re-sync pass
+func (w *replicatedWritable) Close() error {
+	w.rs.opMu.RLock()
+	defer w.rs.opMu.RUnlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	err := w.apply(func(f vfs.WritableFile) error { return f.Close() })
+	w.closed = true
+	w.branches = nil
+	w.rs.mu.Lock()
+	delete(w.rs.writers, w)
+	w.rs.mu.Unlock()
+	return err
+}
+
+// adopt grafts a branch for a rejoining replica onto a live handle: with
+// the handle locked, every live branch is flushed (so the source file holds
+// exactly the handle's shipped bytes), the bytes are copied into a fresh
+// handle on the target, and that handle joins the branch list so all
+// subsequent appends reach the target too. Called by the re-sync pass with
+// the promotion barrier held exclusively.
+//
+//shield:nolockio mu must be held across flush-copy-graft or a concurrent append would slip between the copy and the graft and be lost on the target
+//shield:nosyncdir the grafted branch joins w.branches, so the engine's own SyncDir fans out to the target like every other branch; adoption adds no extra durability point
+func (w *replicatedWritable) adopt(target *replica) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	for _, b := range w.branches {
+		if b.rep == target {
+			return nil
+		}
+	}
+	if err := w.apply(func(f vfs.WritableFile) error { return f.Sync() }); err != nil {
+		return err
+	}
+	if len(w.branches) == 0 {
+		return fmt.Errorf("%w: no live branch to adopt %s from", ErrNoQuorum, w.name)
+	}
+	src, err := w.branches[0].rep.client()
+	if err != nil {
+		return err
+	}
+	data, err := vfs.ReadFile(src, w.name)
+	if err != nil {
+		return err
+	}
+	tc, err := target.client()
+	if err != nil {
+		return err
+	}
+	f, err := tc.Create(w.name)
+	if err != nil {
+		return err
+	}
+	if err := vfs.WriteFull(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	metrics.Net.ResyncBytes.Add(int64(len(data)))
+	metrics.Net.Endpoint(target.addr).ResyncBytes.Add(int64(len(data)))
+	w.branches = append(w.branches, wbranch{rep: target, f: f})
+	return nil
+}
+
+// replicatedRandom is a read handle with failover: a transport error
+// moves the handle to another in-sync replica and re-issues the read at
+// the same offset (positional reads make this safe).
+type replicatedRandom struct {
+	rs   *ReplicaSet
+	name string
+
+	mu   sync.Mutex
+	rep  *replica
+	f    vfs.RandomAccessFile
+	size int64
+}
+
+// ReadAt implements io.ReaderAt.
+//
+//shield:nolockio mu serializes the handle swap during failover; positional reads carry no shared cursor but the handle pointer must not race
+func (r *replicatedRandom) ReadAt(p []byte, off int64) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, err := r.f.ReadAt(p, off)
+	if err == nil || !netretry.IsTransport(err) {
+		return n, err
+	}
+	// The node serving this handle went away: charge it, rotate the sticky
+	// preference off it, reopen on another in-sync replica, and retry the
+	// same positional read.
+	r.rep.ep.Failure()
+	r.rs.advanceReadPref(r.rep)
+	rep, nf, _, oerr := r.rs.openAny(r.name)
+	if oerr != nil {
+		return n, err
+	}
+	r.f.Close()
+	r.rep, r.f = rep, nf
+	return r.f.ReadAt(p, off)
+}
+
+func (r *replicatedRandom) Size() (int64, error) { return r.size, nil }
+
+//shield:nolockio mu only pins the handle pointer against a concurrent failover swap; the underlying close is a pooled-conn release, not a wire round
+func (r *replicatedRandom) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}
+
+// fileVer is a replica's version of one file for the diff passes: size plus
+// content hash. A negative size marks "absent".
+type fileVer struct {
+	size int64
+	sum  string
+}
+
+var absentVer = fileVer{size: -1}
+
+// scan fingerprints every file under the registered directories on one
+// replica, skipping paths in omit (open write handles, kept converged by
+// adoption instead).
+func (rs *ReplicaSet) scan(c *Client, omit map[string]struct{}) (map[string]fileVer, error) {
+	out := make(map[string]fileVer)
+	for _, d := range rs.dirList() {
+		infos, err := c.List(d)
+		if err != nil {
+			if errors.Is(err, vfs.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		for _, fi := range infos {
+			p := path.Join(d, fi.Name)
+			if _, open := omit[p]; open {
+				continue
+			}
+			sum, size, err := c.Sum(p)
+			if err != nil {
+				if errors.Is(err, vfs.ErrNotFound) {
+					continue // removed while scanning
+				}
+				return nil, err
+			}
+			out[p] = fileVer{size: size, sum: string(sum)}
+		}
+	}
+	return out, nil
+}
+
+// repair makes target's files match canonical, copying divergent files from
+// sources (replicas known to hold the canonical version) and deleting files
+// canonical does not contain. Returns the number of bytes shipped.
+func (rs *ReplicaSet) repair(target *Client, targetState, canonical map[string]fileVer, source func(p string) *Client) (int64, error) {
+	for _, d := range rs.dirList() {
+		if err := target.MkdirAll(d); err != nil {
+			return 0, err
+		}
+	}
+	var shipped int64
+	paths := make([]string, 0, len(canonical))
+	for p := range canonical {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		want := canonical[p]
+		if targetState[p] == want {
+			continue
+		}
+		src := source(p)
+		if src == nil {
+			return shipped, fmt.Errorf("dstore: no source replica for %s during re-sync", p)
+		}
+		data, err := vfs.ReadFile(src, p)
+		if errors.Is(err, vfs.ErrNotFound) {
+			continue // removed after the scan; the next pass sees the settled state
+		}
+		if err != nil {
+			return shipped, err
+		}
+		if sum := sha256.Sum256(data); int64(len(data)) != want.size || string(sum[:]) != want.sum {
+			// The file changed under the scan (engine mutation between
+			// fingerprint and copy); the next pass sees the settled state.
+			continue
+		}
+		if err := vfs.WriteFile(target, p, data); err != nil {
+			return shipped, err
+		}
+		if err := target.SyncDir(path.Dir(p)); err != nil {
+			return shipped, err
+		}
+		shipped += int64(len(data))
+	}
+	for p := range targetState {
+		if _, keep := canonical[p]; !keep {
+			if err := target.Remove(p); err != nil && !errors.Is(err, vfs.ErrNotFound) {
+				return shipped, err
+			}
+		}
+	}
+	return shipped, nil
+}
+
+// reconcile establishes a canonical namespace by majority vote across the
+// reachable replicas and repairs the minority. It runs at Dial time — a
+// compute node that restarts cannot know which replica lagged behind a
+// crash, but the replicas can out-vote each other: for every file, the
+// (size, hash) version held by the most replicas wins, ties breaking
+// toward the larger file (more acknowledged bytes, and an acknowledged
+// write exists on quorum ≥ majority replicas, so the majority never votes
+// away acknowledged data).
+func (rs *ReplicaSet) reconcile() error {
+	type scanned struct {
+		rep   *replica
+		c     *Client
+		state map[string]fileVer
+	}
+	var scans []scanned
+	omit := rs.openWriterNames()
+	for _, r := range rs.reps {
+		c, err := r.client()
+		if err != nil {
+			r.setStale(true)
+			continue
+		}
+		state, err := rs.scan(c, omit)
+		if err != nil {
+			r.fail(err)
+			continue
+		}
+		scans = append(scans, scanned{rep: r, c: c, state: state})
+	}
+	if len(scans) < rs.quorum {
+		return fmt.Errorf("%w: %d of %d replicas scannable, quorum %d",
+			ErrNoQuorum, len(scans), len(rs.reps), rs.quorum)
+	}
+
+	union := make(map[string]struct{})
+	for _, s := range scans {
+		for p := range s.state {
+			union[p] = struct{}{}
+		}
+	}
+	canonical := make(map[string]fileVer)
+	for p := range union {
+		votes := make(map[fileVer]int)
+		for _, s := range scans {
+			v, ok := s.state[p]
+			if !ok {
+				v = absentVer
+			}
+			votes[v]++
+		}
+		best := absentVer
+		bestN := 0
+		for v, n := range votes {
+			switch {
+			case n > bestN:
+				best, bestN = v, n
+			case n == bestN && v.size > best.size:
+				best = v
+			case n == bestN && v.size == best.size && v.sum > best.sum:
+				best = v
+			}
+		}
+		if best.size >= 0 {
+			canonical[p] = best
+		}
+	}
+
+	source := func(p string) *Client {
+		want, ok := canonical[p]
+		if !ok {
+			return nil
+		}
+		for _, s := range scans {
+			if s.state[p] == want {
+				return s.c
+			}
+		}
+		return nil
+	}
+	for _, s := range scans {
+		divergent := false
+		for p, want := range canonical {
+			if s.state[p] != want {
+				divergent = true
+				break
+			}
+		}
+		if !divergent {
+			for p := range s.state {
+				if _, ok := canonical[p]; !ok {
+					divergent = true
+					break
+				}
+			}
+		}
+		if !divergent {
+			s.rep.setStale(false)
+			continue
+		}
+		shipped, err := rs.repair(s.c, s.state, canonical, source)
+		if shipped > 0 {
+			metrics.Net.ResyncBytes.Add(shipped)
+			metrics.Net.Endpoint(s.rep.addr).ResyncBytes.Add(shipped)
+		}
+		if err != nil {
+			s.rep.fail(err)
+			continue
+		}
+		metrics.Net.Resyncs.Add(1)
+		metrics.Net.Endpoint(s.rep.addr).Resyncs.Add(1)
+		s.rep.setStale(false)
+	}
+	if len(rs.inSync()) < rs.quorum {
+		return fmt.Errorf("%w: fewer than %d replicas reconciled", ErrNoQuorum, rs.quorum)
+	}
+	return nil
+}
+
+// resyncLoop is the background healer: it watches for stale replicas and
+// re-syncs each one from a live replica, then promotes it back into the
+// read/quorum set under the promotion barrier.
+func (rs *ReplicaSet) resyncLoop() {
+	defer rs.wg.Done()
+	for {
+		if !netretry.Sleep(rs.cfg.ResyncEvery, rs.done) {
+			return
+		}
+		rs.resyncPass()
+	}
+}
+
+// resyncPass heals every stale replica it can reach. With no in-sync
+// replica left (total outage), it falls back to a majority re-baseline —
+// but only while no write handles are open, since reconcile cannot adopt
+// handles whose branches are all gone.
+func (rs *ReplicaSet) resyncPass() {
+	var stale []*replica
+	for _, r := range rs.reps {
+		if r.isStale() {
+			stale = append(stale, r)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	if len(rs.inSync()) == 0 {
+		rs.opMu.Lock()
+		if len(rs.openWriterNames()) == 0 {
+			rs.reconcile() //nolint:errcheck // next pass retries; callers keep seeing ErrNoQuorum meanwhile
+		}
+		rs.opMu.Unlock()
+		return
+	}
+	for _, r := range stale {
+		select {
+		case <-rs.done:
+			return
+		default:
+		}
+		if err := rs.resyncReplica(r); err == nil {
+			metrics.Net.Resyncs.Add(1)
+			metrics.Net.Endpoint(r.addr).Resyncs.Add(1)
+		}
+	}
+}
+
+// resyncReplica brings one stale replica back: bulk-copy the diff from an
+// in-sync source without blocking traffic, then — under the promotion
+// barrier — adopt open write handles, verify the remaining diff, and mark
+// the replica in-sync.
+//
+//shield:nolockio opMu (exclusive) IS the promotion barrier: the final verify and the in-sync flip must exclude concurrent mutations or an acknowledged write could land only on the old quorum
+func (rs *ReplicaSet) resyncReplica(target *replica) error {
+	tc, err := target.client()
+	if err != nil {
+		return err
+	}
+	srcs := rs.inSync()
+	if len(srcs) == 0 {
+		return fmt.Errorf("%w: no in-sync source", ErrNoQuorum)
+	}
+	sc, err := srcs[0].client()
+	if err != nil {
+		return err
+	}
+
+	// Phase 1 (concurrent with traffic): bulk diff-copy. Anything that
+	// changes underneath is caught by the verify inside the barrier.
+	omit := rs.openWriterNames()
+	canonical, err := rs.scan(sc, omit)
+	if err != nil {
+		return err
+	}
+	targetState, err := rs.scan(tc, omit)
+	if err != nil {
+		target.ep.Failure()
+		return err
+	}
+	shipped, err := rs.repair(tc, targetState, canonical, func(string) *Client { return sc })
+	if shipped > 0 {
+		metrics.Net.ResyncBytes.Add(shipped)
+		metrics.Net.Endpoint(target.addr).ResyncBytes.Add(shipped)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Phase 2 (exclusive): no mutation can start until the replica is
+	// promoted, so what we verify here is what the replica holds when the
+	// next mutation selects its targets.
+	rs.opMu.Lock()
+	defer rs.opMu.Unlock()
+	if srcs[0].isStale() {
+		return fmt.Errorf("dstore: re-sync source %s went stale mid-pass", srcs[0].addr)
+	}
+	rs.mu.Lock()
+	writers := make([]*replicatedWritable, 0, len(rs.writers))
+	for w := range rs.writers {
+		writers = append(writers, w)
+	}
+	rs.mu.Unlock()
+	for _, w := range writers {
+		if err := w.adopt(target); err != nil {
+			return err
+		}
+	}
+	omit = rs.openWriterNames()
+	canonical, err = rs.scan(sc, omit)
+	if err != nil {
+		return err
+	}
+	targetState, err = rs.scan(tc, omit)
+	if err != nil {
+		target.ep.Failure()
+		return err
+	}
+	shipped, err = rs.repair(tc, targetState, canonical, func(string) *Client { return sc })
+	if shipped > 0 {
+		metrics.Net.ResyncBytes.Add(shipped)
+		metrics.Net.Endpoint(target.addr).ResyncBytes.Add(shipped)
+	}
+	if err != nil {
+		return err
+	}
+	target.setStale(false)
+	target.ep.Success()
+	return nil
+}

@@ -79,7 +79,7 @@ type dsDeployment struct {
 	computeIO *vfs.CountingFS // compute-side (network) I/O
 	workerIO  *vfs.CountingFS // storage-local I/O by the compaction worker
 	storage   *dstore.Server
-	worker    *compactsvc.Server
+	worker    *compactsvc.Worker
 	kdsStore  *kds.Store
 	closers   []func()
 }
@@ -157,24 +157,25 @@ func openDS(v variant, p dsParams) (*dsDeployment, error) {
 		opts = *p.engine
 	}
 
-	if p.offload {
-		dep.workerIO = vfs.NewCounting(baseFS)
-		worker, err := compactsvc.NewServer(dep.workerIO, workerWrapper, "127.0.0.1:0")
-		if err != nil {
-			return fail(err)
-		}
-		dep.worker = worker
-		dep.closers = append(dep.closers, func() { worker.Close() })
-		cc := compactsvc.NewClient(worker.Addr())
-		dep.closers = append(dep.closers, func() { cc.Close() })
-		opts.Compactor = cc
-	}
-
 	remote, err := dstore.Dial(storage.Addr(), 4)
 	if err != nil {
 		return fail(err)
 	}
 	dep.closers = append(dep.closers, func() { remote.Close() })
+
+	if p.offload {
+		orch, err := compactsvc.NewOrchestrator(remote, "127.0.0.1:0", compactsvc.OrchestratorConfig{})
+		if err != nil {
+			return fail(err)
+		}
+		dep.closers = append(dep.closers, func() { orch.Close() })
+		dep.workerIO = vfs.NewCounting(baseFS)
+		worker := compactsvc.NewWorker(dep.workerIO, workerWrapper, "compaction-worker-1", orch.Addr(),
+			compactsvc.WorkerConfig{PollEvery: 2 * time.Millisecond})
+		dep.worker = worker
+		dep.closers = append(dep.closers, func() { worker.Close() })
+		opts.Compactor = orch
+	}
 	dep.computeIO = vfs.NewCounting(remote)
 	cfg.FS = dep.computeIO
 

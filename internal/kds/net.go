@@ -215,18 +215,18 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 // safe for concurrent use; requests are serialized over one connection.
 type Client struct {
 	serverID string
-	addrs    []string
+	group    *netretry.Group
 	cfg      ClientConfig
 	done     chan struct{}
 
 	reqMu sync.Mutex // serializes requests on the shared connection
 
-	mu      sync.Mutex // guards connection state below
-	conn    net.Conn
-	enc     *json.Encoder
-	dec     *json.Decoder
-	replica int // index into addrs of the current/last-good replica
-	closed  bool
+	mu     sync.Mutex // guards connection state below
+	conn   net.Conn
+	enc    *json.Encoder
+	dec    *json.Decoder
+	ep     *netretry.Endpoint // replica the live connection is dialed to
+	closed bool
 }
 
 // NewClient returns a Service identifying as serverID against the given
@@ -237,13 +237,17 @@ func NewClient(serverID string, addrs ...string) *Client {
 
 // NewClientConfig is NewClient with explicit retry/timeout settings.
 func NewClientConfig(serverID string, cfg ClientConfig, addrs ...string) *Client {
+	cfg = cfg.withDefaults()
 	return &Client{
 		serverID: serverID,
-		addrs:    addrs,
-		cfg:      cfg.withDefaults(),
+		group:    netretry.NewGroup(cfg.BackoffBase, cfg.BackoffMax, addrs...),
+		cfg:      cfg,
 		done:     make(chan struct{}),
 	}
 }
+
+// Status snapshots per-replica health, for INFO surfaces and tests.
+func (c *Client) Status() []netretry.EndpointStatus { return c.group.Status() }
 
 // Close releases the client connection and unblocks in-flight requests.
 func (c *Client) Close() error {
@@ -262,8 +266,8 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// connect returns the live connection, dialing replicas round-robin from
-// the current index when there is none.
+// connect returns the live connection, dialing replicas in the group's
+// failover order when there is none.
 func (c *Client) connect() (net.Conn, *json.Encoder, *json.Decoder, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -275,14 +279,13 @@ func (c *Client) connect() (net.Conn, *json.Encoder, *json.Decoder, error) {
 		c.mu.Unlock()
 		return conn, enc, dec, nil
 	}
-	start := c.replica
 	c.mu.Unlock()
 
 	var lastErr error
-	for i := 0; i < len(c.addrs); i++ {
-		idx := (start + i) % len(c.addrs)
-		conn, err := net.DialTimeout("tcp", c.addrs[idx], c.cfg.DialTimeout)
+	for _, ep := range c.group.Sequence() {
+		conn, err := net.DialTimeout("tcp", ep.Addr(), c.cfg.DialTimeout)
 		if err != nil {
+			ep.Failure()
 			lastErr = err
 			continue
 		}
@@ -292,10 +295,9 @@ func (c *Client) connect() (net.Conn, *json.Encoder, *json.Decoder, error) {
 			conn.Close()
 			return nil, nil, nil, ErrClosed
 		}
-		if idx != c.replica {
-			metrics.Net.Failovers.Add(1)
-		}
-		c.replica = idx
+		ep.Success()
+		c.group.Promote(ep)
+		c.ep = ep
 		c.conn = conn
 		c.enc = json.NewEncoder(conn)
 		c.dec = json.NewDecoder(bufio.NewReader(conn))
@@ -309,18 +311,22 @@ func (c *Client) connect() (net.Conn, *json.Encoder, *json.Decoder, error) {
 	return nil, nil, nil, fmt.Errorf("%w: %v", ErrNoReplica, lastErr)
 }
 
-// dropConn discards a failed connection and advances to the next replica
-// so the following dial tries a different server first.
+// dropConn discards a failed connection, charges the failure to its
+// replica, and rotates the group preference so the next dial tries a
+// different server first.
 func (c *Client) dropConn(conn net.Conn) {
 	conn.Close()
 	c.mu.Lock()
+	var ep *netretry.Endpoint
 	if c.conn == conn {
 		c.conn = nil
-		if len(c.addrs) > 0 {
-			c.replica = (c.replica + 1) % len(c.addrs)
-		}
+		ep, c.ep = c.ep, nil
 	}
 	c.mu.Unlock()
+	if ep != nil {
+		ep.Failure()
+		c.group.Advance(ep)
+	}
 }
 
 // roundTrip sends one request with deadlines, backoff, and failover.

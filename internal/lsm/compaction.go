@@ -542,9 +542,11 @@ func (d *DB) runCompactionPlan(plan *compactionPlan) error {
 		}
 		res, err := compactor.Compact(job)
 		if err != nil {
-			if errors.Is(err, vfs.ErrNoSpace) {
+			if errors.Is(err, vfs.ErrNoSpace) || errors.Is(err, ErrJobLost) {
 				// RunCompaction (local or remote) aborted and cleaned up its
-				// outputs; nothing was installed, so this is retryable.
+				// outputs — or the orchestrator lost every worker lease and
+				// swept the partial outputs itself. Either way nothing was
+				// installed and the inputs are retained, so this is retryable.
 				return &compactionAbortedError{err: err}
 			}
 			return err

@@ -39,6 +39,16 @@ var ErrIntegrity = errors.New("lsm: integrity violation")
 // Options.AllowRollback acknowledges the regression.
 var ErrEpochRegression = errors.New("lsm: freshness epoch regression (store rolled back)")
 
+// ErrJobLost is the sentinel wrapped by an offloaded-compaction failure in
+// which the job could not be completed by any worker: every lease expired
+// (worker died mid-job) or no worker claimed the job before its deadline.
+// The orchestrator has already swept the dead attempts' fenced output-file
+// ranges, and the manifest was never touched, so the inputs are fully
+// retained — the engine treats it exactly like a local ENOSPC abort:
+// compactions halt (no degraded mode, no poisoning) until the next
+// successful flush re-arms them.
+var ErrJobLost = errors.New("lsm: compaction job lost (no worker completed it)")
+
 // CorruptionError describes one corrupt (or missing-but-referenced)
 // persistent file. It wraps both ErrCorruption and the underlying cause, so
 // errors.Is works against either.

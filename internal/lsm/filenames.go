@@ -23,6 +23,13 @@ func sstFileName(dir string, num uint64) string {
 	return path.Join(dir, fmt.Sprintf("%06d.sst", num))
 }
 
+// TableFileName returns the SST path for file number num under dir. It is
+// exported for the offloaded-compaction orchestrator, which must be able to
+// sweep a dead worker's partial outputs: each lease attempt writes into a
+// fenced sub-range of output file numbers, so cleanup is "remove every table
+// name in the range", including numbers the worker never reached.
+func TableFileName(dir string, num uint64) string { return sstFileName(dir, num) }
+
 func manifestFileName(dir string, num uint64) string {
 	return path.Join(dir, fmt.Sprintf("MANIFEST-%06d", num))
 }

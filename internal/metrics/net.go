@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -11,12 +13,52 @@ import (
 // can print how much retrying/failover a run needed. The zero value is
 // ready to use.
 type NetCounters struct {
-	Retries        atomic.Int64 // requests re-sent after a transport failure
-	Timeouts       atomic.Int64 // attempts that hit the per-request deadline
-	Failovers      atomic.Int64 // connections moved to a different replica
-	Redials        atomic.Int64 // pool slots re-dialed after a discarded conn
-	DegradedWrites atomic.Int64 // writes refused because the KDS is unreachable
-	DegradedReads  atomic.Int64 // reads that failed even after the secure cache
+	Retries          atomic.Int64 // requests re-sent after a transport failure
+	Timeouts         atomic.Int64 // attempts that hit the per-request deadline
+	Failovers        atomic.Int64 // connections moved to a different replica
+	Redials          atomic.Int64 // pool slots re-dialed after a discarded conn
+	DegradedWrites   atomic.Int64 // writes refused because the KDS is unreachable
+	DegradedReads    atomic.Int64 // reads that failed even after the secure cache
+	QuorumShortfalls atomic.Int64 // replicated mutations acked by fewer than quorum replicas
+	Resyncs          atomic.Int64 // replica rejoin re-sync passes completed
+	ResyncBytes      atomic.Int64 // bytes copied to rejoining replicas
+
+	epMu       sync.Mutex
+	byEndpoint map[string]*EndpointCounters
+}
+
+// EndpointCounters is the per-replica breakdown of the aggregate counters:
+// one set per endpoint address, so an operator can see WHICH storage node
+// is failing over, being resynced, or eating errors — the aggregate view
+// cannot distinguish one sick replica from uniform flakiness.
+type EndpointCounters struct {
+	Failovers   atomic.Int64 // times traffic was re-pointed at this endpoint
+	Errors      atomic.Int64 // transport failures charged to this endpoint
+	Resyncs     atomic.Int64 // re-sync passes that repaired this endpoint
+	ResyncBytes atomic.Int64 // bytes copied to this endpoint during re-sync
+}
+
+// Endpoint returns (lazily creating) the per-endpoint counter set for addr.
+func (c *NetCounters) Endpoint(addr string) *EndpointCounters {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	if c.byEndpoint == nil {
+		c.byEndpoint = make(map[string]*EndpointCounters)
+	}
+	ec, ok := c.byEndpoint[addr]
+	if !ok {
+		ec = &EndpointCounters{}
+		c.byEndpoint[addr] = ec
+	}
+	return ec
+}
+
+// EndpointSnapshot is a point-in-time copy of one endpoint's counters.
+type EndpointSnapshot struct {
+	Failovers   int64 `json:"failovers"`
+	Errors      int64 `json:"errors"`
+	Resyncs     int64 `json:"resyncs,omitempty"`
+	ResyncBytes int64 `json:"resync_bytes,omitempty"`
 }
 
 // Net is the process-wide counter set the network clients report into.
@@ -24,24 +66,48 @@ var Net = &NetCounters{}
 
 // NetSnapshot is a point-in-time copy of NetCounters.
 type NetSnapshot struct {
-	Retries        int64
-	Timeouts       int64
-	Failovers      int64
-	Redials        int64
-	DegradedWrites int64
-	DegradedReads  int64
+	Retries          int64
+	Timeouts         int64
+	Failovers        int64
+	Redials          int64
+	DegradedWrites   int64
+	DegradedReads    int64
+	QuorumShortfalls int64 `json:",omitempty"`
+	Resyncs          int64 `json:",omitempty"`
+	ResyncBytes      int64 `json:",omitempty"`
+
+	// Endpoints breaks the counters down per replica address (only
+	// endpoints that registered activity appear).
+	Endpoints map[string]EndpointSnapshot `json:",omitempty"`
 }
 
 // Snapshot returns the current counter values.
 func (c *NetCounters) Snapshot() NetSnapshot {
-	return NetSnapshot{
-		Retries:        c.Retries.Load(),
-		Timeouts:       c.Timeouts.Load(),
-		Failovers:      c.Failovers.Load(),
-		Redials:        c.Redials.Load(),
-		DegradedWrites: c.DegradedWrites.Load(),
-		DegradedReads:  c.DegradedReads.Load(),
+	s := NetSnapshot{
+		Retries:          c.Retries.Load(),
+		Timeouts:         c.Timeouts.Load(),
+		Failovers:        c.Failovers.Load(),
+		Redials:          c.Redials.Load(),
+		DegradedWrites:   c.DegradedWrites.Load(),
+		DegradedReads:    c.DegradedReads.Load(),
+		QuorumShortfalls: c.QuorumShortfalls.Load(),
+		Resyncs:          c.Resyncs.Load(),
+		ResyncBytes:      c.ResyncBytes.Load(),
 	}
+	c.epMu.Lock()
+	if len(c.byEndpoint) > 0 {
+		s.Endpoints = make(map[string]EndpointSnapshot, len(c.byEndpoint))
+		for addr, ec := range c.byEndpoint {
+			s.Endpoints[addr] = EndpointSnapshot{
+				Failovers:   ec.Failovers.Load(),
+				Errors:      ec.Errors.Load(),
+				Resyncs:     ec.Resyncs.Load(),
+				ResyncBytes: ec.ResyncBytes.Load(),
+			}
+		}
+	}
+	c.epMu.Unlock()
+	return s
 }
 
 // Reset zeroes every counter (benchmarks reset between runs).
@@ -52,27 +118,76 @@ func (c *NetCounters) Reset() {
 	c.Redials.Store(0)
 	c.DegradedWrites.Store(0)
 	c.DegradedReads.Store(0)
+	c.QuorumShortfalls.Store(0)
+	c.Resyncs.Store(0)
+	c.ResyncBytes.Store(0)
+	c.epMu.Lock()
+	c.byEndpoint = nil
+	c.epMu.Unlock()
 }
 
 // Any reports whether any fault-tolerance event occurred.
 func (s NetSnapshot) Any() bool {
-	return s.Retries+s.Timeouts+s.Failovers+s.Redials+s.DegradedWrites+s.DegradedReads != 0
+	return s.Retries+s.Timeouts+s.Failovers+s.Redials+s.DegradedWrites+s.DegradedReads+
+		s.QuorumShortfalls+s.Resyncs+s.ResyncBytes != 0
 }
 
 // Sub returns the delta s minus prev, for reporting one run's events.
+// Endpoint counters subtract pairwise; endpoints absent from prev pass
+// through unchanged.
 func (s NetSnapshot) Sub(prev NetSnapshot) NetSnapshot {
-	return NetSnapshot{
-		Retries:        s.Retries - prev.Retries,
-		Timeouts:       s.Timeouts - prev.Timeouts,
-		Failovers:      s.Failovers - prev.Failovers,
-		Redials:        s.Redials - prev.Redials,
-		DegradedWrites: s.DegradedWrites - prev.DegradedWrites,
-		DegradedReads:  s.DegradedReads - prev.DegradedReads,
+	out := NetSnapshot{
+		Retries:          s.Retries - prev.Retries,
+		Timeouts:         s.Timeouts - prev.Timeouts,
+		Failovers:        s.Failovers - prev.Failovers,
+		Redials:          s.Redials - prev.Redials,
+		DegradedWrites:   s.DegradedWrites - prev.DegradedWrites,
+		DegradedReads:    s.DegradedReads - prev.DegradedReads,
+		QuorumShortfalls: s.QuorumShortfalls - prev.QuorumShortfalls,
+		Resyncs:          s.Resyncs - prev.Resyncs,
+		ResyncBytes:      s.ResyncBytes - prev.ResyncBytes,
 	}
+	if len(s.Endpoints) > 0 {
+		out.Endpoints = make(map[string]EndpointSnapshot, len(s.Endpoints))
+		for addr, es := range s.Endpoints {
+			p := prev.Endpoints[addr]
+			out.Endpoints[addr] = EndpointSnapshot{
+				Failovers:   es.Failovers - p.Failovers,
+				Errors:      es.Errors - p.Errors,
+				Resyncs:     es.Resyncs - p.Resyncs,
+				ResyncBytes: es.ResyncBytes - p.ResyncBytes,
+			}
+		}
+	}
+	return out
 }
 
 // String renders the non-zero counters.
 func (s NetSnapshot) String() string {
-	return fmt.Sprintf("retries=%d timeouts=%d failovers=%d redials=%d degraded_writes=%d degraded_reads=%d",
+	out := fmt.Sprintf("retries=%d timeouts=%d failovers=%d redials=%d degraded_writes=%d degraded_reads=%d",
 		s.Retries, s.Timeouts, s.Failovers, s.Redials, s.DegradedWrites, s.DegradedReads)
+	if s.QuorumShortfalls+s.Resyncs+s.ResyncBytes != 0 {
+		out += fmt.Sprintf(" quorum_shortfalls=%d resyncs=%d resync_bytes=%d",
+			s.QuorumShortfalls, s.Resyncs, s.ResyncBytes)
+	}
+	for _, addr := range s.EndpointOrder() {
+		es := s.Endpoints[addr]
+		out += fmt.Sprintf(" [%s: failovers=%d errors=%d resyncs=%d resync_bytes=%d]",
+			addr, es.Failovers, es.Errors, es.Resyncs, es.ResyncBytes)
+	}
+	return out
+}
+
+// EndpointOrder returns the snapshot's endpoint addresses sorted, so
+// rendered breakdowns (String, the server's INFO) are deterministic.
+func (s NetSnapshot) EndpointOrder() []string {
+	if len(s.Endpoints) == 0 {
+		return nil
+	}
+	addrs := make([]string, 0, len(s.Endpoints))
+	for a := range s.Endpoints {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	return addrs
 }

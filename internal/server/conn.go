@@ -364,5 +364,28 @@ func (s *Server) renderInfo() []byte {
 		fmt.Fprintf(&buf, "flushes:%d\r\n", snap.Engine.Flushes)
 		fmt.Fprintf(&buf, "compactions:%d\r\n", snap.Engine.Compactions)
 	}
+	// Network fault-tolerance counters, with the per-replica breakdown when
+	// the engine runs over replicated storage: an operator reading INFO can
+	// see WHICH storage node is failing over, resyncing, or eating errors.
+	nv := metrics.Net.Snapshot()
+	fmt.Fprintf(&buf, "# net\r\n")
+	fmt.Fprintf(&buf, "net_retries:%d\r\n", nv.Retries)
+	fmt.Fprintf(&buf, "net_timeouts:%d\r\n", nv.Timeouts)
+	fmt.Fprintf(&buf, "net_failovers:%d\r\n", nv.Failovers)
+	fmt.Fprintf(&buf, "net_redials:%d\r\n", nv.Redials)
+	fmt.Fprintf(&buf, "degraded_writes:%d\r\n", nv.DegradedWrites)
+	fmt.Fprintf(&buf, "degraded_reads:%d\r\n", nv.DegradedReads)
+	fmt.Fprintf(&buf, "quorum_shortfalls:%d\r\n", nv.QuorumShortfalls)
+	fmt.Fprintf(&buf, "resyncs:%d\r\n", nv.Resyncs)
+	fmt.Fprintf(&buf, "resync_bytes:%d\r\n", nv.ResyncBytes)
+	for i, addr := range nv.EndpointOrder() {
+		es := nv.Endpoints[addr]
+		fmt.Fprintf(&buf, "# replica%d\r\n", i)
+		fmt.Fprintf(&buf, "addr:%s\r\n", sanitize(addr))
+		fmt.Fprintf(&buf, "failovers:%d\r\n", es.Failovers)
+		fmt.Fprintf(&buf, "errors:%d\r\n", es.Errors)
+		fmt.Fprintf(&buf, "resyncs:%d\r\n", es.Resyncs)
+		fmt.Fprintf(&buf, "resync_bytes:%d\r\n", es.ResyncBytes)
+	}
 	return buf.Bytes()
 }

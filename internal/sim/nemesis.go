@@ -29,6 +29,10 @@ const (
 	evCrash                             // power loss: snapshot, restore, reopen (arg=1: torn)
 	evManifestSnap                      // adversary captures the durable image
 	evManifestRollback                  // adversary restores the captured image (taints)
+	evReplicaKill                       // stop storage replica 1+arg%2 mid-write (nodeloss runs)
+	evReplicaRestart                    // restart stopped replicas; re-sync reclaims them
+	evWorkerKill                        // kill compaction worker arg%2 mid-lease (nodeloss runs)
+	evWorkerRestart                     // restart dead compaction workers
 )
 
 var eventNames = map[eventKind]string{
@@ -47,6 +51,10 @@ var eventNames = map[eventKind]string{
 	evCrash:            "crash",
 	evManifestSnap:     "manifest-snap",
 	evManifestRollback: "manifest-rollback",
+	evReplicaKill:      "replica-kill",
+	evReplicaRestart:   "replica-restart",
+	evWorkerKill:       "worker-kill",
+	evWorkerRestart:    "worker-restart",
 }
 
 // event is one planned nemesis action, firing when the virtual clock
@@ -63,9 +71,12 @@ func (e event) String() string {
 }
 
 // planNemesis derives the full fault schedule from the seed. Pairing
-// discipline: at most one disk-full, one net-fault window, and one
-// store-kill outstanding at a time, and at least one KDS replica stays up
-// outside kill windows. Crashes and bit-rot can land anywhere.
+// discipline: at most one disk-full, one net-fault window, one store-kill,
+// one replica-kill, and one worker-kill outstanding at a time, and at
+// least one KDS replica stays up outside kill windows — so the replicated
+// fleet never drops below write quorum by plan (crashes can still overlap
+// a kill window, which is the hard case the re-sync path must absorb).
+// Crashes and bit-rot can land anywhere.
 func planNemesis(cfg Config, rng *rand.Rand) []event {
 	n := cfg.Events
 	if n <= 0 {
@@ -84,11 +95,13 @@ func planNemesis(cfg Config, rng *rand.Rand) []event {
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 
 	var (
-		plan      []event
-		diskFull  bool
-		netFault  bool
-		kdsDown   bool
-		storeDown bool
+		plan       []event
+		diskFull   bool
+		netFault   bool
+		kdsDown    bool
+		storeDown  bool
+		repDown    bool
+		workerDown bool
 	)
 	// The rollback attack needs two ordered moves — capture an image, then
 	// restore it with durable history in between — so leaving it to the
@@ -132,6 +145,16 @@ func planNemesis(cfg Config, rng *rand.Rand) []event {
 			plan = append(plan, event{step, evStoreRestart, 0})
 			storeDown = false
 			continue
+		// The fleet windows only open under NodeLoss, so these draws never
+		// happen (and never shift pre-existing plans) with the flag off.
+		case repDown && rng.Float64() < 0.7:
+			plan = append(plan, event{step, evReplicaRestart, 0})
+			repDown = false
+			continue
+		case workerDown && rng.Float64() < 0.7:
+			plan = append(plan, event{step, evWorkerRestart, 0})
+			workerDown = false
+			continue
 		}
 		roll := rng.Float64()
 		switch {
@@ -157,6 +180,17 @@ func planNemesis(cfg Config, rng *rand.Rand) []event {
 			plan = append(plan, event{step, evConnStorm, 3 + rng.Int63n(6)})
 		case roll < 0.85 && cfg.ConnStorm:
 			plan = append(plan, event{step, evSlowClient, 1 + rng.Int63n(3)})
+		// The fleet events are gated on NodeLoss the same way ConnStorm's
+		// are: the short-circuit keeps the draw count (and so every
+		// pre-existing seed's plan and hash) unchanged with the flag off.
+		// Only replicas 1 and 2 are ever killed — replica 0 shares the
+		// primary site's fault domain and dies in crash events instead.
+		case roll < 0.80 && cfg.NodeLoss && !repDown:
+			plan = append(plan, event{step, evReplicaKill, 1 + rng.Int63n(2)})
+			repDown = true
+		case roll < 0.88 && cfg.NodeLoss && !workerDown:
+			plan = append(plan, event{step, evWorkerKill, rng.Int63n(2)})
+			workerDown = true
 		default:
 			torn := int64(0)
 			if rng.Float64() < 0.5 {
@@ -178,6 +212,12 @@ func planNemesis(cfg Config, rng *rand.Rand) []event {
 	}
 	if storeDown {
 		plan = append(plan, event{end, evStoreRestart, 0})
+	}
+	if repDown {
+		plan = append(plan, event{end, evReplicaRestart, 0})
+	}
+	if workerDown {
+		plan = append(plan, event{end, evWorkerRestart, 0})
 	}
 	return plan
 }

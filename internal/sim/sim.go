@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shield/internal/compactsvc"
 	"shield/internal/core"
 	"shield/internal/dstore"
 	"shield/internal/kds"
@@ -75,6 +76,14 @@ type Config struct {
 	// AllowRollback. A rolled-back run relaxes the checker like BitRot.
 	Rollback bool
 
+	// NodeLoss replicates the data path across three storage nodes behind a
+	// quorum-2 replica set and offloads compactions through a lease-based
+	// orchestrator to two storage-side SHIELD workers — then kills replicas
+	// mid-write and workers mid-lease on top of the usual fault mix, and
+	// audits every in-sync replica for byte-identical state at end of run.
+	// Supersedes Dstore (the single-node topology) when set.
+	NodeLoss bool
+
 	// ConnStorm fronts the engine with a RESP shield-server on loopback
 	// and adds connection-storm and slow-client events: bursts of clients
 	// mixing valid, unknown, and malformed commands, plus connections that
@@ -108,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Minute
+	}
+	if c.NodeLoss {
+		c.Dstore = false // the replicated fleet replaces the single node
 	}
 	return c
 }
@@ -184,6 +196,24 @@ type simulation struct {
 	storeAddr   string
 	storeClient *dstore.Client
 	storeUp     bool
+
+	// Replicated fleet (NodeLoss runs). repMu guards the slots because
+	// replica/worker kill events fire under stackMu *shared* (they must
+	// overlap in-flight ops) while crash rebuilds hold it exclusive; the
+	// lock order is stackMu before repMu everywhere.
+	repMu      sync.Mutex
+	repBase    [2]*vfs.MemFS // replicas 1 and 2: independent devices
+	repSrv     [3]*dstore.Server
+	repAddr    [3]string
+	repUp      [3]bool
+	rs         *dstore.ReplicaSet
+	rsSwap     *swapFS // the workers' storage handle; repointed on rebuild
+	orch       *compactsvc.Orchestrator
+	orchAddr   string
+	simWorkers [2]*compactsvc.Worker
+	workerWrap [2]lsm.FileWrapper
+	workerKDS  [2]*kds.Client
+	workerUp   [2]bool
 
 	// Serving layer (ConnStorm runs): a RESP server over a lock-free
 	// swappable engine handle, plus the stalled connections the
@@ -297,7 +327,15 @@ func (s *simulation) nextStream() int64 {
 // ---- Stack construction ----
 
 func (s *simulation) bootstrap() error {
-	s.kdsStore = kds.NewStore(kds.DefaultPolicy())
+	policy := kds.DefaultPolicy()
+	if s.cfg.NodeLoss {
+		// One-time provisioning, fleet-sized: a worker-created DEK is
+		// foreign-fetched by the compute node AND by the other worker when
+		// it later compacts those outputs. (The creator's own re-fetch is
+		// free and does not consume the budget.)
+		policy.MaxFetches = 4
+	}
+	s.kdsStore = kds.NewStore(policy)
 	s.kdsStore.Authorize(simServerID)
 	for i := range s.kdsSrv {
 		srv, err := kds.NewServer(s.kdsStore, "127.0.0.1:0")
@@ -329,6 +367,11 @@ func (s *simulation) bootstrap() error {
 			return err
 		}
 	}
+	if s.cfg.NodeLoss {
+		if err := s.startReplicaFleetLocked(); err != nil {
+			return err
+		}
+	}
 	if s.cfg.ConnStorm {
 		s.srvEngine = &swapEngine{}
 	}
@@ -355,6 +398,9 @@ func (s *simulation) setDBLocked(db *lsm.DB) {
 }
 
 func (s *simulation) dataFSLocked() vfs.FS {
+	if s.cfg.NodeLoss {
+		return s.rs
+	}
 	if s.cfg.Dstore {
 		return s.storeClient
 	}
@@ -399,7 +445,7 @@ func (s *simulation) reopenCacheLocked() {
 }
 
 func (s *simulation) lsmOptsLocked() lsm.Options {
-	return lsm.Options{
+	opts := lsm.Options{
 		MemtableSize:        8 << 10, // flush constantly
 		BaseLevelSize:       64 << 10,
 		TargetFileSize:      16 << 10,
@@ -414,6 +460,10 @@ func (s *simulation) lsmOptsLocked() lsm.Options {
 			s.note("engine: "+format, args...)
 		},
 	}
+	if s.cfg.NodeLoss && s.orch != nil {
+		opts.Compactor = s.orch
+	}
+	return opts
 }
 
 // openDBLocked opens the database on the current stack, absorbing the two
@@ -454,6 +504,13 @@ func (s *simulation) openDBLocked() {
 			// recovery path. The rules are count-limited, so retrying the
 			// open drains them — the operator model for a flaky mount.
 			s.note("open hit an injected transient fault; retrying")
+		case s.cfg.NodeLoss && errors.Is(err, dstore.ErrNoQuorum):
+			// Too many replicas demoted (a kill window overlapping enough
+			// write failures on replica 0). Restart the dead nodes and give
+			// the re-sync loop a beat to heal and promote them.
+			s.note("open below write quorum; restarting dead replicas")
+			s.restartDownReplicasLocked()
+			time.Sleep(100 * time.Millisecond)
 		case errors.Is(err, lsm.ErrEpochRegression):
 			// Fail-closed rollback detection fired. Legitimate only if the
 			// nemesis actually rolled the image back; the harness then plays
@@ -519,6 +576,15 @@ func (s *simulation) fireDue(step uint64) {
 //
 //shield:nolockio the exclusive lock IS the nemesis barrier: events must run with no workload op in flight, so blocking I/O under stackMu is the design, not an accident
 func (s *simulation) fire(ev event, idx int) {
+	switch ev.kind {
+	case evReplicaKill, evReplicaRestart, evWorkerKill, evWorkerRestart:
+		// The fleet events take the barrier *shared*: a node dying out from
+		// under an in-flight quorum write (or a worker mid-lease) is exactly
+		// the race this band exists to exercise, so they must overlap ops
+		// rather than quiesce them like every other event.
+		s.fireReplicaEvent(ev)
+		return
+	}
 	s.stackMu.Lock()
 	defer s.stackMu.Unlock()
 	if s.dead.Load() {
@@ -710,6 +776,9 @@ func (s *simulation) crashToLocked(img *vfs.CrashImage, torn bool, tornSeed int6
 		s.storeSrv.Close()
 		s.storeUp = false
 	}
+	if s.cfg.NodeLoss {
+		s.crashReplicaStackLocked()
+	}
 
 	s.crash = vfs.NewCrashFrom(img, torn, tornSeed)
 	s.quota = vfs.NewQuota(s.crash, s.quotaLimit)
@@ -728,6 +797,9 @@ func (s *simulation) crashToLocked(img *vfs.CrashImage, torn bool, tornSeed int6
 			s.dead.Store(true)
 			return
 		}
+	}
+	if s.cfg.NodeLoss && !s.restoreReplicaStackLocked() {
+		return
 	}
 	s.openDBLocked()
 }
@@ -834,6 +906,10 @@ func (s *simulation) finalVerify() {
 	s.fault.ClearRules()
 	s.activeRules = nil
 	s.restartKDSLocked()
+	if s.cfg.NodeLoss {
+		s.restartDownReplicasLocked()
+		s.restartDownWorkersLocked()
+	}
 	if s.db == nil || s.db.Degraded() != nil {
 		if s.db != nil {
 			s.db.Close() //nolint:errcheck
@@ -871,6 +947,7 @@ func (s *simulation) finalVerify() {
 	it.Close() //nolint:errcheck
 
 	s.scrubAuditLocked()
+	s.replicaAuditLocked()
 }
 
 // scrubAuditLocked closes the engine and runs the offline scrub over the
@@ -932,6 +1009,9 @@ func (s *simulation) teardown() {
 	}
 	if s.storeSrv != nil && s.storeUp {
 		s.storeSrv.Close()
+	}
+	if s.cfg.NodeLoss {
+		s.teardownReplicaStackLocked()
 	}
 	s.kdsClient.Close()
 	for i, srv := range s.kdsSrv {

@@ -131,6 +131,44 @@ func TestConnStormOffKeepsPlans(t *testing.T) {
 	}
 }
 
+// TestSmokeNodeLoss runs seeds on the replicated topology: three storage
+// nodes behind a quorum-2 replica set, offloaded compactions through the
+// lease-based orchestrator, replica kills overlapping in-flight writes and
+// worker kills mid-lease — plus the usual crash mix — and the end-of-run
+// audit requiring byte-identical namespaces across in-sync replicas.
+// Seeds 1-3 plan replica kills at these settings; seed 6 plans a worker
+// kill.
+func TestSmokeNodeLoss(t *testing.T) {
+	var killedRep, killedWorker bool
+	for _, seed := range []uint64{1, 2, 3, 6} {
+		r := Run(Config{Seed: seed, Ops: 300, NodeLoss: true})
+		t.Logf("nodeloss seed %d: hash=%s acked=%d crashes=%d", seed, r.Hash, r.Acked, r.Crashes)
+		requirePass(t, r)
+		for _, l := range r.Plan {
+			killedRep = killedRep || strings.Contains(l, "replica-kill")
+			killedWorker = killedWorker || strings.Contains(l, "worker-kill")
+		}
+	}
+	if !killedRep || !killedWorker {
+		t.Errorf("seeds exercised replica-kill=%v worker-kill=%v, want both",
+			killedRep, killedWorker)
+	}
+}
+
+// TestNodeLossOffKeepsPlans pins the gating contract: the fleet events
+// must not disturb the schedule any pre-existing seed derives with the
+// flag off, so old hashes stay replayable.
+func TestNodeLossOffKeepsPlans(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		plain := Run(Config{Seed: seed, Ops: 300})
+		for _, l := range plain.Plan {
+			if strings.Contains(l, "replica-") || strings.Contains(l, "worker-") {
+				t.Fatalf("seed %d planned a fleet event with NodeLoss off: %s", seed, l)
+			}
+		}
+	}
+}
+
 // TestSeedReproducesHash is the reproducibility acceptance check: the same
 // seed derives the same nemesis schedule, byte for byte, across runs.
 func TestSeedReproducesHash(t *testing.T) {
