@@ -54,14 +54,17 @@ server-test:
 	go test -race ./internal/resp/ ./internal/server/
 	go run ./cmd/shield-sim -seeds 20 -connstorm
 
-# Benchmark-regression profile (DESIGN.md §11): a deterministic A/B run of
-# the parallel compaction scheduler on the full SHIELD stack, emitting
-# machine-readable BENCH_5.json. CI uploads the file as an artifact so the
-# bench trajectory is diffable across PRs. BENCH_SCALE shrinks/grows the op
-# counts.
+# Benchmark-regression profile (DESIGN.md §11, §16): a deterministic run of
+# the parallel-compaction A/B pair, the engine group-commit profile, the
+# YCSB-A/B/C pin-off/pin-on mixes, and the serving layer on the full SHIELD
+# stack, emitting machine-readable BENCH_10.json and gating self-relative
+# ratios (group-commit ratio, pinned read win, parallel speedup) against
+# the committed BENCH_5.json baseline. CI uploads the report as an artifact
+# so the bench trajectory is diffable across PRs. BENCH_SCALE shrinks/grows
+# the op counts.
 BENCH_SCALE ?= 0.5
 bench-json:
-	go run ./cmd/shield-bench -regress -scale $(BENCH_SCALE) -json BENCH_5.json
+	go run ./cmd/shield-bench -regress -scale $(BENCH_SCALE) -json BENCH_10.json -baseline BENCH_5.json
 
 sim-long:
 	go run ./cmd/shield-sim -seeds $(SIM_SEEDS)

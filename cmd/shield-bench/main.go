@@ -30,6 +30,7 @@ func main() {
 		diskLat    = flag.Duration("disk-read-latency", 0, "emulated SSD read latency for monolith experiments (e.g. 60us)")
 		regress    = flag.Bool("regress", false, "run the compaction-scheduler regression profile instead of an experiment")
 		jsonOut    = flag.String("json", "", "with -regress: also write the machine-readable report to this file")
+		baseline   = flag.String("baseline", "", "with -regress: gate self-relative metrics against this prior report (e.g. BENCH_5.json); exit 1 on regression")
 
 		netAddr  = flag.String("net", "", "benchmark a running shield-server at this address instead of an in-process engine")
 		clients  = flag.Int("clients", 8, "with -net: concurrent client connections")
@@ -82,6 +83,26 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *baseline != "" {
+			f, err := os.Open(*baseline) //shield:nofs the baseline is a host path the user passed via -baseline; the CLI mounts no vfs
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shield-bench:", err)
+				os.Exit(1)
+			}
+			base, err := bench.ReadRegressReport(f)
+			f.Close() //nolint:errcheck // read-only file
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shield-bench:", err)
+				os.Exit(1)
+			}
+			if fails := bench.CompareBaseline(report, base); len(fails) > 0 {
+				for _, f := range fails {
+					fmt.Fprintln(os.Stderr, "shield-bench: REGRESSION:", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("baseline gate vs %s: PASS\n", *baseline)
 		}
 		return
 	}

@@ -92,6 +92,12 @@ type Result struct {
 	// run: compactions claimed, peak concurrency, subcompaction shards,
 	// compaction I/O volume, and write-stall time spent waiting on debt.
 	Jobs metrics.JobsSnapshot
+
+	// Engine is the delta of the process-wide foreground engine counters
+	// over this run: committed writes vs commit-path WAL fsyncs (the
+	// group-commit ratio), how often concurrent writers coalesced, and
+	// prefix-bloom seek outcomes.
+	Engine metrics.EngineSnapshot
 }
 
 // String renders one report row.
@@ -106,6 +112,9 @@ func (r Result) String() string {
 	}
 	if r.Jobs.Any() {
 		s += "  [" + r.Jobs.String() + "]"
+	}
+	if r.Engine.Any() {
+		s += "  [" + r.Engine.String() + "]"
 	}
 	return s
 }
@@ -124,6 +133,7 @@ func run(w Workload, fn opFunc) Result {
 	netBefore := metrics.Net.Snapshot()
 	recBefore := metrics.Recovery.Snapshot()
 	jobsBefore := metrics.Jobs.Snapshot()
+	engBefore := metrics.Engine.Snapshot()
 	start := time.Now()
 	for t := 0; t < w.Threads; t++ {
 		wg.Add(1)
@@ -160,6 +170,7 @@ func run(w Workload, fn opFunc) Result {
 		Net:       metrics.Net.Snapshot().Sub(netBefore),
 		Recovery:  metrics.Recovery.Snapshot().Sub(recBefore),
 		Jobs:      metrics.Jobs.Snapshot().Sub(jobsBefore),
+		Engine:    metrics.Engine.Snapshot().Sub(engBefore),
 	}
 }
 

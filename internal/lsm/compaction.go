@@ -94,12 +94,16 @@ func (c *LocalCompactor) Compact(job CompactionJob) (CompactionResult, error) {
 	return RunCompaction(c.FS, c.Wrapper, job)
 }
 
-// newTableWriter builds an SST writer honoring the DB's table options.
+// newTableWriter builds an SST writer honoring the DB's table options. The
+// flush path (the only caller) threads the prefix extractor through, so L0
+// files carry prefix blooms; compaction outputs are built from the
+// JSON-serializable CompactionJob and carry none (see Options.PrefixExtractor).
 func newTableWriter(f vfs.WritableFile, opts Options) *sstable.Writer {
 	return sstable.NewWriter(f, sstable.WriterOptions{
 		BlockSize:       opts.BlockSize,
 		BloomBitsPerKey: opts.BloomBitsPerKey,
 		Compression:     opts.Compression,
+		PrefixExtractor: opts.PrefixExtractor,
 	})
 }
 

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -151,5 +152,137 @@ func TestCrashRecoveryConcurrentCompactions(t *testing.T) {
 	for i, pt := range pts {
 		verifyCrashImage(t, "strict", i, pt, pt.img.Strict(), ops)
 		verifyCrashImage(t, "torn", i, pt, pt.img.Torn(0), ops)
+	}
+}
+
+// batchCrashPoint is one crash image plus a snapshot of how many ops each
+// concurrent writer had been acked for when the boundary fired.
+type batchCrashPoint struct {
+	event string
+	img   *vfs.CrashImage
+	acked []int64
+}
+
+// TestCrashRecoveryGroupCommitAtomicity enumerates power-loss points while
+// concurrent synced writers ride coalesced commit groups, then checks two
+// invariants on every image, strict and torn:
+//
+//  1. Durability: every op a writer was acked for before the boundary
+//     survives (each ack followed that op's own WAL sync).
+//  2. Group atomicity: for every commit group the pipeline reported, the
+//     recovered image holds ALL of the group's keys or NONE — a torn tail
+//     mid-coalesced-record must drop the whole group, never half of it.
+func TestCrashRecoveryGroupCommitAtomicity(t *testing.T) {
+	const writers, perWriter = 6, 60
+	cfs := vfs.NewCrash(1)
+	var (
+		ptMu   sync.Mutex
+		points []batchCrashPoint
+		acked  [writers]atomic.Int64
+	)
+	cfs.AfterSync(func(event string, img *vfs.CrashImage) {
+		snap := make([]int64, writers)
+		for i := range snap {
+			snap[i] = acked[i].Load()
+		}
+		ptMu.Lock()
+		points = append(points, batchCrashPoint{event: event, img: img, acked: snap})
+		ptMu.Unlock()
+	})
+
+	// Slow WAL syncs (layered above the crash capture) make writers pile up
+	// behind the leader, so groups really coalesce.
+	fs := &slowSyncFS{FS: cfs, delay: 100 * time.Microsecond}
+	opts := crashTestOptions(fs)
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &groupRecorder{}
+	db.commitHook = rec.hook
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d-%04d", w, i)
+				if err := db.Put([]byte(k), []byte(fmt.Sprintf("v%d-%d", w, i))); err != nil {
+					t.Errorf("writer %d put %d: %v", w, i, err)
+					return
+				}
+				acked[w].Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec.mu.Lock()
+	groups := append([][]string(nil), rec.keys...)
+	maxGroup := 0
+	for _, s := range rec.sizes {
+		if s > maxGroup {
+			maxGroup = s
+		}
+	}
+	rec.mu.Unlock()
+	if maxGroup < 2 {
+		t.Fatalf("largest commit group = %d: the workload never coalesced, test has no teeth", maxGroup)
+	}
+	ptMu.Lock()
+	pts := points
+	ptMu.Unlock()
+	if len(pts) < 30 {
+		t.Fatalf("only %d crash points enumerated, want >= 30", len(pts))
+	}
+	t.Logf("enumerated %d crash points, %d groups, largest group %d", len(pts), len(groups), maxGroup)
+
+	verify := func(mode string, i int, pt batchCrashPoint, fs *vfs.MemFS) {
+		opts := crashTestOptions(fs)
+		opts.ParanoidChecks = true
+		db, err := Open("db", opts)
+		if err != nil {
+			t.Fatalf("%s point %d (%s): reopen failed: %v", mode, i, pt.event, err)
+		}
+		defer db.Close()
+		present := func(k string) bool {
+			_, err := db.Get([]byte(k))
+			if err != nil && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("%s point %d (%s): Get(%s): %v", mode, i, pt.event, k, err)
+			}
+			return err == nil
+		}
+		// Durability of acked ops.
+		for w := 0; w < writers; w++ {
+			for op := int64(0); op < pt.acked[w]; op++ {
+				if k := fmt.Sprintf("w%d-%04d", w, op); !present(k) {
+					t.Fatalf("%s point %d (%s): acked key %s lost", mode, i, pt.event, k)
+				}
+			}
+		}
+		// All-or-none per commit group.
+		for gi, g := range groups {
+			have := 0
+			for _, k := range g {
+				if present(k) {
+					have++
+				}
+			}
+			if have != 0 && have != len(g) {
+				t.Fatalf("%s point %d (%s): group %d partially recovered: %d of %d keys (%v)",
+					mode, i, pt.event, gi, have, len(g), g)
+			}
+		}
+	}
+	for i, pt := range pts {
+		verify("strict", i, pt, pt.img.Strict())
+		verify("torn", i, pt, pt.img.Torn(0))
 	}
 }

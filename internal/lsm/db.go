@@ -44,6 +44,29 @@ type Metrics struct {
 	CompactionsActive int64 // compaction jobs in flight now
 	CompactionsQueued int64 // runnable plans deferred for lack of a job slot
 	Subcompactions    int64 // key-range shards run by split compaction jobs
+
+	// Block-cache counters (zero when the cache is disabled). PinnedBytes is
+	// the charge held by the pinned class (L0 data + index/filter blocks
+	// under Options.PinL0AndMeta) that eviction never reclaims.
+	BlockCacheHits   int64
+	BlockCacheMisses int64
+	BlockCachePinned int64 // bytes, point-in-time gauge
+
+	// Prefix-filter counters: seeks routed through SeekPrefixGE, and tables
+	// those seeks skipped entirely because the prefix bloom proved the
+	// prefix absent.
+	PrefixSeeks int64
+	PrefixSkips int64
+}
+
+// GroupCommitRatio returns wal_syncs/writes — the group-commit win under
+// synced concurrent writers (1.0 means every write paid its own fsync; the
+// smaller the better). Zero when nothing was written.
+func (m Metrics) GroupCommitRatio() float64 {
+	if m.Writes == 0 {
+		return 0
+	}
+	return float64(m.WALSyncs) / float64(m.Writes)
 }
 
 // DB is the LSM-KVS instance.
@@ -56,11 +79,15 @@ type DB struct {
 	blockCache *cache.LRU
 	tables     *tableCache
 
-	// Commit pipeline. commitMu guards channel sends against Close; senders
-	// hold RLock, Close holds Lock while closing.
-	commitMu sync.RWMutex
-	commitCh chan *commitRequest
-	commitWG sync.WaitGroup
+	// commit is the group-commit pipeline (commit.go): writers coalesce into
+	// leader-committed groups of one WAL record + one fsync each.
+	commit commitPipeline
+	// commitHook, when non-nil, observes each committed group: its size,
+	// first and last sequence, and the encoded WAL record (aliased — the
+	// leader's scratch buffer is reused, so hooks must copy what they keep).
+	// Set only by tests in this package, before writes begin; it runs on the
+	// leader with no locks held.
+	commitHook func(groupSize int, first, last base.SeqNum, rec []byte)
 
 	// lastSeq is the newest committed sequence, readable without mu.
 	lastSeq atomic.Uint64
@@ -128,6 +155,13 @@ type DB struct {
 	metWrites        atomic.Int64
 	metSubcomp       atomic.Int64
 	metSchedDeferred atomic.Int64
+	metPrefixSeeks   atomic.Int64
+	metPrefixSkips   atomic.Int64
+}
+
+// errDegraded wraps a write-path failure in ErrDegraded.
+func errDegraded(err error) error {
+	return fmt.Errorf("%w: %w", ErrDegraded, err)
 }
 
 type zombieFile struct {
@@ -138,13 +172,6 @@ type zombieFile struct {
 	// quarantine moves the file into lost/ instead of unlinking it: the
 	// zombie came from an integrity failure and the ciphertext is evidence.
 	quarantine bool
-}
-
-type commitRequest struct {
-	batch  *Batch
-	sync   bool
-	rotate bool // rotate the memtable instead of committing a batch
-	done   chan error
 }
 
 // Open opens (creating if necessary) the database in dir.
@@ -161,25 +188,23 @@ func Open(dir string, opts Options) (*DB, error) {
 		dir:          dir,
 		fs:           opts.FS,
 		wrapper:      opts.Wrapper,
-		commitCh:     make(chan *commitRequest, 1024),
 		busyFiles:    make(map[uint64]bool),
 		dekIDs:       make(map[uint64]string),
 		integrityBad: make(map[uint64]bool),
 	}
 	d.bgCond = sync.NewCond(&d.mu)
+	d.commit.init()
 	if opts.BlockCacheSize > 0 {
 		d.blockCache = cache.New(opts.BlockCacheSize)
 	}
 	d.tables = newTableCache(d.fs, dir, d.wrapper, d.blockCache)
+	d.tables.pinMeta = opts.PinL0AndMeta
 
 	start := time.Now()
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
 	metrics.Recovery.RecoveryNanos.Add(time.Since(start).Nanoseconds())
-
-	d.commitWG.Add(1)
-	go d.commitLoop()
 
 	d.mu.Lock()
 	d.maybeScheduleFlushLocked()
@@ -247,13 +272,18 @@ func (d *DB) recover() error {
 		return err
 	}
 
-	for _, lvl := range ver.Levels {
-		for _, f := range lvl {
+	for lvl, files := range ver.Levels {
+		for _, f := range files {
 			if f.DEKID != "" {
 				d.dekIDs[f.FileNum] = f.DEKID
 			}
 			if f.Seq > d.fileSeq {
 				d.fileSeq = f.Seq
+			}
+			// L0 files never change level (compaction replaces, never moves),
+			// so pin-at-recovery plus pin-at-flush covers every L0 file.
+			if lvl == 0 && d.opts.PinL0AndMeta {
+				d.tables.setPinData(f.FileNum)
 			}
 		}
 	}
@@ -896,118 +926,7 @@ func (d *DB) Write(b *Batch, sync bool) error {
 		return fmt.Errorf("%w: %w", ErrDegraded, err)
 	}
 	d.mu.Unlock()
-	req := &commitRequest{batch: b, sync: sync, done: make(chan error, 1)}
-	if err := d.sendCommit(req); err != nil {
-		return err
-	}
-	return <-req.done
-}
-
-// sendCommit enqueues a request, failing cleanly if the DB closed.
-func (d *DB) sendCommit(req *commitRequest) error {
-	d.commitMu.RLock()
-	defer d.commitMu.RUnlock()
-	d.mu.Lock()
-	closed := d.closed
-	d.mu.Unlock()
-	if closed {
-		return ErrClosed
-	}
-	d.commitCh <- req
-	return nil
-}
-
-func (d *DB) commitLoop() {
-	defer d.commitWG.Done()
-	for req := range d.commitCh {
-		if req.rotate {
-			req.done <- d.rotateMemtable()
-			continue
-		}
-		group := []*commitRequest{req}
-		// Opportunistically group more pending writers (group commit).
-	drain:
-		for len(group) < 128 {
-			select {
-			case r, ok := <-d.commitCh:
-				if !ok {
-					break drain
-				}
-				if r.rotate {
-					// Rotation runs after the group it interrupted.
-					err := d.commitGroup(group)
-					for _, g := range group {
-						g.done <- err
-					}
-					group = group[:0]
-					r.done <- d.rotateMemtable()
-					continue drain
-				}
-				group = append(group, r)
-			default:
-				break drain
-			}
-		}
-		if len(group) > 0 {
-			err := d.commitGroup(group)
-			for _, r := range group {
-				r.done <- err
-			}
-		}
-	}
-}
-
-func (d *DB) commitGroup(group []*commitRequest) error {
-	if err := d.makeRoomForWrite(); err != nil {
-		return err
-	}
-
-	seqBase := base.SeqNum(d.lastSeq.Load()) + 1
-	next := seqBase
-	needSync := false
-	for _, r := range group {
-		r.batch.setSeq(next)
-		next += base.SeqNum(r.batch.Count())
-		if r.sync {
-			needSync = true
-		}
-	}
-
-	d.mu.Lock()
-	w := d.walWriter
-	mem := d.mem
-	d.mu.Unlock()
-
-	if !d.opts.DisableWAL {
-		for _, r := range group {
-			if err := w.AddRecord(r.batch.data); err != nil {
-				d.setBGErr(err)
-				return fmt.Errorf("%w: %w", ErrDegraded, err)
-			}
-			d.metWAL.Add(int64(len(r.batch.data)))
-		}
-		if needSync {
-			d.metWALSyncs.Add(1)
-			if err := w.Sync(); err != nil {
-				d.setBGErr(err)
-				return fmt.Errorf("%w: %w", ErrDegraded, err)
-			}
-		}
-	}
-
-	for _, r := range group {
-		err := decodeBatch(r.batch.data, func(seq base.SeqNum, kind base.Kind, key, value []byte) error {
-			mem.add(seq, kind, key, value)
-			return nil
-		})
-		if err != nil {
-			d.setBGErr(err)
-			return fmt.Errorf("%w: %w", ErrDegraded, err)
-		}
-	}
-	d.lastSeq.Store(uint64(next - 1))
-	d.metWrites.Add(int64(len(group)))
-	return nil
+	return d.commitSend(&commitWaiter{batch: b, sync: sync, done: make(chan struct{}), lead: make(chan struct{})})
 }
 
 // makeRoomForWrite rotates a full memtable and stalls on back-pressure.
@@ -1326,8 +1245,13 @@ func (d *DB) NewIter() (*Iterator, error) {
 	}
 	d.iterCount++
 	it := &Iterator{
-		m:   newMergingIter(iters...),
-		seq: seq,
+		m:             newMergingIter(iters...),
+		seq:           seq,
+		prefixExtract: d.opts.PrefixExtractor,
+		onPrefixSeek: func() {
+			d.metPrefixSeeks.Add(1)
+			metrics.Engine.PrefixSeeks.Add(1)
+		},
 		onClose: func() {
 			d.mu.Lock()
 			d.iterCount--
@@ -1349,7 +1273,19 @@ func (d *DB) openTableIter(fileNum uint64) (internalIterator, error) {
 		return nil, d.typeIntegrityErr(fileNum, err)
 	}
 	wrap := func(err error) error { return d.typeIntegrityErr(fileNum, err) }
-	return &sstIterAdapter{it: r.NewIter(), release: release, wrapErr: wrap}, nil
+	return &sstIterAdapter{
+		it:      r.NewIter(),
+		release: release,
+		wrapErr: wrap,
+		mayContainPrefix: func(prefix []byte) bool {
+			if r.MayContainPrefix(prefix) {
+				return true
+			}
+			d.metPrefixSkips.Add(1)
+			metrics.Engine.PrefixSkips.Add(1)
+			return false
+		},
+	}, nil
 }
 
 // ---- Flush ----
@@ -1484,6 +1420,11 @@ func (d *DB) writeMemTable(mem *memTable) (*manifest.FileMetadata, error) {
 		return abortFlush(err)
 	}
 	d.metFlushWrite.Add(int64(w.FileSize()))
+	// Flush outputs land in L0; mark before install so the first reader open
+	// already caches this file's data blocks in the pinned class.
+	if d.opts.PinL0AndMeta {
+		d.tables.setPinData(fileNum)
+	}
 
 	meta := &manifest.FileMetadata{
 		FileNum:  fileNum,
@@ -1502,8 +1443,8 @@ func (d *DB) writeMemTable(mem *memTable) (*manifest.FileMetadata, error) {
 	return meta, nil
 }
 
-// rotateMemtable seals the active memtable behind a fresh WAL. It runs on
-// the commit goroutine, so it never races WAL appends.
+// rotateMemtable seals the active memtable behind a fresh WAL. It runs only
+// on the commit-pipeline leader, so it never races WAL appends.
 func (d *DB) rotateMemtable() error {
 	d.mu.Lock()
 	if d.mem.empty() {
@@ -1531,11 +1472,8 @@ func (d *DB) Flush() error {
 	if d.opts.ReadOnly {
 		return ErrReadOnly
 	}
-	req := &commitRequest{rotate: true, done: make(chan error, 1)}
-	if err := d.sendCommit(req); err != nil {
-		return err
-	}
-	if err := <-req.done; err != nil {
+	rot := &commitWaiter{rotate: true, done: make(chan struct{}), lead: make(chan struct{})}
+	if err := d.commitSend(rot); err != nil {
 		return err
 	}
 	d.mu.Lock()
@@ -1791,6 +1729,11 @@ func (d *DB) Metrics() Metrics {
 	d.mu.Lock()
 	active := int64(d.compactions)
 	d.mu.Unlock()
+	var hits, misses, pinned int64
+	if d.blockCache != nil {
+		hits, misses = d.blockCache.Stats()
+		pinned = d.blockCache.Pinned()
+	}
 	return Metrics{
 		Flushes:           d.metFlushes.Load(),
 		Compactions:       d.metCompact.Load(),
@@ -1805,6 +1748,11 @@ func (d *DB) Metrics() Metrics {
 		CompactionsActive: active,
 		CompactionsQueued: d.metSchedDeferred.Load(),
 		Subcompactions:    d.metSubcomp.Load(),
+		BlockCacheHits:    hits,
+		BlockCacheMisses:  misses,
+		BlockCachePinned:  pinned,
+		PrefixSeeks:       d.metPrefixSeeks.Load(),
+		PrefixSkips:       d.metPrefixSkips.Load(),
 	}
 }
 
@@ -1826,11 +1774,9 @@ func (d *DB) Close() error {
 	d.closed = true
 	d.mu.Unlock()
 
-	// Exclude all senders, then close the commit channel.
-	d.commitMu.Lock()
-	close(d.commitCh)
-	d.commitMu.Unlock()
-	d.commitWG.Wait()
+	// Fail queued writers and wait for the in-flight commit leader (if any)
+	// to retire; afterwards nothing can touch the WAL or memtable.
+	d.commitClose()
 
 	// Wait for background workers to drain.
 	d.mu.Lock()

@@ -165,6 +165,26 @@ type Options struct {
 	// 0 keeps the default, negative disables the cache.
 	BlockCacheSize int64
 
+	// PinL0AndMeta pins the hot top of the read path in the block cache:
+	// every table's index and filter bytes, plus the data blocks of L0 files,
+	// are charged to a pinned class that eviction skips, so a scan-heavy
+	// churn cannot evict the blocks every point read touches. Pins are
+	// released when the file is deleted (L0 files never change level: a
+	// compaction consuming them writes new files). Pinned charge counts
+	// against BlockCacheSize; size the cache to hold L0 plus metadata with
+	// room to spare. Default off.
+	PinL0AndMeta bool
+
+	// PrefixExtractor, when non-nil, derives a bucketing prefix from a user
+	// key. It must return a byte-prefix of the key (so keys sharing a prefix
+	// are contiguous) and must be pure and goroutine-safe. When set, flushed
+	// SSTs carry a second bloom filter over distinct prefixes, and
+	// Iterator.SeekPrefixGE consults it to skip tables that provably hold no
+	// key with the sought prefix. Compaction outputs carry no prefix filter
+	// (compactions may execute on an offloaded worker that cannot be handed
+	// a Go function); reads degrade to unfiltered seeks there. Default nil.
+	PrefixExtractor func(userKey []byte) []byte
+
 	// L0CompactionTrigger is the L0 file count that starts a leveled
 	// compaction (or the run count for universal). Default 4.
 	L0CompactionTrigger int

@@ -1,0 +1,239 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shield/internal/vfs"
+)
+
+// dashPrefix extracts up to and including the first '-' — "p07-0012" -> "p07-".
+func dashPrefix(k []byte) []byte {
+	if i := bytes.IndexByte(k, '-'); i >= 0 {
+		return k[:i+1]
+	}
+	return k
+}
+
+// TestSeekPrefixGEEquivalence checks the prefix read path against the
+// unfiltered one: for every prefix (present and absent), iterating with
+// SeekPrefixGE must yield exactly the keys a plain SeekGE scan bounded to
+// the prefix yields — across memtable data, L0 files with prefix blooms, and
+// compacted levels without them.
+func TestSeekPrefixGEEquivalence(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := testOptions(fs)
+	opts.PrefixExtractor = dashPrefix
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Three placement phases: compacted levels, flushed L0, live memtable.
+	const prefixes, perPrefix = 12, 30
+	phase := 0
+	write := func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			for i := 0; i < perPrefix; i++ {
+				k := fmt.Sprintf("p%02d-%04d", p, i)
+				if err := db.Put([]byte(k), []byte(fmt.Sprintf("v%d-%d-%d", phase, p, i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		phase++
+	}
+	write(0, 4)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CompactRange(); err != nil {
+		t.Fatal(err)
+	}
+	write(4, 8)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	write(8, prefixes)
+	// Tombstones must shadow through a prefix seek too.
+	if err := db.Delete([]byte("p05-0000")); err != nil {
+		t.Fatal(err)
+	}
+
+	scanPlain := func(prefix string) []string {
+		it, err := db.NewIter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		var out []string
+		for ok := it.SeekGE([]byte(prefix)); ok; ok = it.Next() {
+			if !bytes.HasPrefix(it.Key(), []byte(prefix)) {
+				break
+			}
+			out = append(out, string(it.Key())+"="+string(it.Value()))
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	scanPrefix := func(prefix string) []string {
+		it, err := db.NewIter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		var out []string
+		for ok := it.SeekPrefixGE([]byte(prefix)); ok; ok = it.Next() {
+			out = append(out, string(it.Key())+"="+string(it.Value()))
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	for p := -2; p < prefixes+2; p++ {
+		prefix := fmt.Sprintf("p%02d-", p)
+		want := scanPlain(prefix)
+		got := scanPrefix(prefix)
+		if len(got) != len(want) {
+			t.Fatalf("prefix %s: SeekPrefixGE saw %d keys, SeekGE saw %d", prefix, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("prefix %s entry %d: got %s want %s", prefix, i, got[i], want[i])
+			}
+		}
+		if p >= 0 && p < prefixes {
+			wantN := perPrefix
+			if p == 5 {
+				wantN-- // the tombstone
+			}
+			if len(got) != wantN {
+				t.Fatalf("prefix %s: %d keys, want %d", prefix, len(got), wantN)
+			}
+		} else if len(got) != 0 {
+			t.Fatalf("absent prefix %s yielded %d keys", prefix, len(got))
+		}
+	}
+
+	m := db.Metrics()
+	if m.PrefixSeeks == 0 {
+		t.Fatal("no prefix seeks counted")
+	}
+	if m.PrefixSkips == 0 {
+		t.Fatal("no table was ever skipped by a prefix bloom (filters not consulted?)")
+	}
+	t.Logf("prefix_seeks=%d prefix_skips=%d", m.PrefixSeeks, m.PrefixSkips)
+
+	// A mid-prefix start position is honored.
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.SeekPrefixGE([]byte("p09-0015")) {
+		t.Fatal("SeekPrefixGE(p09-0015) found nothing")
+	}
+	if got := string(it.Key()); got != "p09-0015" {
+		t.Fatalf("SeekPrefixGE(p09-0015) landed on %s", got)
+	}
+	// Without an extractor SeekPrefixGE is exactly SeekGE (crosses prefixes).
+	db2opts := testOptions(fs)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open("db", db2opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	it2, err := db2.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	if !it2.SeekPrefixGE([]byte("p03-9999")) {
+		t.Fatal("extractor-less SeekPrefixGE found nothing")
+	}
+	if got := string(it2.Key()); got != "p04-0000" {
+		t.Fatalf("extractor-less SeekPrefixGE = %s, want p04-0000 (plain SeekGE semantics)", got)
+	}
+}
+
+// TestPinL0AndMetaPinsBlocks: with the option on, flushed L0 data and table
+// metadata occupy the cache's pinned class (visible in Metrics), reads still
+// work after heavy churn, and turning the option off pins nothing.
+func TestPinL0AndMetaPinsBlocks(t *testing.T) {
+	fs := vfs.NewMem()
+	opts := testOptions(fs)
+	opts.PinL0AndMeta = true
+	opts.L0CompactionTrigger = 100 // keep files in L0
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for f := 0; f < 3; f++ {
+		for i := 0; i < 50; i++ {
+			k := fmt.Sprintf("f%d-%04d", f, i)
+			if err := db.Put([]byte(k), bytes.Repeat([]byte("v"), 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch every key so L0 data blocks flow through the read path.
+	for f := 0; f < 3; f++ {
+		for i := 0; i < 50; i++ {
+			if _, err := db.Get([]byte(fmt.Sprintf("f%d-%04d", f, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := db.Metrics()
+	if m.BlockCachePinned == 0 {
+		t.Fatal("PinL0AndMeta on, but pinned charge is zero after L0 reads")
+	}
+	t.Logf("pinned=%dB hits=%d misses=%d", m.BlockCachePinned, m.BlockCacheHits, m.BlockCacheMisses)
+
+	// Recovery pins too: reopen and read before any flush.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("f0-0000")); err != nil {
+		t.Fatal(err)
+	}
+	if m := db.Metrics(); m.BlockCachePinned == 0 {
+		t.Fatal("no pinned charge after recovery with PinL0AndMeta")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Feature off: nothing pinned.
+	off := testOptions(fs)
+	db2, err := Open("db", off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for f := 0; f < 3; f++ {
+		if _, err := db2.Get([]byte(fmt.Sprintf("f%d-0000", f))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := db2.Metrics(); m.BlockCachePinned != 0 {
+		t.Fatalf("PinL0AndMeta off but pinned charge = %d", m.BlockCachePinned)
+	}
+}

@@ -1,0 +1,184 @@
+package sstable
+
+import (
+	"fmt"
+	"testing"
+
+	"shield/internal/cache"
+	"shield/internal/lsm/base"
+	"shield/internal/vfs"
+)
+
+func firstN(n int) func([]byte) []byte {
+	return func(k []byte) []byte {
+		if len(k) < n {
+			return k
+		}
+		return k[:n]
+	}
+}
+
+// TestPrefixBloomRoundTrip writes a table with a prefix extractor and checks
+// that the reader's prefix filter admits every present prefix and rejects
+// (almost all) absent ones.
+func TestPrefixBloomRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	f, err := fs.Create("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, WriterOptions{PrefixExtractor: firstN(4)})
+	const prefixes, perPrefix = 50, 20
+	for p := 0; p < prefixes; p++ {
+		for i := 0; i < perPrefix; i++ {
+			ik := base.MakeInternalKey([]byte(fmt.Sprintf("p%02d-%04d", p, i)), 1, base.KindSet)
+			if err := w.Add(ik, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := fs.Open("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(rf, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	props := r.Properties()
+	if props.PrefixFilterLen == 0 {
+		t.Fatal("table carries no prefix filter despite extractor")
+	}
+	for p := 0; p < prefixes; p++ {
+		if !r.MayContainPrefix([]byte(fmt.Sprintf("p%02d-", p))) {
+			t.Fatalf("false negative for present prefix p%02d-", p)
+		}
+	}
+	falsePos := 0
+	const absent = 1000
+	for p := 0; p < absent; p++ {
+		if r.MayContainPrefix([]byte(fmt.Sprintf("q%03d", p))) {
+			falsePos++
+		}
+	}
+	// 10 bits/key targets ~1% FP; the filter holds one hash per distinct
+	// prefix, so allow a generous 5%.
+	if falsePos > absent/20 {
+		t.Fatalf("%d/%d false positives: filter sized per key instead of per distinct prefix?", falsePos, absent)
+	}
+}
+
+// TestNoPrefixFilterAlwaysMatches: tables written without an extractor (all
+// pre-existing files, and every compaction output) must answer true.
+func TestNoPrefixFilterAlwaysMatches(t *testing.T) {
+	fs := vfs.NewMem()
+	f, err := fs.Create("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, WriterOptions{})
+	ik := base.MakeInternalKey([]byte("key"), 1, base.KindSet)
+	if err := w.Add(ik, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fs.Open("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(rf, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Properties().PrefixFilterLen != 0 {
+		t.Fatal("extractor-less table grew a prefix filter")
+	}
+	for _, p := range []string{"key", "zzz", ""} {
+		if !r.MayContainPrefix([]byte(p)) {
+			t.Fatalf("filter-less table rejected prefix %q", p)
+		}
+	}
+}
+
+// TestPrefixFilterDedup: the prefix filter holds one probe set per distinct
+// prefix. Many keys sharing one prefix must not blow up the filter block —
+// it should be roughly the size of a filter over ONE key.
+func TestPrefixFilterDedup(t *testing.T) {
+	build := func(perPrefix int) uint64 {
+		fs := vfs.NewMem()
+		f, _ := fs.Create("t.sst")
+		w := NewWriter(f, WriterOptions{PrefixExtractor: firstN(4)})
+		for i := 0; i < perPrefix; i++ {
+			ik := base.MakeInternalKey([]byte(fmt.Sprintf("aaaa%06d", i)), 1, base.KindSet)
+			if err := w.Add(ik, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return w.props.PrefixFilterLen
+	}
+	one, many := build(1), build(5000)
+	if many != one {
+		t.Fatalf("prefix filter grew with per-prefix key count: 1 key -> %d bytes, 5000 keys -> %d bytes", one, many)
+	}
+}
+
+// TestPinnedReaderChargesCache: PinMeta/PinData route a table's metadata and
+// data blocks into the cache's pinned class.
+func TestPinnedReaderChargesCache(t *testing.T) {
+	fs := vfs.NewMem()
+	f, err := fs.Create("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, WriterOptions{PrefixExtractor: firstN(2), BlockSize: 256})
+	for i := 0; i < 200; i++ {
+		ik := base.MakeInternalKey([]byte(fmt.Sprintf("k%06d", i)), 1, base.KindSet)
+		if err := w.Add(ik, []byte(fmt.Sprintf("value-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := cache.New(1 << 20)
+	rf, err := fs.Open("t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(rf, ReaderOptions{Cache: c, FileNum: 9, PinMeta: true, PinData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	metaPinned := c.Pinned()
+	if metaPinned == 0 {
+		t.Fatal("PinMeta pinned nothing at open")
+	}
+	// Read every block; with PinData all data blocks join the pinned class.
+	if _, _, err := r.Get([]byte("k000000"), 100); err != nil {
+		t.Fatal(err)
+	}
+	it := r.NewIter()
+	for ok := it.First(); ok; ok = it.Next() {
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Pinned(); got <= metaPinned {
+		t.Fatalf("data-block reads left pinned charge at %d (meta alone was %d)", got, metaPinned)
+	}
+}

@@ -30,6 +30,16 @@ type ReaderOptions struct {
 
 	// FileNum identifies this table in the cache keyspace.
 	FileNum uint64
+
+	// PinMeta charges the eagerly loaded index, filter, and prefix-filter
+	// bytes to the cache's pinned class. The metadata blocks sit at their
+	// own file offsets, so the pins share the data-block keyspace without
+	// collision and EvictFile releases them with the rest of the file.
+	PinMeta bool
+
+	// PinData inserts this table's data blocks into the pinned class instead
+	// of the LRU class — set for L0 files under the engine's PinL0AndMeta.
+	PinData bool
 }
 
 // Reader provides lookups and iteration over one SST file.
@@ -39,7 +49,10 @@ type Reader struct {
 	index []indexEntry
 	// filter is the serialized bloom filter (may be nil).
 	filter []byte
-	props  Properties
+	// prefixFilter is the serialized prefix bloom filter (nil when the file
+	// carries none — older files, or no extractor at write time).
+	prefixFilter []byte
+	props        Properties
 }
 
 type indexEntry struct {
@@ -72,7 +85,8 @@ func NewReader(f vfs.RandomAccessFile, opts ReaderOptions) (*Reader, error) {
 	}
 	r := &Reader{f: f, opts: opts}
 
-	indexData, err := r.readRaw(getHandle(0))
+	indexHandle := getHandle(0)
+	indexData, err := r.readRaw(indexHandle)
 	if err != nil {
 		return nil, fmt.Errorf("sstable: reading index: %w", err)
 	}
@@ -91,8 +105,9 @@ func NewReader(f vfs.RandomAccessFile, opts ReaderOptions) (*Reader, error) {
 		return nil, it.err
 	}
 
-	if fh := getHandle(16); fh.length > 0 {
-		r.filter, err = r.readRaw(fh)
+	filterHandle := getHandle(16)
+	if filterHandle.length > 0 {
+		r.filter, err = r.readRaw(filterHandle)
 		if err != nil {
 			return nil, fmt.Errorf("sstable: reading filter: %w", err)
 		}
@@ -103,6 +118,28 @@ func NewReader(f vfs.RandomAccessFile, opts ReaderOptions) (*Reader, error) {
 	}
 	if err := json.Unmarshal(propsData, &r.props); err != nil {
 		return nil, fmt.Errorf("sstable: decoding properties: %w", err)
+	}
+	if r.props.PrefixFilterLen > 0 {
+		h := blockHandle{offset: r.props.PrefixFilterOffset, length: r.props.PrefixFilterLen}
+		r.prefixFilter, err = r.readRaw(h)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: reading prefix filter: %w", err)
+		}
+	}
+
+	if opts.PinMeta && opts.Cache != nil {
+		// Charge the resident metadata to the pinned class under the blocks'
+		// real file offsets: the cache budget then reflects the bytes these
+		// tables hold in memory, and EvictFile releases the pins when the
+		// file is deleted. The pinned values share r's slices — no copies.
+		pin := func(off uint64, data []byte) {
+			if len(data) > 0 {
+				opts.Cache.PutPinned(cache.Key{File: opts.FileNum, Offset: off}, data, int64(len(data)))
+			}
+		}
+		pin(indexHandle.offset, indexData)
+		pin(filterHandle.offset, r.filter)
+		pin(r.props.PrefixFilterOffset, r.prefixFilter)
 	}
 	return r, nil
 }
@@ -154,13 +191,28 @@ func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
 		return nil, err
 	}
 	if r.opts.Cache != nil {
-		r.opts.Cache.Put(cache.Key{File: r.opts.FileNum, Offset: h.offset}, data, int64(len(data)))
+		k := cache.Key{File: r.opts.FileNum, Offset: h.offset}
+		if r.opts.PinData {
+			r.opts.Cache.PutPinned(k, data, int64(len(data)))
+		} else {
+			r.opts.Cache.Put(k, data, int64(len(data)))
+		}
 	}
 	return data, nil
 }
 
 // Properties returns the table's properties block.
 func (r *Reader) Properties() Properties { return r.props }
+
+// MayContainPrefix reports whether the table may hold a key with the given
+// extractor prefix. Tables without a prefix filter (older files, compaction
+// outputs) answer true — absence of the filter never causes a false skip.
+func (r *Reader) MayContainPrefix(prefix []byte) bool {
+	if r.prefixFilter == nil {
+		return true
+	}
+	return bloomMayContain(r.prefixFilter, prefix)
+}
 
 // VerifyChecksums reads every data block, verifying each CRC-32C trailer
 // (which for SHIELD files checks MAC-equivalent integrity of the decrypted

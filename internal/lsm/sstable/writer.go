@@ -60,6 +60,13 @@ type WriterOptions struct {
 	// Compression compresses data blocks (metadata blocks stay raw). A
 	// compressed block that does not shrink is stored raw.
 	Compression Compression
+
+	// PrefixExtractor, when non-nil, adds a second bloom filter over the
+	// distinct extractor prefixes of the table's user keys, sized by
+	// BloomBitsPerKey. The filter block's handle is recorded in the JSON
+	// properties (not the fixed footer), so files without one — and readers
+	// that predate it — interoperate unchanged.
+	PrefixExtractor func(userKey []byte) []byte
 }
 
 func (o WriterOptions) withDefaults() WriterOptions {
@@ -73,23 +80,31 @@ func (o WriterOptions) withDefaults() WriterOptions {
 }
 
 // Properties summarizes a table; serialized as JSON in the properties block.
+// Unknown fields are ignored on decode, so the block doubles as the format's
+// forward-compatible extension point (the footer's handle slots are fixed).
 type Properties struct {
 	NumEntries  uint64 `json:"num_entries"`
 	NumDeletes  uint64 `json:"num_deletes"`
 	RawKeyBytes uint64 `json:"raw_key_bytes"`
 	RawValBytes uint64 `json:"raw_val_bytes"`
 	DataBlocks  uint64 `json:"data_blocks"`
+
+	// PrefixFilterOffset/Len locate the optional prefix bloom filter block;
+	// both zero when the table carries none.
+	PrefixFilterOffset uint64 `json:"prefix_filter_offset,omitempty"`
+	PrefixFilterLen    uint64 `json:"prefix_filter_len,omitempty"`
 }
 
 // Writer builds one SST file. Keys must be added in strictly increasing
 // internal-key order.
 type Writer struct {
-	f      vfs.WritableFile
-	opts   WriterOptions
-	block  blockBuilder
-	index  blockBuilder
-	filter *bloomFilter
-	props  Properties
+	f            vfs.WritableFile
+	opts         WriterOptions
+	block        blockBuilder
+	index        blockBuilder
+	filter       *bloomFilter
+	prefixFilter *prefixBloomFilter
+	props        Properties
 
 	offset   uint64
 	smallest []byte
@@ -104,6 +119,9 @@ func NewWriter(f vfs.WritableFile, opts WriterOptions) *Writer {
 	w := &Writer{f: f, opts: opts}
 	if opts.BloomBitsPerKey > 0 {
 		w.filter = newBloomFilter(opts.BloomBitsPerKey)
+		if opts.PrefixExtractor != nil {
+			w.prefixFilter = newPrefixBloomFilter(opts.BloomBitsPerKey)
+		}
 	}
 	return w
 }
@@ -125,6 +143,9 @@ func (w *Writer) Add(ikey, value []byte) error {
 	w.block.add(ikey, value)
 	if w.filter != nil {
 		w.filter.add(base.UserKey(ikey))
+	}
+	if w.prefixFilter != nil {
+		w.prefixFilter.addPrefix(w.opts.PrefixExtractor(base.UserKey(ikey)))
 	}
 	w.props.NumEntries++
 	if _, kind := base.DecodeTrailer(ikey); kind == base.KindDelete {
@@ -255,6 +276,17 @@ func (w *Writer) Finish() error {
 			w.f.Close()
 			return err
 		}
+	}
+
+	// The prefix filter block precedes the properties block that locates it.
+	if w.prefixFilter != nil {
+		h, err := w.writeRaw(w.prefixFilter.build())
+		if err != nil {
+			w.f.Close()
+			return err
+		}
+		w.props.PrefixFilterOffset = h.offset
+		w.props.PrefixFilterLen = h.length
 	}
 
 	indexHandle, err := w.writeRaw(w.index.finish())

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync/atomic"
 
 	"shield/internal/vfs"
 )
@@ -37,12 +38,36 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // ErrCorrupt reports a damaged log record; the reader stops at the first one.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Writer appends logical records to a log file.
+// Writer appends logical records to a log file. Appends are single-writer
+// (the engine's commit leader); Metrics and Size may be read from any
+// goroutine, so the counters they surface are atomics.
 type Writer struct {
-	f         vfs.WritableFile
-	blockOff  int // offset within the current block
-	written   int64
-	syncBytes int64
+	f        vfs.WritableFile
+	blockOff int // offset within the current block
+	written  atomic.Int64
+	// syncs counts Sync calls and syncBytes the high-water mark of appended
+	// bytes covered by a completed Sync. Together they make the engine's
+	// group-commit ratio observable: under group commit, syncs stays below
+	// the number of committed batches.
+	syncs     atomic.Int64
+	syncBytes atomic.Int64
+}
+
+// Metrics is a point-in-time snapshot of a Writer's durability counters.
+type Metrics struct {
+	Syncs        int64 // completed Sync calls
+	BytesWritten int64 // bytes appended (records + fragment headers + padding)
+	BytesSynced  int64 // appended bytes covered by the last completed Sync
+}
+
+// Metrics returns the writer's counters. Safe to call concurrently with
+// appends.
+func (w *Writer) Metrics() Metrics {
+	return Metrics{
+		Syncs:        w.syncs.Load(),
+		BytesWritten: w.written.Load(),
+		BytesSynced:  w.syncBytes.Load(),
+	}
 }
 
 // NewWriter returns a Writer appending to f, which must be empty or
@@ -63,7 +88,7 @@ func (w *Writer) AddRecord(data []byte) error {
 				if err := vfs.WriteFull(w.f, pad[:leftover]); err != nil {
 					return err
 				}
-				w.written += int64(leftover)
+				w.written.Add(int64(leftover))
 			}
 			w.blockOff = 0
 			leftover = BlockSize
@@ -112,22 +137,28 @@ func (w *Writer) emit(typ byte, frag []byte) error {
 		return err
 	}
 	w.blockOff += headerSize + len(frag)
-	w.written += int64(headerSize + len(frag))
+	w.written.Add(int64(headerSize + len(frag)))
 	return nil
 }
 
-// Sync flushes the log to durable storage.
+// Sync flushes the log to durable storage. The sync counter and synced-bytes
+// mark advance only on success: a failed fsync durably covers nothing.
 func (w *Writer) Sync() error {
-	w.syncBytes = w.written
-	return w.f.Sync()
+	covered := w.written.Load()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncs.Add(1)
+	w.syncBytes.Store(covered)
+	return nil
 }
 
 // Size returns the bytes appended so far.
-func (w *Writer) Size() int64 { return w.written }
+func (w *Writer) Size() int64 { return w.written.Load() }
 
-// Close syncs and closes the log file.
+// Close syncs and closes the log file. The closing sync counts in Metrics.
 func (w *Writer) Close() error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.Sync(); err != nil {
 		w.f.Close()
 		return err
 	}

@@ -208,3 +208,95 @@ func TestWriterSize(t *testing.T) {
 	}
 	w.Close()
 }
+
+// failingSyncFile wraps a writable file, failing Sync while armed.
+type failingSyncFile struct {
+	vfs.WritableFile
+	fail bool
+}
+
+var errSyncInjected = errors.New("injected sync failure")
+
+func (f *failingSyncFile) Sync() error {
+	if f.fail {
+		return errSyncInjected
+	}
+	return f.WritableFile.Sync()
+}
+
+// TestWriterMetrics checks the durability counters: bytes written advance
+// with appends (including fragment headers), the sync counter advances only
+// on successful Sync, the synced-bytes mark trails written bytes until a
+// sync covers them, and Close's final sync is counted.
+func TestWriterMetrics(t *testing.T) {
+	fs := vfs.NewMem()
+	raw, err := fs.Create("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &failingSyncFile{WritableFile: raw}
+	w := NewWriter(f)
+
+	if m := w.Metrics(); m.Syncs != 0 || m.BytesWritten != 0 || m.BytesSynced != 0 {
+		t.Fatalf("fresh writer metrics = %+v, want zeros", m)
+	}
+
+	rec := bytes.Repeat([]byte("x"), 100)
+	if err := w.AddRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.BytesWritten != int64(len(rec))+headerSize {
+		t.Fatalf("BytesWritten = %d, want %d", m.BytesWritten, len(rec)+headerSize)
+	}
+	if m.Syncs != 0 || m.BytesSynced != 0 {
+		t.Fatalf("metrics before any sync = %+v, want no sync coverage", m)
+	}
+
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m = w.Metrics()
+	if m.Syncs != 1 {
+		t.Fatalf("Syncs = %d after one Sync, want 1", m.Syncs)
+	}
+	if m.BytesSynced != m.BytesWritten {
+		t.Fatalf("BytesSynced = %d, want %d (everything written was synced)", m.BytesSynced, m.BytesWritten)
+	}
+
+	// A failed sync counts nothing and covers nothing.
+	if err := w.AddRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	f.fail = true
+	if err := w.Sync(); !errors.Is(err, errSyncInjected) {
+		t.Fatalf("Sync = %v, want injected failure", err)
+	}
+	m2 := w.Metrics()
+	if m2.Syncs != 1 || m2.BytesSynced != m.BytesSynced {
+		t.Fatalf("failed sync advanced counters: %+v (was %+v)", m2, m)
+	}
+	f.fail = false
+
+	// A record spanning multiple blocks accrues per-fragment headers.
+	big := bytes.Repeat([]byte("y"), 2*BlockSize)
+	before := w.Metrics().BytesWritten
+	if err := w.AddRecord(big); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Metrics().BytesWritten - before; got <= int64(len(big)) {
+		t.Fatalf("fragmented record accounted %d bytes, want > payload %d", got, len(big))
+	}
+
+	// Close routes through Sync, so the closing sync is visible.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m = w.Metrics()
+	if m.Syncs != 2 {
+		t.Fatalf("Syncs after Close = %d, want 2", m.Syncs)
+	}
+	if m.BytesSynced != m.BytesWritten {
+		t.Fatalf("Close left BytesSynced=%d < BytesWritten=%d", m.BytesSynced, m.BytesWritten)
+	}
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// EngineCounters tracks the foreground commit and read paths across every
+// open engine in the process: committed batches, commit-path WAL fsyncs (the
+// wal_syncs/writes pair behind the group-commit ratio), how often the
+// pipeline actually coalesced concurrent writers, and prefix-filter seek
+// outcomes. The zero value is ready to use.
+type EngineCounters struct {
+	Writes         atomic.Int64 // committed batches (each acked writer counts once)
+	WALSyncs       atomic.Int64 // commit-path fsyncs; < Writes under group commit
+	GroupedCommits atomic.Int64 // commit groups that coalesced >1 writer
+	GroupedWriters atomic.Int64 // writers that rode those coalesced groups
+	PrefixSeeks    atomic.Int64 // iterator seeks routed through SeekPrefixGE
+	PrefixSkips    atomic.Int64 // tables skipped because the prefix bloom proved absence
+}
+
+// Engine is the process-wide engine counter set.
+var Engine = &EngineCounters{}
+
+// EngineSnapshot is a point-in-time copy of EngineCounters.
+type EngineSnapshot struct {
+	Writes         int64
+	WALSyncs       int64
+	GroupedCommits int64
+	GroupedWriters int64
+	PrefixSeeks    int64
+	PrefixSkips    int64
+}
+
+// Snapshot returns the current counter values.
+func (c *EngineCounters) Snapshot() EngineSnapshot {
+	return EngineSnapshot{
+		Writes:         c.Writes.Load(),
+		WALSyncs:       c.WALSyncs.Load(),
+		GroupedCommits: c.GroupedCommits.Load(),
+		GroupedWriters: c.GroupedWriters.Load(),
+		PrefixSeeks:    c.PrefixSeeks.Load(),
+		PrefixSkips:    c.PrefixSkips.Load(),
+	}
+}
+
+// Reset zeroes every counter (benchmarks reset between runs).
+func (c *EngineCounters) Reset() {
+	c.Writes.Store(0)
+	c.WALSyncs.Store(0)
+	c.GroupedCommits.Store(0)
+	c.GroupedWriters.Store(0)
+	c.PrefixSeeks.Store(0)
+	c.PrefixSkips.Store(0)
+}
+
+// Any reports whether any engine activity was recorded.
+func (s EngineSnapshot) Any() bool {
+	return s.Writes+s.WALSyncs+s.GroupedCommits+s.PrefixSeeks != 0
+}
+
+// Sub returns the delta s minus prev.
+func (s EngineSnapshot) Sub(prev EngineSnapshot) EngineSnapshot {
+	return EngineSnapshot{
+		Writes:         s.Writes - prev.Writes,
+		WALSyncs:       s.WALSyncs - prev.WALSyncs,
+		GroupedCommits: s.GroupedCommits - prev.GroupedCommits,
+		GroupedWriters: s.GroupedWriters - prev.GroupedWriters,
+		PrefixSeeks:    s.PrefixSeeks - prev.PrefixSeeks,
+		PrefixSkips:    s.PrefixSkips - prev.PrefixSkips,
+	}
+}
+
+// GroupCommitRatio returns WALSyncs/Writes (0 with no writes); under group
+// commit with concurrent synced writers this drops below 1.
+func (s EngineSnapshot) GroupCommitRatio() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.WALSyncs) / float64(s.Writes)
+}
+
+// String renders the counters.
+func (s EngineSnapshot) String() string {
+	return fmt.Sprintf(
+		"writes=%d wal_syncs=%d (ratio %.3f) grouped_commits=%d grouped_writers=%d prefix_seeks=%d prefix_skips=%d",
+		s.Writes, s.WALSyncs, s.GroupCommitRatio(), s.GroupedCommits, s.GroupedWriters,
+		s.PrefixSeeks, s.PrefixSkips)
+}

@@ -361,6 +361,12 @@ func (s *Server) renderInfo() []byte {
 		fmt.Fprintf(&buf, "wal_written:%d\r\n", snap.Engine.WALWritten)
 		fmt.Fprintf(&buf, "engine_writes:%d\r\n", snap.Engine.Writes)
 		fmt.Fprintf(&buf, "engine_gets:%d\r\n", snap.Engine.Gets)
+		fmt.Fprintf(&buf, "group_commit_ratio:%.3f\r\n", snap.Engine.GroupCommitRatio())
+		fmt.Fprintf(&buf, "block_cache_hits:%d\r\n", snap.Engine.BlockCacheHits)
+		fmt.Fprintf(&buf, "block_cache_misses:%d\r\n", snap.Engine.BlockCacheMisses)
+		fmt.Fprintf(&buf, "block_cache_pinned_bytes:%d\r\n", snap.Engine.BlockCachePinned)
+		fmt.Fprintf(&buf, "prefix_seeks:%d\r\n", snap.Engine.PrefixSeeks)
+		fmt.Fprintf(&buf, "prefix_skips:%d\r\n", snap.Engine.PrefixSkips)
 		fmt.Fprintf(&buf, "flushes:%d\r\n", snap.Engine.Flushes)
 		fmt.Fprintf(&buf, "compactions:%d\r\n", snap.Engine.Compactions)
 	}

@@ -145,6 +145,35 @@ func (e *engine) startInternalChan() error {
 	return nil
 }
 
+// --- commit-pipeline leader/follower shapes: a follower goroutine parks on
+// the waiter's channels (done = group committed, lead = promoted to
+// leader), both closed by the leader, so the launch is accounted; a leader
+// spawning a detached helper to do the commit work is not.
+
+type commitWaiter struct {
+	done chan struct{}
+	lead chan struct{}
+}
+
+func (e *engine) startFollower(w *commitWaiter) error {
+	go func() {
+		select {
+		case <-w.done:
+		case <-w.lead:
+		}
+	}()
+	return nil
+}
+
+func (e *engine) startDetachedLeader(w *commitWaiter) error {
+	go func() { // want `no join, cancellation, or WaitGroup registration`
+		for {
+		}
+	}()
+	close(w.done)
+	return nil
+}
+
 // --- suppression with a reason; a bare directive does not suppress.
 
 func (e *engine) startDetached() error {

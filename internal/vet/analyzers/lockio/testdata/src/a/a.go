@@ -150,6 +150,51 @@ func (s *sched) spawnUnderLockStillCounts() {
 	}()
 }
 
+// commitPipeline mirrors the engine's group-commit leader/follower shape:
+// followers are queued and detached under the pipeline mutex, the leader
+// performs the WAL append/fsync with the mutex RELEASED, and only the
+// handoff (promoting the queue head, retiring leadership) re-enters the
+// critical section. Doing the sync inside the queue mutex would serialize
+// arrivals behind device latency and is exactly what lockio must flag.
+type commitWaiter struct {
+	done chan struct{}
+	lead chan struct{}
+}
+
+type commitPipeline struct {
+	mu      sync.Mutex
+	queue   []*commitWaiter
+	leading bool
+	wal     File
+}
+
+func (p *commitPipeline) leaderDetachCommitHandoff(w *commitWaiter) {
+	p.mu.Lock()
+	group := append([]*commitWaiter{w}, p.queue...)
+	p.queue = p.queue[:0]
+	p.mu.Unlock()
+	p.wal.Sync() // leader I/O with the queue mutex released: fine
+	for _, g := range group {
+		close(g.done)
+	}
+	p.mu.Lock()
+	if len(p.queue) == 0 {
+		p.leading = false
+		p.mu.Unlock()
+		return
+	}
+	next := p.queue[0]
+	p.queue = p.queue[1:]
+	p.mu.Unlock()
+	close(next.lead)
+}
+
+func (p *commitPipeline) syncUnderQueueMutex() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal.Sync() // want `file\.Sync while holding a mutex`
+}
+
 type rcache struct {
 	mu sync.RWMutex
 	fs FS

@@ -71,6 +71,53 @@ func (rl *readLatencyFile) ReadAt(p []byte, off int64) (int, error) {
 func (rl *readLatencyFile) Size() (int64, error) { return rl.f.Size() }
 func (rl *readLatencyFile) Close() error         { return rl.f.Close() }
 
+// SyncLatencyFS charges a device latency to every WritableFile.Sync — the
+// durability-barrier model of a monolithic host with an SSD: appends land
+// in the OS page cache (free), while fsync pays a flash program round
+// trip. It is what makes group commit measurable on a memory-speed
+// substrate: the only way a concurrent synced workload beats one device
+// round trip per write is to coalesce writers behind a shared sync.
+type SyncLatencyFS struct {
+	FS
+	perSync time.Duration
+}
+
+// NewSyncLatency wraps base, charging perSync to every Sync.
+func NewSyncLatency(base FS, perSync time.Duration) *SyncLatencyFS {
+	return &SyncLatencyFS{FS: base, perSync: perSync}
+}
+
+// Create implements FS.
+func (s *SyncLatencyFS) Create(name string) (WritableFile, error) {
+	f, err := s.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &syncLatencyFile{f: f, d: s.perSync}, nil
+}
+
+type syncLatencyFile struct {
+	f WritableFile
+	d time.Duration
+}
+
+func (sl *syncLatencyFile) Write(p []byte) (int, error) { return sl.f.Write(p) }
+
+func (sl *syncLatencyFile) Sync() error {
+	if sl.d > 0 {
+		time.Sleep(sl.d)
+	}
+	return sl.f.Sync()
+}
+
+// Close implies Sync in the vfs contract, so it pays the barrier too.
+func (sl *syncLatencyFile) Close() error {
+	if sl.d > 0 {
+		time.Sleep(sl.d)
+	}
+	return sl.f.Close()
+}
+
 // charge sleeps for the operation latency plus the serialization time of n
 // bytes on the shared link.
 func (l *LatencyFS) charge(n int) {
